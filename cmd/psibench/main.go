@@ -1,0 +1,84 @@
+// Command psibench regenerates the paper's tables and figures at a
+// configurable scale. Each experiment prints timing tables to stdout;
+// the mapping from experiment id to paper figure is in DESIGN.md §3.
+//
+// Usage:
+//
+//	psibench -exp fig3 -n 1000000
+//	psibench -exp all -n 100000 -reps 3
+//
+// The default n is 10^6 (the paper uses 10^9 on a 112-core machine; the
+// comparison shapes are scale-stable, see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "fig3", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|all")
+	n := flag.Int("n", 1_000_000, "dataset size (paper: 1e9)")
+	knnq := flag.Int("knnq", 0, "number of kNN queries (default n/100)")
+	rangeq := flag.Int("rangeq", 200, "number of range queries")
+	reps := flag.Int("reps", 1, "timed repetitions after warm-up (paper: 3)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	threads := flag.Int("threads", 0, "GOMAXPROCS (0 = all cores)")
+	csvPath := flag.String("csv", "", "also write measurements to this CSV file")
+	flag.Parse()
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psibench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := bench.SetCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "psibench: %v\n", err)
+			os.Exit(1)
+		}
+		defer bench.FlushCSV()
+	}
+
+	cfg := bench.Config{
+		N:       *n,
+		KNNQ:    *knnq,
+		RangeQ:  *rangeq,
+		Reps:    *reps,
+		Seed:    *seed,
+		Threads: *threads,
+		Out:     os.Stdout,
+	}
+	fmt.Printf("psibench: exp=%s n=%d reps=%d threads=%d/%d\n",
+		*exp, *n, *reps, *threads, runtime.NumCPU())
+	start := time.Now()
+	run := map[string]func(bench.Config){
+		"fig3":     bench.Fig3,
+		"fig4":     bench.Fig4,
+		"fig5":     bench.Fig5,
+		"fig6":     bench.Fig6,
+		"fig7":     bench.Fig7,
+		"fig8":     bench.Fig8,
+		"fig9":     bench.Fig9,
+		"fig10":    bench.Fig10,
+		"ablation": bench.Ablations,
+	}
+	if *exp == "all" {
+		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation"} {
+			run[name](cfg)
+		}
+	} else if f, ok := run[*exp]; ok {
+		f(cfg)
+	} else {
+		fmt.Fprintf(os.Stderr, "psibench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("\npsibench: done in %.1fs\n", time.Since(start).Seconds())
+}

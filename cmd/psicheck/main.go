@@ -1,0 +1,92 @@
+// Command psicheck cross-validates every index against the brute-force
+// oracle on randomized dynamic workloads — the executable form of the
+// paper's correctness methodology ("verified through extensive unit tests
+// using a hand-crafted framework", §F.2). It is the tool to run after any
+// modification to a tree's internals.
+//
+// Usage:
+//
+//	psicheck -n 20000 -rounds 10 -seed 7
+//
+// Exit status 0 means every index agreed with the oracle on every query
+// after every mutation round.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+
+	psi "repro"
+)
+
+func main() {
+	n := flag.Int("n", 20_000, "working-set size per round")
+	rounds := flag.Int("rounds", 8, "mutation rounds per distribution")
+	seed := flag.Int64("seed", time.Now().UnixNano()%1e9, "randomization seed")
+	dims := flag.Int("dims", 2, "dimensions (2 or 3)")
+	flag.Parse()
+
+	failures := 0
+	for _, dist := range []workload.Dist{workload.Uniform, workload.Sweepline, workload.Varden} {
+		failures += checkDist(dist, *dims, *n, *rounds, *seed)
+	}
+	if failures > 0 {
+		fmt.Printf("psicheck: FAILED with %d discrepancies\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("psicheck: all indexes agree with the brute-force oracle")
+}
+
+func checkDist(dist workload.Dist, dims, n, rounds int, seed int64) int {
+	side := dist.Side(dims)
+	universe := geom.UniverseBox(dims, side)
+	pool := workload.Generate(dist, n*(rounds+1), dims, side, seed)
+	rng := rand.New(rand.NewSource(seed ^ 0xabc))
+
+	ref := core.NewBruteForce(dims)
+	indexes := psi.All(dims, universe)
+	ref.Build(pool[:n])
+	for _, idx := range indexes {
+		idx.Build(pool[:n])
+	}
+	used := n
+	failures := 0
+	for round := 0; round < rounds; round++ {
+		// Mutate: alternate insert and (multiset) delete batches.
+		if round%2 == 0 {
+			batch := pool[used : used+n/4]
+			used += n / 4
+			ref.BatchInsert(batch)
+			for _, idx := range indexes {
+				idx.BatchInsert(batch)
+			}
+		} else {
+			cur := ref.Points()
+			batch := make([]geom.Point, n/5)
+			for i := range batch {
+				batch[i] = cur[rng.Intn(len(cur))]
+			}
+			ref.BatchDelete(batch)
+			for _, idx := range indexes {
+				idx.BatchDelete(batch)
+			}
+		}
+		queries := workload.InDQueries(dist, 20, dims, side, seed+int64(round))
+		boxes := workload.RangeQueries(8, dims, side, 0.01, seed+int64(round))
+		for _, idx := range indexes {
+			if err := core.VerifyQueries(idx, ref, queries, []int{1, 10}, boxes); err != nil {
+				fmt.Printf("psicheck: %s on %s round %d: %v\n", idx.Name(), dist, round, err)
+				failures++
+			}
+		}
+	}
+	fmt.Printf("psicheck: %s/%dD ok (%d rounds, final size %d)\n", dist, dims, rounds, ref.Size())
+	return failures
+}

@@ -1,0 +1,45 @@
+// Quickstart: build a spatial index, query it, and apply batch updates.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	psi "repro"
+)
+
+func main() {
+	// Points live in the universe [0, 1e9]^2 (the paper's coordinate
+	// range). The universe fixes the split hierarchy for the
+	// space-partitioning trees and must cover every point ever inserted.
+	universe := psi.Universe2D(1_000_000_000)
+
+	// The SPaC-H-tree is the paper's recommended default for dynamic
+	// workloads; swap in NewPOrth for the best query/update balance on
+	// evenly distributed data.
+	idx := psi.NewSPaCH(2, universe)
+
+	// Bulk-build from a million uniformly random points (parallel).
+	pts := psi.Generate(psi.Uniform, 1_000_000, 2, 1_000_000_000, 1)
+	idx.Build(pts)
+	fmt.Printf("built %s with %d points\n", idx.Name(), idx.Size())
+
+	// k-nearest-neighbor query.
+	q := psi.Pt2(500_000_000, 500_000_000)
+	nn := idx.KNN(q, 5, nil)
+	fmt.Printf("5 nearest neighbors of %v:\n", q)
+	for i, p := range nn {
+		fmt.Printf("  %d: %v\n", i+1, p)
+	}
+
+	// Range queries: count and report points in a box.
+	box := psi.BoxOf(psi.Pt2(0, 0), psi.Pt2(10_000_000, 10_000_000))
+	fmt.Printf("points in %v: %d\n", box, idx.RangeCount(box))
+
+	// Batch updates: insert fresh points, delete an old slice.
+	fresh := psi.Generate(psi.Uniform, 50_000, 2, 1_000_000_000, 2)
+	idx.BatchInsert(fresh)
+	idx.BatchDelete(pts[:50_000])
+	fmt.Printf("after one update cycle: %d points\n", idx.Size())
+}

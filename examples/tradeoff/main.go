@@ -1,0 +1,79 @@
+// Tradeoff: a miniature of the paper's Fig. 8 — every index is driven
+// through the same build / batch-update / query workload and placed on
+// the update-vs-query map, so you can pick an index for your workload the
+// way §5.4 recommends.
+//
+//	go run ./examples/tradeoff [-n 200000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+
+	psi "repro"
+)
+
+func main() {
+	n := flag.Int("n", 200_000, "points")
+	flag.Parse()
+	side := int64(1_000_000_000)
+	universe := psi.Universe2D(side)
+
+	pts := psi.Generate(psi.Varden, *n, 2, side, 5)
+	queries := psi.Generate(psi.Uniform, *n/100, 2, side, 6)
+	boxes := psi.RangeQueries(50, 2, side, 1e-3, 7)
+	batch := *n / 100
+
+	type result struct {
+		name          string
+		update, query float64
+	}
+	var results []result
+	for _, idx := range psi.All(2, universe) {
+		if idx.Name() == "Boost-R" {
+			continue // sequential; no batch updates to measure
+		}
+		// Update score: build + 10 insert batches + 10 delete batches.
+		start := time.Now()
+		idx.Build(pts)
+		for i := 0; i < 10; i++ {
+			idx.BatchInsert(pts[i*batch : (i+1)*batch])
+		}
+		for i := 0; i < 10; i++ {
+			idx.BatchDelete(pts[i*batch : (i+1)*batch])
+		}
+		update := time.Since(start).Seconds()
+		// Query score: parallel 10-NN + range sweeps.
+		start = time.Now()
+		core.ParallelKNN(idx, queries, 10)
+		core.ParallelRangeList(idx, boxes)
+		query := time.Since(start).Seconds()
+		results = append(results, result{idx.Name(), update, query})
+	}
+
+	bestU, bestQ := math.Inf(1), math.Inf(1)
+	for _, r := range results {
+		bestU = math.Min(bestU, r.update)
+		bestQ = math.Min(bestQ, r.query)
+	}
+	fmt.Printf("update/query tradeoff on varden 2D, n=%d (1.00 = best)\n\n", *n)
+	fmt.Printf("%-10s %14s %14s   %s\n", "index", "update(rel)", "query(rel)", "profile")
+	for _, r := range results {
+		ur, qr := bestU/r.update, bestQ/r.query
+		profile := "balanced"
+		switch {
+		case ur > 2*qr:
+			profile = "update-leaning"
+		case qr > 2*ur:
+			profile = "query-leaning"
+		}
+		fmt.Printf("%-10s %14.2f %14.2f   %s\n", r.name, ur, qr, profile)
+	}
+	fmt.Println("\nreading the map (paper §5.4): P-Orth for balanced workloads on")
+	fmt.Println("even data; SPaC-H when update throughput dominates; Pkd-Tree when")
+	fmt.Println("in-distribution queries dominate and updates are rare.")
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// CSV capture: the paper's artifact saves every measurement to logs for
+// its plotting scripts (§F.7); psibench -csv does the same in one
+// machine-readable file. Rows are (experiment table, index, column,
+// seconds); N/A cells are skipped.
+
+var csvSink struct {
+	mu sync.Mutex
+	w  *csv.Writer
+}
+
+// SetCSV directs all subsequently written tables to also emit CSV rows.
+// Pass nil to stop. The header row is written immediately.
+func SetCSV(w io.Writer) error {
+	csvSink.mu.Lock()
+	defer csvSink.mu.Unlock()
+	if w == nil {
+		if csvSink.w != nil {
+			csvSink.w.Flush()
+		}
+		csvSink.w = nil
+		return nil
+	}
+	csvSink.w = csv.NewWriter(w)
+	return csvSink.w.Write([]string{"table", "index", "column", "seconds"})
+}
+
+// FlushCSV flushes pending CSV output (call before process exit).
+func FlushCSV() {
+	csvSink.mu.Lock()
+	defer csvSink.mu.Unlock()
+	if csvSink.w != nil {
+		csvSink.w.Flush()
+	}
+}
+
+// emitCSV mirrors one rendered table into the CSV sink, if set.
+func (tb *table) emitCSV() {
+	csvSink.mu.Lock()
+	defer csvSink.mu.Unlock()
+	if csvSink.w == nil {
+		return
+	}
+	for _, r := range tb.rows {
+		for i, v := range r.vals {
+			if isNaN(v) || i >= len(tb.columns) {
+				continue
+			}
+			_ = csvSink.w.Write([]string{
+				tb.title, r.label, tb.columns[i],
+				strconv.FormatFloat(v, 'g', 6, 64),
+			})
+		}
+	}
+}

@@ -1,0 +1,414 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// batchRatios are Fig. 3's incremental batch sizes as fractions of n.
+var batchRatios = []float64{0.10, 0.01, 0.001, 0.0001}
+
+// Fig3 regenerates the paper's main 2D table: for each synthetic
+// distribution and index — build time; the query suite after building
+// half the data; incremental insertion at four batch ratios with the
+// query suite at the 50% point of the smallest ratio; and the symmetric
+// incremental deletion columns.
+func Fig3(cfg Config) {
+	cfg = cfg.withDefaults()
+	defer setThreads(cfg.Threads)()
+	cache := newCache()
+	fmt.Fprintf(cfg.Out, "Fig. 3 — synthetic 2D, n=%d (paper: 1e9), times in seconds\n", cfg.N)
+	for _, dist := range []workload.Dist{workload.Uniform, workload.Sweepline, workload.Varden} {
+		runFig3Dist(cfg, cache, dist, 2, indexNames2D)
+	}
+}
+
+// runFig3Dist emits the three sub-tables (static, incremental insert,
+// incremental delete) for one distribution. Shared with Fig9 (3D).
+func runFig3Dist(cfg Config, cache *dataCache, dist workload.Dist, dims int, names []string) {
+	pts := cache.points(dist, cfg.N, dims, cfg.Seed)
+	side := dist.Side(dims)
+	qs := makeQueries(cfg, dist, dims)
+	smallest := batchRatios[len(batchRatios)-1]
+
+	static := newTable(fmt.Sprintf("%s/%dD static: build(100%%) + queries on 50%% tree", dist, dims),
+		"build", "10NN-InD", "10NN-OOD", "rangeCnt", "rangeList")
+	ins := newTable(fmt.Sprintf("%s/%dD incremental insert (total) + queries at 50%%", dist, dims),
+		"ins-10%", "ins-1%", "ins-0.1%", "ins-0.01%", "10NN-InD", "10NN-OOD", "rangeCnt", "rangeList")
+	del := newTable(fmt.Sprintf("%s/%dD incremental delete (total) + queries at 50%%", dist, dims),
+		"del-10%", "del-1%", "del-0.1%", "del-0.01%", "10NN-InD", "10NN-OOD", "rangeCnt", "rangeList")
+
+	for _, name := range names {
+		// Static: build on full n; query a tree of n/2 (paper §5.1.3
+		// setting 1).
+		var buildT float64
+		if name == "Boost-R" {
+			buildT = nan // sequential point-insert loop; paper omits it
+		} else {
+			idx := mkIndex(name, dims, side)
+			buildT = timeOp(cfg.Reps, nil, func() { idx.Build(pts) })
+		}
+		half := mkIndex(name, dims, side)
+		half.Build(pts[:cfg.N/2])
+		qInD, qOOD, qCnt, qLst := queryPhases(half, qs, cfg.Reps)
+		static.add(name, buildT, qInD, qOOD, qCnt, qLst)
+
+		if name == "Boost-R" {
+			// Boost-R only supports point updates; the paper reports its
+			// queries after one-by-one incremental updates.
+			idx := mkIndex(name, dims, side)
+			idx.Build(pts[:cfg.N/2])
+			i0, i1, i2, i3 := queryPhases(idx, qs, cfg.Reps)
+			ins.add(name, nan, nan, nan, nan, i0, i1, i2, i3)
+			del.add(name, nan, nan, nan, nan, i0, i1, i2, i3)
+			continue
+		}
+
+		insT := make([]float64, len(batchRatios))
+		var insQ [4]float64
+		for i, ratio := range batchRatios {
+			b := batchOf(cfg.N, ratio)
+			idx := mkIndex(name, dims, side)
+			var qsp *querySet
+			if ratio == smallest {
+				qsp = &qs
+			}
+			t, q := incrementalInsert(idx, pts, b, qsp, cfg.Reps)
+			insT[i] = t
+			if qsp != nil {
+				insQ = q
+			}
+		}
+		ins.add(name, insT[0], insT[1], insT[2], insT[3], insQ[0], insQ[1], insQ[2], insQ[3])
+
+		delT := make([]float64, len(batchRatios))
+		var delQ [4]float64
+		for i, ratio := range batchRatios {
+			b := batchOf(cfg.N, ratio)
+			idx := mkIndex(name, dims, side)
+			idx.Build(pts)
+			var qsp *querySet
+			if ratio == smallest {
+				qsp = &qs
+			}
+			t, q := incrementalDelete(idx, pts, b, qsp, cfg.Reps)
+			delT[i] = t
+			if qsp != nil {
+				delQ = q
+			}
+		}
+		del.add(name, delT[0], delT[1], delT[2], delT[3], delQ[0], delQ[1], delQ[2], delQ[3])
+	}
+	static.write(cfg.Out)
+	ins.write(cfg.Out)
+	del.write(cfg.Out)
+}
+
+func batchOf(n int, ratio float64) int {
+	b := int(float64(n) * ratio)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Fig4 regenerates the kNN-vs-k study: k ∈ {1, 10, 100}, InD and OOD, on
+// trees built by incremental insertion (paper: 500M points, 0.01%
+// batches; ratio configurable via the scaled n).
+func Fig4(cfg Config) {
+	cfg = cfg.withDefaults()
+	defer setThreads(cfg.Threads)()
+	cache := newCache()
+	fmt.Fprintf(cfg.Out, "Fig. 4 — kNN vs k after incremental insertion, n=%d\n", cfg.N)
+	for _, dist := range []workload.Dist{workload.Uniform, workload.Sweepline, workload.Varden} {
+		pts := cache.points(dist, cfg.N, 2, cfg.Seed)
+		side := dist.Side(2)
+		qs := makeQueries(cfg, dist, 2)
+		tb := newTable(fmt.Sprintf("%s: 10^%d kNN queries", dist, digits(cfg.KNNQ)),
+			"k1-InD", "k10-InD", "k100-InD", "k1-OOD", "k10-OOD", "k100-OOD")
+		for _, name := range indexNames2D {
+			idx := mkIndex(name, 2, side)
+			if name == "Boost-R" {
+				idx.BatchInsert(pts) // one-by-one internally
+			} else {
+				incrementalInsert(idx, pts, batchOf(cfg.N, 0.001), nil, cfg.Reps)
+			}
+			var vals []float64
+			for _, queries := range [][]geom.Point{qs.ind, qs.ood} {
+				for _, k := range []int{1, 10, 100} {
+					q := queries
+					vals = append(vals, timeOp(cfg.Reps, nil, func() { core.ParallelKNN(idx, q, k) }))
+				}
+			}
+			tb.add(name, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5])
+		}
+		tb.write(cfg.Out)
+	}
+}
+
+func digits(n int) int {
+	d := 0
+	for n > 0 {
+		d++
+		n /= 10
+	}
+	return d
+}
+
+// Fig5 regenerates range-report time vs output size: boxes sized for
+// output fractions from ~1e-5 n to ~1e-2 n.
+func Fig5(cfg Config) {
+	cfg = cfg.withDefaults()
+	defer setThreads(cfg.Threads)()
+	cache := newCache()
+	fracs := []float64{1e-5, 1e-4, 1e-3, 1e-2}
+	fmt.Fprintf(cfg.Out, "Fig. 5 — range-list time vs output size, n=%d\n", cfg.N)
+	for _, dist := range []workload.Dist{workload.Uniform, workload.Sweepline, workload.Varden} {
+		pts := cache.points(dist, cfg.N, 2, cfg.Seed)
+		side := dist.Side(2)
+		cols := make([]string, len(fracs))
+		boxSets := make([][]geom.Box, len(fracs))
+		for i, f := range fracs {
+			boxSets[i] = workload.RangeQueries(cfg.RangeQ, 2, side, f, cfg.Seed)
+			cols[i] = fmt.Sprintf("out~%.0e", f*float64(cfg.N))
+		}
+		tb := newTable(fmt.Sprintf("%s: %d range-list queries per column", dist, cfg.RangeQ), cols...)
+		for _, name := range indexNames2D {
+			idx := mkIndex(name, 2, side)
+			if name == "Boost-R" {
+				idx.BatchInsert(pts)
+			} else {
+				incrementalInsert(idx, pts, batchOf(cfg.N, 0.001), nil, cfg.Reps)
+			}
+			vals := make([]float64, len(fracs))
+			for i := range fracs {
+				boxes := boxSets[i]
+				vals[i] = timeOp(cfg.Reps, nil, func() { core.ParallelRangeList(idx, boxes) })
+			}
+			tb.add(name, vals...)
+		}
+		tb.write(cfg.Out)
+	}
+}
+
+// Fig6 regenerates the real-world table on the Cosmo (3D) and OSM (2D)
+// stand-ins: build, incremental insert/delete at 0.01%, 10NN and
+// range-list after build.
+func Fig6(cfg Config) {
+	cfg = cfg.withDefaults()
+	defer setThreads(cfg.Threads)()
+	cache := newCache()
+	fmt.Fprintf(cfg.Out, "Fig. 6 — real-world stand-ins (synthetic substitutes, see DESIGN.md), n=%d\n", cfg.N)
+	for _, setup := range []struct {
+		dist workload.Dist
+		dims int
+	}{{workload.Cosmo, 3}, {workload.OSM, 2}} {
+		pts := cache.points(setup.dist, cfg.N, setup.dims, cfg.Seed)
+		side := setup.dist.Side(setup.dims)
+		qs := makeQueries(cfg, setup.dist, setup.dims)
+		tb := newTable(fmt.Sprintf("%s (%dD)", setup.dist, setup.dims),
+			"build", "insert", "delete", "10NN", "rangeList")
+		names := indexNames2D
+		if setup.dims == 3 {
+			names = []string{"P-Orth", "Zd-Tree", "SPaC-H", "SPaC-Z", "CPAM-H", "CPAM-Z", "Boost-R", "Pkd-Tree"}
+		}
+		for _, name := range names {
+			if name == "Boost-R" {
+				idx := mkIndex(name, setup.dims, side)
+				idx.Build(pts)
+				qInD, _, _, qLst := queryPhases(idx, qs, cfg.Reps)
+				tb.add(name, nan, nan, nan, qInD, qLst)
+				continue
+			}
+			idx := mkIndex(name, setup.dims, side)
+			buildT := timeOp(cfg.Reps, nil, func() { idx.Build(pts) })
+			b := batchOf(cfg.N, 0.0001)
+			insIdx := mkIndex(name, setup.dims, side)
+			insT, _ := incrementalInsert(insIdx, pts, b, nil, cfg.Reps)
+			delIdx := mkIndex(name, setup.dims, side)
+			delIdx.Build(pts)
+			delT, _ := incrementalDelete(delIdx, pts, b, nil, cfg.Reps)
+			qInD, _, _, qLst := queryPhases(idx, qs, cfg.Reps)
+			tb.add(name, buildT, insT, delT, qInD, qLst)
+		}
+		tb.write(cfg.Out)
+	}
+}
+
+// Fig7 regenerates the scalability study: build / single batch insert /
+// single batch delete across thread counts, reported as speedup over the
+// 1-thread SPaC-H time (the paper's normalization).
+func Fig7(cfg Config) {
+	cfg = cfg.withDefaults()
+	cache := newCache()
+	maxP := runtime.NumCPU()
+	threads := []int{1}
+	for p := 2; p <= maxP; p *= 2 {
+		threads = append(threads, p)
+	}
+	if threads[len(threads)-1] != maxP {
+		threads = append(threads, maxP)
+	}
+	fmt.Fprintf(cfg.Out, "Fig. 7 — scalability, n=%d, threads %v (speedup vs 1-thread SPaC-H; higher is better)\n",
+		cfg.N, threads)
+	batch := batchOf(cfg.N, 0.01)
+	for _, dist := range []workload.Dist{workload.Uniform, workload.Sweepline, workload.Varden} {
+		pts := cache.points(dist, cfg.N, 2, cfg.Seed)
+		extra := workload.Generate(dist, batch, 2, dist.Side(2), cfg.Seed+999)
+		side := dist.Side(2)
+		for _, phase := range []string{"build", "insert", "delete"} {
+			cols := make([]string, len(threads))
+			for i, p := range threads {
+				cols[i] = fmt.Sprintf("p=%d", p)
+			}
+			tb := newTable(fmt.Sprintf("%s %s speedup", dist, phase), cols...)
+			// Baseline: SPaC-H at 1 thread.
+			base := measurePhase(cfg, "SPaC-H", phase, pts, extra, side, 1)
+			for _, name := range parallelIndexes {
+				vals := make([]float64, len(threads))
+				for i, p := range threads {
+					t := measurePhase(cfg, name, phase, pts, extra, side, p)
+					vals[i] = base / t
+				}
+				tb.add(name, vals...)
+			}
+			tb.write(cfg.Out)
+		}
+	}
+}
+
+// measurePhase times one phase of Fig. 7 at the given thread count.
+func measurePhase(cfg Config, name, phase string, pts, extra []geom.Point, side int64, p int) float64 {
+	restore := setThreads(p)
+	defer restore()
+	switch phase {
+	case "build":
+		idx := mkIndex(name, 2, side)
+		return timeOp(cfg.Reps, nil, func() { idx.Build(pts) })
+	case "insert":
+		var idx core.Index
+		return timeOp(cfg.Reps,
+			func() { idx = mkIndex(name, 2, side); idx.Build(pts) },
+			func() { idx.BatchInsert(extra) })
+	default: // delete
+		var idx core.Index
+		del := pts[:len(extra)]
+		return timeOp(cfg.Reps,
+			func() { idx = mkIndex(name, 2, side); idx.Build(pts) },
+			func() { idx.BatchDelete(del) })
+	}
+}
+
+// fig8Indexes extends the parallel set with the Log-tree and BHL-tree —
+// the paper places those two on Fig. 8 using numbers *estimated* from the
+// Pkd-tree paper; here they are implemented and measured.
+var fig8Indexes = append(append([]string{}, parallelIndexes...), "Log-Tree", "BHL-Tree")
+
+// Fig8 summarizes the update/query trade-off (the paper's scatter plot):
+// geometric means of the update columns and of the query columns of a
+// Fig. 3-style run, reported as relative throughput (higher is better).
+func Fig8(cfg Config) {
+	cfg = cfg.withDefaults()
+	defer setThreads(cfg.Threads)()
+	cache := newCache()
+	fmt.Fprintf(cfg.Out, "Fig. 8 — update vs query performance (geometric means, throughput relative to best; 1.0 = best)\n")
+	for _, dist := range []workload.Dist{workload.Uniform, workload.Sweepline, workload.Varden} {
+		pts := cache.points(dist, cfg.N, 2, cfg.Seed)
+		side := dist.Side(2)
+		qs := makeQueries(cfg, dist, 2)
+		type pt struct {
+			name          string
+			update, query float64
+		}
+		var res []pt
+		for _, name := range fig8Indexes {
+			idx := mkIndex(name, 2, side)
+			buildT := timeOnce(func() { idx.Build(pts) })
+			b := batchOf(cfg.N, 0.001)
+			insIdx := mkIndex(name, 2, side)
+			insT, _ := incrementalInsert(insIdx, pts, b, nil, cfg.Reps)
+			delIdx := mkIndex(name, 2, side)
+			delIdx.Build(pts)
+			delT, _ := incrementalDelete(delIdx, pts, b, nil, cfg.Reps)
+			qInD, qOOD, qCnt, qLst := queryPhases(idx, qs, cfg.Reps)
+			res = append(res, pt{
+				name:   name,
+				update: geoMean([]float64{buildT, insT, delT}),
+				query:  geoMean([]float64{qInD, qOOD, qCnt, qLst}),
+			})
+		}
+		bestU, bestQ := res[0].update, res[0].query
+		for _, r := range res {
+			if r.update < bestU {
+				bestU = r.update
+			}
+			if r.query < bestQ {
+				bestQ = r.query
+			}
+		}
+		tb := newTable(fmt.Sprintf("%s: relative throughput (update, query)", dist), "update", "query")
+		for _, r := range res {
+			tb.add(r.name, bestU/r.update, bestQ/r.query)
+		}
+		// For Fig. 8 higher is better; table marks minima, so note it.
+		fmt.Fprintf(cfg.Out, "(columns are throughput ratios in (0,1]; 1.0 = best; '*' marks are not meaningful here)\n")
+		tb.write(cfg.Out)
+	}
+}
+
+// Fig9 regenerates the 3D synthetic table (§E) for the reduced index set
+// the paper reports there.
+func Fig9(cfg Config) {
+	cfg = cfg.withDefaults()
+	defer setThreads(cfg.Threads)()
+	cache := newCache()
+	fmt.Fprintf(cfg.Out, "Fig. 9 — synthetic 3D, n=%d, coords [0,1e6] (§E)\n", cfg.N)
+	for _, dist := range []workload.Dist{workload.Uniform, workload.Sweepline, workload.Varden} {
+		runFig3Dist(cfg, cache, dist, 3, indexNames3D)
+	}
+}
+
+// Fig10 regenerates the single-batch update study (§D): one batch
+// insertion / deletion of varying size against a full-size tree.
+func Fig10(cfg Config) {
+	cfg = cfg.withDefaults()
+	defer setThreads(cfg.Threads)()
+	cache := newCache()
+	ratios := []float64{0.0001, 0.001, 0.01, 0.1, 1.0}
+	fmt.Fprintf(cfg.Out, "Fig. 10 — single batch updates on a tree of n=%d (§D)\n", cfg.N)
+	for _, dist := range []workload.Dist{workload.Uniform, workload.Sweepline, workload.Varden} {
+		pts := cache.points(dist, cfg.N, 2, cfg.Seed)
+		side := dist.Side(2)
+		cols := make([]string, 0, 2*len(ratios))
+		for _, r := range ratios {
+			cols = append(cols, fmt.Sprintf("ins-%g", r))
+		}
+		for _, r := range ratios {
+			cols = append(cols, fmt.Sprintf("del-%g", r))
+		}
+		tb := newTable(fmt.Sprintf("%s single-batch", dist), cols...)
+		for _, name := range parallelIndexes {
+			vals := make([]float64, 0, len(cols))
+			for _, r := range ratios {
+				batch := workload.Generate(dist, batchOf(cfg.N, r), 2, side, cfg.Seed+1234)
+				var idx core.Index
+				vals = append(vals, timeOp(cfg.Reps,
+					func() { idx = mkIndex(name, 2, side); idx.Build(pts) },
+					func() { idx.BatchInsert(batch) }))
+			}
+			for _, r := range ratios {
+				del := pts[:batchOf(cfg.N, r)]
+				var idx core.Index
+				vals = append(vals, timeOp(cfg.Reps,
+					func() { idx = mkIndex(name, 2, side); idx.Build(pts) },
+					func() { idx.BatchDelete(del) }))
+			}
+			tb.add(name, vals...)
+		}
+		tb.write(cfg.Out)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func TestBruteForceBasics(t *testing.T) {
+	b := NewBruteForce(2)
+	if b.Name() != "BruteForce" || b.Dims() != 2 || b.Size() != 0 {
+		t.Fatal("fresh BruteForce wrong")
+	}
+	b.Build([]geom.Point{geom.Pt2(1, 1), geom.Pt2(2, 2)})
+	b.BatchInsert([]geom.Point{geom.Pt2(3, 3)})
+	if b.Size() != 3 {
+		t.Fatalf("size %d", b.Size())
+	}
+	nn := b.KNN(geom.Pt2(0, 0), 2, nil)
+	if len(nn) != 2 || nn[0] != geom.Pt2(1, 1) || nn[1] != geom.Pt2(2, 2) {
+		t.Fatalf("KNN = %v", nn)
+	}
+	if c := b.RangeCount(geom.BoxOf(geom.Pt2(0, 0), geom.Pt2(2, 2))); c != 2 {
+		t.Fatalf("RangeCount = %d", c)
+	}
+	got := b.RangeList(geom.BoxOf(geom.Pt2(2, 2), geom.Pt2(9, 9)), nil)
+	if len(got) != 2 {
+		t.Fatalf("RangeList = %v", got)
+	}
+}
+
+func TestBruteForceMultisetDelete(t *testing.T) {
+	b := NewBruteForce(2)
+	p := geom.Pt2(5, 5)
+	b.Build([]geom.Point{p, p, p, geom.Pt2(1, 1)})
+	// Deleting the point twice removes exactly two of the three copies.
+	b.BatchDelete([]geom.Point{p, p})
+	if b.Size() != 2 {
+		t.Fatalf("size after delete %d, want 2", b.Size())
+	}
+	if c := b.RangeCount(geom.BoxOf(p, p)); c != 1 {
+		t.Fatalf("remaining copies %d, want 1", c)
+	}
+	// Deleting a missing point is a no-op.
+	b.BatchDelete([]geom.Point{geom.Pt2(9, 9)})
+	if b.Size() != 2 {
+		t.Fatal("delete of missing point changed size")
+	}
+}
+
+func TestVerifyQueriesAgreesWithItself(t *testing.T) {
+	pts := workload.GenVarden(2000, 2, 1<<20, 1)
+	a := NewBruteForce(2)
+	b := NewBruteForce(2)
+	a.Build(pts)
+	b.Build(pts)
+	queries := workload.GenUniform(50, 2, 1<<20, 2)
+	boxes := workload.RangeQueries(20, 2, 1<<20, 0.01, 3)
+	if err := VerifyQueries(a, b, queries, []int{1, 5}, boxes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyQueriesDetectsMismatch(t *testing.T) {
+	pts := workload.GenUniform(500, 2, 1<<20, 1)
+	a := NewBruteForce(2)
+	b := NewBruteForce(2)
+	a.Build(pts)
+	b.Build(pts[:499]) // drop one point
+	queries := workload.GenUniform(20, 2, 1<<20, 2)
+	if err := VerifyQueries(a, b, queries, []int{3}, nil); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+	// Same size, different content.
+	c := NewBruteForce(2)
+	mut := append([]geom.Point(nil), pts...)
+	mut[0] = geom.Pt2(mut[0][0]+1<<19, mut[0][1])
+	c.Build(mut)
+	if err := VerifyQueries(a, c, queries, []int{500}, nil); err == nil {
+		t.Fatal("expected KNN mismatch error")
+	}
+}
+
+func TestParallelQueryHelpers(t *testing.T) {
+	pts := workload.GenUniform(3000, 2, 1<<20, 1)
+	b := NewBruteForce(2)
+	b.Build(pts)
+	queries := workload.GenUniform(100, 2, 1<<20, 2)
+	if got := ParallelKNN(b, queries, 5); got != 500 {
+		t.Fatalf("ParallelKNN checksum %d, want 500", got)
+	}
+	boxes := workload.RangeQueries(10, 2, 1<<20, 1.0, 3) // whole universe
+	if got := ParallelRangeCount(b, boxes); got != 10*3000 {
+		t.Fatalf("ParallelRangeCount %d", got)
+	}
+	if got := ParallelRangeList(b, boxes); got != 10*3000 {
+		t.Fatalf("ParallelRangeList %d", got)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	opt := DefaultOptions(2, geom.UniverseBox(2, 100))
+	opt.Validate() // must not panic
+	if opt.SkeletonLevels != 3 {
+		t.Fatal("2D lambda should be 3")
+	}
+	if DefaultOptions(3, geom.UniverseBox(3, 100)).SkeletonLevels != 2 {
+		t.Fatal("3D lambda should be 2")
+	}
+	for _, bad := range []Options{
+		{Dims: 4, LeafWrap: 32, Alpha: 0.2, SkeletonLevels: 3},
+		{Dims: 2, LeafWrap: 0, Alpha: 0.2, SkeletonLevels: 3},
+		{Dims: 2, LeafWrap: 32, Alpha: 0, SkeletonLevels: 3},
+		{Dims: 2, LeafWrap: 32, Alpha: 0.2, SkeletonLevels: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Validate(%+v) did not panic", bad)
+				}
+			}()
+			bad.Validate()
+		}()
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestOpScriptSelfConsistent(t *testing.T) {
+	// The driver run against a second brute-force oracle must never
+	// disagree with itself, across densities and dims.
+	for _, side := range []int64{1 << 16, 40} {
+		for _, dims := range []int{2, 3} {
+			idx := NewBruteForce(dims)
+			script := OpScript{Dims: dims, Side: side, Steps: 15, Seed: 7, MaxBatch: 200}
+			if err := script.Run(idx); err != nil {
+				t.Fatalf("side=%d dims=%d: %v", side, dims, err)
+			}
+		}
+	}
+}
+
+// faultyIndex wraps BruteForce and injects one specific defect; the
+// driver must catch each class of bug (failure-injection test of the test
+// machinery itself).
+type faultyIndex struct {
+	*BruteForce
+	fault string
+}
+
+func (f *faultyIndex) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
+	out := f.BruteForce.KNN(q, k, dst)
+	if f.fault == "knn-drop" && len(out) > 0 {
+		out = out[:len(out)-1]
+	}
+	if f.fault == "knn-wrong" && len(out) > 1 {
+		out[0] = geom.Pt2(out[0][0]+1<<20, out[0][1])
+	}
+	return out
+}
+
+func (f *faultyIndex) RangeCount(b geom.Box) int {
+	n := f.BruteForce.RangeCount(b)
+	if f.fault == "count-off" {
+		n++
+	}
+	return n
+}
+
+func (f *faultyIndex) RangeList(b geom.Box, dst []geom.Point) []geom.Point {
+	out := f.BruteForce.RangeList(b, dst)
+	if f.fault == "list-drop" && len(out) > 0 {
+		out = out[:len(out)-1]
+	}
+	if f.fault == "list-swap" && len(out) > 0 {
+		out[0] = geom.Pt2(out[0][0]+1, out[0][1])
+	}
+	return out
+}
+
+func (f *faultyIndex) BatchInsert(pts []geom.Point) {
+	if f.fault == "size-drift" && len(pts) > 0 {
+		pts = pts[1:]
+	}
+	f.BruteForce.BatchInsert(pts)
+}
+
+func TestOpScriptDetectsInjectedFaults(t *testing.T) {
+	faults := map[string]string{
+		"knn-drop":   "returned",
+		"knn-wrong":  "dist2",
+		"count-off":  "RangeCount",
+		"list-drop":  "RangeList",
+		"list-swap":  "RangeList element",
+		"size-drift": "size",
+	}
+	for fault, wantMsg := range faults {
+		idx := &faultyIndex{BruteForce: NewBruteForce(2), fault: fault}
+		script := OpScript{Dims: 2, Side: 1 << 16, Steps: 12, Seed: 3, MaxBatch: 150}
+		err := script.Run(idx)
+		if err == nil {
+			t.Errorf("fault %q not detected", fault)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantMsg) {
+			t.Errorf("fault %q: error %q does not mention %q", fault, err, wantMsg)
+		}
+	}
+}
+
+func TestOpScriptValidateHook(t *testing.T) {
+	calls := 0
+	idx := NewBruteForce(2)
+	script := OpScript{
+		Dims: 2, Side: 1 << 10, Steps: 5, Seed: 1, MaxBatch: 50,
+		Validate: func() error { calls++; return nil },
+	}
+	if err := script.Run(idx); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Fatalf("Validate called %d times, want 5", calls)
+	}
+}

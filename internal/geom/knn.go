@@ -1,0 +1,122 @@
+package geom
+
+// KNNHeap is a bounded max-heap of the k best (smallest squared distance)
+// candidates seen so far during a k-nearest-neighbor search. Every index in
+// the library threads one KNNHeap through its traversal; the current worst
+// distance (Bound) is the pruning radius.
+//
+// The zero value is not usable; call NewKNNHeap. The heap is intentionally
+// allocation-free after construction so that query benchmarks measure tree
+// traversal, not GC.
+type KNNHeap struct {
+	k    int
+	n    int
+	dist []int64
+	pts  []Point
+}
+
+// NewKNNHeap returns a heap that retains the k closest candidates.
+func NewKNNHeap(k int) *KNNHeap {
+	return &KNNHeap{k: k, dist: make([]int64, k), pts: make([]Point, k)}
+}
+
+// Reset clears the heap for reuse with the same k.
+func (h *KNNHeap) Reset() { h.n = 0 }
+
+// Len returns the number of candidates currently held.
+func (h *KNNHeap) Len() int { return h.n }
+
+// Full reports whether k candidates have been collected; until then Bound
+// is unbounded and no pruning applies.
+func (h *KNNHeap) Full() bool { return h.n == h.k }
+
+// Bound returns the current pruning radius: the k-th best squared distance,
+// or MaxInt64 while fewer than k candidates are known.
+func (h *KNNHeap) Bound() int64 {
+	if h.n < h.k {
+		return int64(1<<63 - 1)
+	}
+	return h.dist[0]
+}
+
+// Push offers a candidate. It is a no-op when d2 is not better than Bound.
+func (h *KNNHeap) Push(p Point, d2 int64) {
+	if h.n < h.k {
+		i := h.n
+		h.dist[i], h.pts[i] = d2, p
+		h.n++
+		// Sift up.
+		for i > 0 {
+			parent := (i - 1) / 2
+			if h.dist[parent] >= h.dist[i] {
+				break
+			}
+			h.dist[parent], h.dist[i] = h.dist[i], h.dist[parent]
+			h.pts[parent], h.pts[i] = h.pts[i], h.pts[parent]
+			i = parent
+		}
+		return
+	}
+	if d2 >= h.dist[0] {
+		return
+	}
+	// Replace the root (current worst) and sift down.
+	h.dist[0], h.pts[0] = d2, p
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < h.n && h.dist[l] > h.dist[big] {
+			big = l
+		}
+		if r < h.n && h.dist[r] > h.dist[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.dist[big], h.dist[i] = h.dist[i], h.dist[big]
+		h.pts[big], h.pts[i] = h.pts[i], h.pts[big]
+		i = big
+	}
+}
+
+// Append copies the collected neighbors into dst ordered from nearest to
+// farthest and returns the extended slice. The heap is consumed (emptied).
+func (h *KNNHeap) Append(dst []Point) []Point {
+	// Heap-sort in place: repeatedly extract the current maximum to the
+	// back so the front ends up nearest-first.
+	n := h.n
+	base := len(dst)
+	dst = append(dst, h.pts[:n]...)
+	out := dst[base:]
+	dists := h.dist[:n]
+	for m := n; m > 1; m-- {
+		// Move max (index 0) to position m-1.
+		dists[0], dists[m-1] = dists[m-1], dists[0]
+		out[0], out[m-1] = out[m-1], out[0]
+		// Sift down within [0, m-1).
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < m-1 && dists[l] > dists[big] {
+				big = l
+			}
+			if r < m-1 && dists[r] > dists[big] {
+				big = r
+			}
+			if big == i {
+				break
+			}
+			dists[big], dists[i] = dists[i], dists[big]
+			out[big], out[i] = out[i], out[big]
+			i = big
+		}
+	}
+	h.n = 0
+	return dst
+}
+
+// Dists returns the current squared distances in heap order. Test helper.
+func (h *KNNHeap) Dists() []int64 { return h.dist[:h.n] }

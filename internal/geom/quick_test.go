@@ -1,0 +1,106 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the 2^dims children of any box partition it exactly — every
+// cell of the parent lies in exactly one child, and child volumes sum to
+// the parent volume. This is the invariant the whole orth-tree hierarchy
+// rests on.
+func TestQuickChildVolumesPartition(t *testing.T) {
+	vol := func(b Box, dims int) int64 {
+		v := int64(1)
+		for d := 0; d < dims; d++ {
+			v *= b.Side(d) + 1 // closed box: side+1 cells
+		}
+		return v
+	}
+	f := func(ax, ay, az, bx, by, bz uint16, threeD bool) bool {
+		dims := 2
+		if threeD {
+			dims = 3
+		}
+		lo := Pt3(int64(min16(ax, bx)), int64(min16(ay, by)), int64(min16(az, bz)))
+		hi := Pt3(int64(max16(ax, bx)), int64(max16(ay, by)), int64(max16(az, bz)))
+		if dims == 2 {
+			lo[2], hi[2] = 0, 0
+		}
+		b := BoxOf(lo, hi)
+		if !b.Splittable(dims) {
+			return true
+		}
+		var sum int64
+		for q := 0; q < 1<<dims; q++ {
+			c := b.Child(q, dims)
+			if !c.IsEmpty() {
+				if !b.ContainsBox(c, dims) {
+					return false
+				}
+				sum += vol(c, dims)
+			}
+		}
+		return sum == vol(b, dims)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Union is commutative, associative and idempotent on the boxes
+// the trees build (monoid with EmptyBox as identity).
+func TestQuickUnionMonoid(t *testing.T) {
+	mk := func(ax, ay, bx, by uint16) Box {
+		return BoxOf(
+			Pt2(int64(min16(ax, bx)), int64(min16(ay, by))),
+			Pt2(int64(max16(ax, bx)), int64(max16(ay, by))),
+		)
+	}
+	f := func(a1, a2, a3, a4, b1, b2, b3, b4, c1, c2, c3, c4 uint16) bool {
+		a, b, c := mk(a1, a2, a3, a4), mk(b1, b2, b3, b4), mk(c1, c2, c3, c4)
+		if a.Union(b, 2) != b.Union(a, 2) {
+			return false
+		}
+		if a.Union(b, 2).Union(c, 2) != a.Union(b.Union(c, 2), 2) {
+			return false
+		}
+		if a.Union(a, 2) != a {
+			return false
+		}
+		u := a.Union(b, 2)
+		return u.ContainsBox(a, 2) && u.ContainsBox(b, 2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Extend(p) is equivalent to Union with the degenerate box at p.
+func TestQuickExtendIsUnion(t *testing.T) {
+	f := func(ax, ay, bx, by, px, py uint16) bool {
+		b := BoxOf(
+			Pt2(int64(min16(ax, bx)), int64(min16(ay, by))),
+			Pt2(int64(max16(ax, bx)), int64(max16(ay, by))),
+		)
+		p := Pt2(int64(px), int64(py))
+		return b.Extend(p, 2) == b.Union(BoxOf(p, p), 2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min16(a, b uint16) uint16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max16(a, b uint16) uint16 {
+	if a > b {
+		return a
+	}
+	return b
+}

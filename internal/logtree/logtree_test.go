@@ -1,0 +1,147 @@
+package logtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+const testSide = int64(1 << 20)
+
+func TestBHLMatchesBruteForce(t *testing.T) {
+	tr := NewBHL(2)
+	ref := core.NewBruteForce(2)
+	pts := workload.GenVarden(15000, 2, testSide, 3)
+	tr.Build(pts[:8000])
+	ref.Build(pts[:8000])
+	tr.BatchInsert(pts[8000:12000])
+	ref.BatchInsert(pts[8000:12000])
+	tr.BatchDelete(pts[:3000])
+	ref.BatchDelete(pts[:3000])
+	tr.BatchDiff(pts[12000:], pts[3000:5000])
+	ref.BatchDiff(pts[12000:], pts[3000:5000])
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyQueries(tr, ref,
+		workload.GenUniform(25, 2, testSide, 5), []int{1, 10},
+		workload.RangeQueries(10, 2, testSide, 0.01, 7)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogTreeMatchesBruteForce(t *testing.T) {
+	tr := NewLog(2)
+	ref := core.NewBruteForce(2)
+	pts := workload.GenUniform(20000, 2, testSide, 11)
+	tr.Build(pts[:5000])
+	ref.Build(pts[:5000])
+	// Many small batches to force carry chains across levels.
+	for lo := 5000; lo < 20000; lo += 500 {
+		tr.BatchInsert(pts[lo : lo+500])
+		ref.BatchInsert(pts[lo : lo+500])
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("after insert at %d: %v", lo, err)
+		}
+	}
+	if tr.Levels() < 2 {
+		t.Fatalf("expected a multi-level forest, got %d levels", tr.Levels())
+	}
+	if err := core.VerifyQueries(tr, ref,
+		workload.GenUniform(25, 2, testSide, 13), []int{1, 10},
+		workload.RangeQueries(10, 2, testSide, 0.01, 17)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogTreeDeleteAcrossLevels(t *testing.T) {
+	tr := NewLog(2)
+	ref := core.NewBruteForce(2)
+	pts := workload.GenUniform(12000, 2, testSide, 19)
+	// Stage points so copies of duplicates land in different levels.
+	dup := geom.Pt2(4242, 4242)
+	first := append(append([]geom.Point{}, pts[:6000]...), dup, dup)
+	second := append(append([]geom.Point{}, pts[6000:]...), dup, dup, dup)
+	tr.Build(first)
+	ref.Build(first)
+	tr.BatchInsert(second)
+	ref.BatchInsert(second)
+	// Delete four of the five copies: exactly one must remain.
+	req := []geom.Point{dup, dup, dup, dup}
+	tr.BatchDelete(req)
+	ref.BatchDelete(req)
+	if got := tr.RangeCount(geom.BoxOf(dup, dup)); got != 1 {
+		t.Fatalf("duplicate copies left: %d, want 1", got)
+	}
+	if tr.Size() != ref.Size() {
+		t.Fatalf("size %d, want %d", tr.Size(), ref.Size())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogTreeCompaction(t *testing.T) {
+	tr := NewLog(2)
+	pts := workload.GenUniform(20000, 2, testSide, 23)
+	tr.Build(pts)
+	// Drain well past half: the forest must compact and stay consistent.
+	tr.BatchDelete(pts[:15000])
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 5000 {
+		t.Fatalf("size %d", tr.Size())
+	}
+	ref := core.NewBruteForce(2)
+	ref.Build(pts[15000:])
+	if err := core.VerifyQueries(tr, ref,
+		workload.GenUniform(20, 2, testSide, 29), []int{1, 10},
+		workload.RangeQueries(8, 2, testSide, 0.02, 31)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOpScripts(t *testing.T) {
+	mk := map[string]func() core.Index{
+		"log": func() core.Index { return NewLog(2) },
+		"bhl": func() core.Index { return NewBHL(2) },
+	}
+	validate := map[string]func(core.Index) error{
+		"log": func(i core.Index) error { return i.(*LogTree).Validate() },
+		"bhl": func(i core.Index) error { return i.(*BHLTree).Validate() },
+	}
+	for name, ctor := range mk {
+		f := func(seed int64, dense bool) bool {
+			side := int64(1 << 16)
+			if dense {
+				side = 40
+			}
+			idx := ctor()
+			script := core.OpScript{
+				Dims: 2, Side: side, Steps: 10, Seed: seed, MaxBatch: 250,
+				Validate: func() error { return validate[name](idx) },
+			}
+			if err := script.Run(idx); err != nil {
+				t.Logf("%s: %v", name, err)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestNamesAndDims(t *testing.T) {
+	if NewLog(3).Name() != "Log-Tree" || NewLog(3).Dims() != 3 {
+		t.Fatal("LogTree identity")
+	}
+	if NewBHL(2).Name() != "BHL-Tree" || NewBHL(2).Dims() != 2 {
+		t.Fatal("BHLTree identity")
+	}
+}

@@ -1,0 +1,59 @@
+package orthtree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// The P-Orth tree's height is O(log Δ) for aspect ratio Δ (Thm. 3.1): the
+// split hierarchy halves the region side each level, so depth never
+// exceeds log2(side/minPairDistance) + O(1) regardless of how many points
+// pile up. Exercise the bound with clusters at controlled separations.
+func TestHeightBoundAspectRatio(t *testing.T) {
+	side := int64(1 << 20)
+	u := geom.UniverseBox(2, side)
+	for _, minSep := range []int64{1 << 4, 1 << 10, 1 << 16} {
+		// Points on a lattice with spacing minSep: Δ = side/minSep (up to
+		// the diagonal constant), so height ≤ log2(Δ) + O(1).
+		var pts []geom.Point
+		for x := int64(0); x <= side; x += minSep {
+			for y := int64(0); y <= side; y += minSep {
+				pts = append(pts, geom.Pt2(x, y))
+				if len(pts) >= 60000 {
+					break
+				}
+			}
+			if len(pts) >= 60000 {
+				break
+			}
+		}
+		tr := NewDefault(2, u)
+		tr.Build(pts)
+		delta := float64(side) / float64(minSep)
+		bound := int(math.Log2(delta)) + 3
+		if h := tr.Height(); h > bound {
+			t.Fatalf("minSep=%d: height %d exceeds log2(Δ)+3 = %d", minSep, h, bound)
+		}
+		validateOrFail(t, tr)
+	}
+}
+
+// Duplicate floods cannot deepen the tree beyond the degenerate-leaf
+// cutoff: a point repeated a million times is one oversized leaf at the
+// bottom of a chain bounded by the coordinate bit width.
+func TestHeightBoundDuplicateFlood(t *testing.T) {
+	side := int64(1 << 20)
+	tr := NewDefault(2, geom.UniverseBox(2, side))
+	p := geom.Pt2(777777, 333333)
+	pts := make([]geom.Point, 100000)
+	for i := range pts {
+		pts[i] = p
+	}
+	tr.Build(pts)
+	if h := tr.Height(); h > 22 { // log2(2^20) + wiggle
+		t.Fatalf("duplicate flood height %d", h)
+	}
+	validateOrFail(t, tr)
+}

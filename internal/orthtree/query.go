@@ -1,0 +1,171 @@
+package orthtree
+
+import (
+	"repro/internal/geom"
+)
+
+// KNN implements core.Index: depth-first search visiting children in
+// increasing order of bounding-box distance, pruning subtrees whose tight
+// bbox is farther than the current k-th neighbor (§C: "A single k-NN query
+// traverses subtrees in increasing order of their minimum distance").
+func (t *Tree) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
+	if t.root == nil || k <= 0 {
+		return dst
+	}
+	h := geom.NewKNNHeap(k)
+	t.knn(t.root, q, h)
+	return h.Append(dst)
+}
+
+func (t *Tree) knn(nd *node, q geom.Point, h *geom.KNNHeap) {
+	dims := t.opts.Dims
+	if nd.isLeaf() {
+		for _, p := range nd.pts {
+			h.Push(p, geom.Dist2(p, q, dims))
+		}
+		return
+	}
+	// Order the (at most 8) children by bbox distance with an insertion
+	// sort; the 1-out-of-2^D selectivity is the orth-tree's query edge
+	// over binary trees (§5.1.3).
+	type cand struct {
+		d int64
+		c *node
+	}
+	var arr [8]cand
+	m := 0
+	for _, c := range nd.kids {
+		if c == nil {
+			continue
+		}
+		d := c.bbox.Dist2(q, dims)
+		j := m
+		for j > 0 && arr[j-1].d > d {
+			arr[j] = arr[j-1]
+			j--
+		}
+		arr[j] = cand{d: d, c: c}
+		m++
+	}
+	for i := 0; i < m; i++ {
+		if h.Full() && arr[i].d >= h.Bound() {
+			return // children are sorted: the rest are at least as far
+		}
+		t.knn(arr[i].c, q, h)
+	}
+}
+
+// RangeCount implements core.Index: subtrees fully inside the query box
+// contribute their size without traversal.
+func (t *Tree) RangeCount(box geom.Box) int {
+	return t.count(t.root, box)
+}
+
+func (t *Tree) count(nd *node, box geom.Box) int {
+	if nd == nil {
+		return 0
+	}
+	dims := t.opts.Dims
+	if !box.Intersects(nd.bbox, dims) {
+		return 0
+	}
+	if box.ContainsBox(nd.bbox, dims) {
+		return nd.size
+	}
+	if nd.isLeaf() {
+		n := 0
+		for _, p := range nd.pts {
+			if box.Contains(p, dims) {
+				n++
+			}
+		}
+		return n
+	}
+	n := 0
+	for _, c := range nd.kids {
+		n += t.count(c, box)
+	}
+	return n
+}
+
+// RangeList implements core.Index.
+func (t *Tree) RangeList(box geom.Box, dst []geom.Point) []geom.Point {
+	return t.list(t.root, box, dst)
+}
+
+func (t *Tree) list(nd *node, box geom.Box, dst []geom.Point) []geom.Point {
+	if nd == nil {
+		return dst
+	}
+	dims := t.opts.Dims
+	if !box.Intersects(nd.bbox, dims) {
+		return dst
+	}
+	if box.ContainsBox(nd.bbox, dims) {
+		return collect(nd, dst)
+	}
+	if nd.isLeaf() {
+		for _, p := range nd.pts {
+			if box.Contains(p, dims) {
+				dst = append(dst, p)
+			}
+		}
+		return dst
+	}
+	for _, c := range nd.kids {
+		dst = t.list(c, box, dst)
+	}
+	return dst
+}
+
+// Height returns the tree height (leaves have height 1). The paper's
+// O(log Δ) bound (§3.3) is exercised by tests and the ablation benches.
+func (t *Tree) Height() int {
+	return height(t.root)
+}
+
+func height(nd *node) int {
+	if nd == nil {
+		return 0
+	}
+	if nd.isLeaf() {
+		return 1
+	}
+	h := 0
+	for _, c := range nd.kids {
+		if ch := height(c); ch > h {
+			h = ch
+		}
+	}
+	return h + 1
+}
+
+// Stats summarizes the tree for benchmarks and debugging.
+type Stats struct {
+	Nodes, Leaves, MaxLeaf, Height int
+}
+
+// TreeStats walks the tree collecting structure statistics.
+func (t *Tree) TreeStats() Stats {
+	var s Stats
+	s.Height = t.Height()
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		s.Nodes++
+		if nd.isLeaf() {
+			s.Leaves++
+			if len(nd.pts) > s.MaxLeaf {
+				s.MaxLeaf = len(nd.pts)
+			}
+			return
+		}
+		for _, c := range nd.kids {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return s
+}

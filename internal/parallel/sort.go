@@ -1,0 +1,92 @@
+package parallel
+
+import (
+	"slices"
+	"sort"
+)
+
+// seqSortThreshold is the size below which Sort falls back to the stdlib
+// pattern-defeating quicksort.
+const seqSortThreshold = 1 << 13
+
+// Sort sorts a in parallel with a sample sort (the same family as the
+// super-scalar samplesort [9] used by the paper's HybridSort): sample,
+// pick pivots, classify every element to a bucket with a branch-light
+// binary search, Sieve-scatter into bucket order, then sort buckets in
+// parallel. The sort is not stable.
+func Sort[T any](a []T, cmp func(x, y T) int) {
+	n := len(a)
+	if n < seqSortThreshold || maxProcs() == 1 {
+		slices.SortFunc(a, cmp)
+		return
+	}
+	nbuckets := maxProcs() * 4
+	if nbuckets > 256 {
+		nbuckets = 256
+	}
+	// Oversample for balanced pivots.
+	const oversample = 16
+	sampleSize := nbuckets * oversample
+	samples := make([]T, sampleSize)
+	stride := n / sampleSize
+	for i := 0; i < sampleSize; i++ {
+		samples[i] = a[i*stride]
+	}
+	slices.SortFunc(samples, cmp)
+	pivots := make([]T, nbuckets-1)
+	for i := range pivots {
+		pivots[i] = samples[(i+1)*oversample]
+	}
+	// If the sample is all-equal the input is massively duplicated;
+	// classification would put everything in one bucket and recurse
+	// uselessly, so just sort sequentially.
+	if cmp(pivots[0], pivots[len(pivots)-1]) == 0 {
+		slices.SortFunc(a, cmp)
+		return
+	}
+
+	buf := make([]T, n)
+	offsets := Sieve(a, buf, nbuckets, func(v T) int {
+		// upper-bound binary search: bucket i receives values in
+		// (pivot[i-1], pivot[i]].
+		lo, hi := 0, len(pivots)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cmp(v, pivots[mid]) <= 0 {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	})
+	ForEach(nbuckets, 1, func(b int) {
+		seg := buf[offsets[b]:offsets[b+1]]
+		slices.SortFunc(seg, cmp)
+		copy(a[offsets[b]:offsets[b+1]], seg)
+	})
+}
+
+// SortedCheck reports whether a is sorted under cmp. Test/validation helper.
+func SortedCheck[T any](a []T, cmp func(x, y T) int) bool {
+	return slices.IsSortedFunc(a, cmp)
+}
+
+// SortInts sorts an int64 slice in parallel. Convenience wrapper used by
+// workload generators (Sweepline sorts by the first coordinate).
+func SortInts(a []int64) {
+	Sort(a, func(x, y int64) int {
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// SearchInts is re-exported sort.Search specialised for int ranges; several
+// indexes binary-search batch boundaries with it.
+func SearchInts(n int, f func(int) bool) int { return sort.Search(n, f) }

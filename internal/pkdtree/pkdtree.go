@@ -1,0 +1,355 @@
+// Package pkdtree implements the Pkd-tree baseline [43] as the paper
+// describes it (§2.3): a parallel kd-tree whose construction estimates
+// object medians by sampling, builds λ levels of splitters per round, and
+// partitions points with the same sieve primitive the P-Orth tree uses.
+// Batch updates route the batch down the splitters and rebuild any subtree
+// whose weight balance degrades past the imbalance ratio (§C: 0.3) — the
+// "reconstruction-based balancing scheme" whose O(m log² n) amortized cost
+// is exactly what the paper's new structures beat (§5.1.2).
+package pkdtree
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+// Tree is a Pkd-tree.
+type Tree struct {
+	opts core.Options
+	root *node
+}
+
+var _ core.Index = (*Tree)(nil)
+
+// node: leaf (left == nil) stores pts; interior splits dimension dim at
+// value split: points with p[dim] < split route left, others right.
+type node struct {
+	size        int
+	bbox        geom.Box
+	dim         int
+	split       geom.Coord
+	left, right *node
+	pts         []geom.Point
+}
+
+func (nd *node) isLeaf() bool { return nd.left == nil }
+
+// New returns an empty Pkd-tree. The universe in opts is ignored (kd-trees
+// are comparison-based and need no fixed region).
+func New(opts core.Options) *Tree {
+	opts.Validate()
+	return &Tree{opts: opts}
+}
+
+// NewDefault returns a Pkd-tree with the paper's parameters (imbalance
+// ratio 0.3 per §C).
+func NewDefault(dims int) *Tree {
+	opts := core.DefaultOptions(dims, geom.UniverseBox(dims, 1))
+	opts.Alpha = 0.3
+	return New(opts)
+}
+
+// Name implements core.Index.
+func (t *Tree) Name() string { return "Pkd-Tree" }
+
+// Dims implements core.Index.
+func (t *Tree) Dims() int { return t.opts.Dims }
+
+// Size implements core.Index.
+func (t *Tree) Size() int {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.size
+}
+
+// Build implements core.Index. The input slice is not modified.
+func (t *Tree) Build(pts []geom.Point) {
+	work := make([]geom.Point, len(pts))
+	copy(work, pts)
+	buf := make([]geom.Point, len(pts))
+	t.root = t.build(work, buf)
+}
+
+// BatchInsert implements core.Index.
+func (t *Tree) BatchInsert(pts []geom.Point) {
+	if len(pts) == 0 {
+		return
+	}
+	work := make([]geom.Point, len(pts))
+	copy(work, pts)
+	buf := make([]geom.Point, len(pts))
+	t.root = t.insert(t.root, work, buf)
+}
+
+// BatchDelete implements core.Index (multiset semantics).
+func (t *Tree) BatchDelete(pts []geom.Point) {
+	if len(pts) == 0 || t.root == nil {
+		return
+	}
+	work := make([]geom.Point, len(pts))
+	copy(work, pts)
+	buf := make([]geom.Point, len(pts))
+	t.root = t.delete(t.root, work, buf)
+}
+
+const seqCutoff = 2048
+
+// imbalanced reports whether a (left, right) weight split violates the
+// imbalance ratio ρ = opts.Alpha: the heavier side may hold at most
+// (0.5 + ρ/2) of the weight. Tiny subtrees are exempt (a single leaf split
+// can't be balanced finely).
+func (t *Tree) imbalanced(l, r int) bool {
+	tot := l + r
+	if tot <= 2*t.opts.LeafWrap {
+		return false
+	}
+	hi := l
+	if r > hi {
+		hi = r
+	}
+	return float64(hi) > (0.5+t.opts.Alpha/2)*float64(tot)
+}
+
+// tightBBox computes the bounding box of pts in parallel.
+func (t *Tree) tightBBox(pts []geom.Point) geom.Box {
+	dims := t.opts.Dims
+	return parallel.Reduce(len(pts), 4096, geom.EmptyBox(dims),
+		func(i int) geom.Box { return geom.EmptyBox(dims).Extend(pts[i], dims) },
+		func(a, b geom.Box) geom.Box { return a.Union(b, dims) })
+}
+
+// --- λ-level splitter skeleton -------------------------------------------
+
+// skelNode is one splitter in the per-round skeleton built on a sample.
+// Children are skeleton indexes when >= 0 and ^slotID when negative.
+type skelNode struct {
+	dim         int
+	split       geom.Coord
+	left, right int32
+}
+
+// skeleton holds up to 2^λ - 1 sample-estimated splitters.
+type skeleton struct {
+	nodes []skelNode
+	slots int
+}
+
+// buildSkeleton sorts/partitions the sample recursively, choosing at every
+// level the widest dimension and the sample median (clamped so both sides
+// of the *sample* are provably non-empty — and the sample is a subset of
+// the data, so both data buckets are non-empty too).
+func (t *Tree) buildSkeleton(sample []geom.Point, maxLevels int) *skeleton {
+	sk := &skeleton{}
+	sk.grow(t, sample, maxLevels)
+	return sk
+}
+
+// grow returns the skeleton-node index (>= 0) or ^slot for an external.
+func (sk *skeleton) grow(t *Tree, sample []geom.Point, levels int) int32 {
+	dims := t.opts.Dims
+	if levels == 0 || len(sample) < 8 {
+		s := sk.slots
+		sk.slots++
+		return int32(^s)
+	}
+	bb := geom.BoundingBox(sample, dims)
+	dim := bb.WidestDim(dims)
+	if bb.Side(dim) == 0 {
+		// Sample is a single point: no useful splitter here.
+		s := sk.slots
+		sk.slots++
+		return int32(^s)
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i][dim] < sample[j][dim] })
+	split := sample[len(sample)/2][dim]
+	if split <= bb.Lo[dim] {
+		split = bb.Lo[dim] + 1 // both sides stay non-empty in the sample
+	}
+	// Partition boundary in the sorted sample.
+	cut := sort.Search(len(sample), func(i int) bool { return sample[i][dim] >= split })
+	idx := int32(len(sk.nodes))
+	sk.nodes = append(sk.nodes, skelNode{dim: dim, split: split})
+	l := sk.grow(t, sample[:cut], levels-1)
+	r := sk.grow(t, sample[cut:], levels-1)
+	sk.nodes[idx].left, sk.nodes[idx].right = l, r
+	return idx
+}
+
+// route walks a point to its external slot.
+func (sk *skeleton) route(p geom.Point) int {
+	i := int32(0)
+	for {
+		n := &sk.nodes[i]
+		if p[n.dim] < n.split {
+			i = n.left
+		} else {
+			i = n.right
+		}
+		if i < 0 {
+			return int(^i)
+		}
+	}
+}
+
+// build constructs a subtree over pts (scratch buf of equal length).
+func (t *Tree) build(pts, buf []geom.Point) *node {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	dims := t.opts.Dims
+	bbox := t.tightBBox(pts)
+	if n <= t.opts.LeafWrap || !hasExtent(bbox, dims) {
+		return t.newLeaf(pts, bbox)
+	}
+	// Sample once per round; λ levels of splitters from it.
+	lam := t.opts.SkeletonLevels
+	for lam > 1 && 1<<lam > n/t.opts.LeafWrap+1 {
+		lam--
+	}
+	sample := t.samplePoints(pts, 1<<lam*32)
+	sk := t.buildSkeleton(sample, lam)
+	if len(sk.nodes) == 0 {
+		// Degenerate sample despite extent (rare heavy duplication):
+		// fall back to an exact midpoint split on the widest dimension.
+		return t.buildExactSplit(pts, buf, bbox)
+	}
+	offsets := parallel.Sieve(pts, buf, sk.slots, sk.route)
+	subs := make([]*node, sk.slots)
+	rec := func(i int) {
+		lo, hi := offsets[i], offsets[i+1]
+		if lo < hi {
+			subs[i] = t.build(buf[lo:hi], pts[lo:hi])
+		}
+	}
+	if n >= seqCutoff {
+		parallel.ForEach(sk.slots, 1, rec)
+	} else {
+		for i := 0; i < sk.slots; i++ {
+			rec(i)
+		}
+	}
+	return t.assemble(sk, 0, subs)
+}
+
+// assemble materializes the skeleton's splitters as interior nodes.
+func (t *Tree) assemble(sk *skeleton, idx int32, subs []*node) *node {
+	if idx < 0 {
+		return subs[^idx]
+	}
+	sn := &sk.nodes[idx]
+	l := t.assemble(sk, sn.left, subs)
+	r := t.assemble(sk, sn.right, subs)
+	return t.makeInterior(sn.dim, sn.split, l, r)
+}
+
+// makeInterior combines children under a splitter, eliding it when a side
+// is empty and flattening undersized results.
+func (t *Tree) makeInterior(dim int, split geom.Coord, l, r *node) *node {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	dims := t.opts.Dims
+	nd := &node{
+		size:  l.size + r.size,
+		bbox:  l.bbox.Union(r.bbox, dims),
+		dim:   dim,
+		split: split,
+		left:  l,
+		right: r,
+	}
+	if nd.size <= t.opts.LeafWrap {
+		return t.flatten(nd)
+	}
+	return nd
+}
+
+// buildExactSplit is the duplicates fallback: split at the midpoint of the
+// widest dimension (which has extent, so both sides are non-empty after at
+// most log(extent) recursions — in practice one).
+func (t *Tree) buildExactSplit(pts, buf []geom.Point, bbox geom.Box) *node {
+	dims := t.opts.Dims
+	dim := bbox.WidestDim(dims)
+	split := bbox.Mid(dim) + 1 // left: coord <= mid, right: coord > mid
+	offsets := parallel.Sieve(pts, buf, 2, func(p geom.Point) int {
+		if p[dim] < split {
+			return 0
+		}
+		return 1
+	})
+	var l, r *node
+	parallel.DoIf(len(pts) >= seqCutoff,
+		func() {
+			if offsets[1] > 0 {
+				l = t.build(buf[:offsets[1]], pts[:offsets[1]])
+			}
+		},
+		func() {
+			if offsets[2] > offsets[1] {
+				r = t.build(buf[offsets[1]:], pts[offsets[1]:])
+			}
+		})
+	return t.makeInterior(dim, split, l, r)
+}
+
+// samplePoints takes a deterministic strided sample of at most want points.
+func (t *Tree) samplePoints(pts []geom.Point, want int) []geom.Point {
+	if want > len(pts) {
+		want = len(pts)
+	}
+	out := make([]geom.Point, want)
+	stride := len(pts) / want
+	for i := 0; i < want; i++ {
+		out[i] = pts[i*stride]
+	}
+	return out
+}
+
+func (t *Tree) newLeaf(pts []geom.Point, bbox geom.Box) *node {
+	own := make([]geom.Point, len(pts))
+	copy(own, pts)
+	return &node{size: len(own), bbox: bbox, pts: own}
+}
+
+// flatten collapses a subtree into one leaf.
+func (t *Tree) flatten(nd *node) *node {
+	pts := make([]geom.Point, 0, nd.size)
+	pts = collect(nd, pts)
+	return &node{size: len(pts), bbox: nd.bbox, pts: pts}
+}
+
+func collect(nd *node, dst []geom.Point) []geom.Point {
+	if nd == nil {
+		return dst
+	}
+	if nd.isLeaf() {
+		return append(dst, nd.pts...)
+	}
+	dst = collect(nd.left, dst)
+	return collect(nd.right, dst)
+}
+
+// hasExtent reports whether the box has nonzero extent in some dimension
+// (false means every point is identical).
+func hasExtent(b geom.Box, dims int) bool {
+	for d := 0; d < dims; d++ {
+		if b.Side(d) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// BatchDiff implements core.Index: deletions apply before insertions, so
+// a point moved within one diff is never double-counted.
+func (t *Tree) BatchDiff(ins, del []geom.Point) {
+	t.BatchDelete(del)
+	t.BatchInsert(ins)
+}

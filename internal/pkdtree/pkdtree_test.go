@@ -1,0 +1,197 @@
+package pkdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+const testSide = int64(1 << 20)
+
+func validateOrFail(t *testing.T, tr *Tree) {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := NewDefault(2)
+	if tr.Size() != 0 || len(tr.KNN(geom.Pt2(1, 1), 3, nil)) != 0 {
+		t.Fatal("empty tree misbehaves")
+	}
+	tr.BatchDelete([]geom.Point{geom.Pt2(1, 1)})
+	validateOrFail(t, tr)
+}
+
+func TestBuildMatchesBruteForce(t *testing.T) {
+	for _, dist := range []workload.Dist{workload.Uniform, workload.Sweepline, workload.Varden} {
+		for _, n := range []int{1, 32, 33, 1000, 20000} {
+			pts := workload.Generate(dist, n, 2, testSide, 7)
+			tr := NewDefault(2)
+			tr.Build(pts)
+			validateOrFail(t, tr)
+			ref := core.NewBruteForce(2)
+			ref.Build(pts)
+			queries := workload.GenUniform(30, 2, testSide, 9)
+			boxes := workload.RangeQueries(15, 2, testSide, 0.01, 11)
+			if err := core.VerifyQueries(tr, ref, queries, []int{1, 3, 10}, boxes); err != nil {
+				t.Fatalf("%s n=%d: %v", dist, n, err)
+			}
+		}
+	}
+}
+
+func TestBuild3D(t *testing.T) {
+	pts := workload.GenVarden(8000, 3, testSide, 3)
+	tr := NewDefault(3)
+	tr.Build(pts)
+	validateOrFail(t, tr)
+	ref := core.NewBruteForce(3)
+	ref.Build(pts)
+	if err := core.VerifyQueries(tr, ref,
+		workload.GenUniform(20, 3, testSide, 5), []int{1, 10},
+		workload.RangeQueries(10, 3, testSide, 0.05, 6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildHeightBalanced(t *testing.T) {
+	// Sample-median splits must keep the height within a small factor of
+	// log2(n/φ), even on skewed data (kd-trees are comparison-based and
+	// skew-resistant — the paper's Tab. 2).
+	for _, dist := range []workload.Dist{workload.Uniform, workload.Varden} {
+		pts := workload.Generate(dist, 100000, 2, testSide, 13)
+		tr := NewDefault(2)
+		tr.Build(pts)
+		maxH := int(2.5*math.Log2(float64(len(pts))/32)) + 4
+		if h := tr.Height(); h > maxH {
+			t.Fatalf("%s: height %d exceeds %d", dist, h, maxH)
+		}
+	}
+}
+
+func TestInsertDeleteMatchesBruteForce(t *testing.T) {
+	pts := workload.GenVarden(20000, 2, testSide, 17)
+	tr := NewDefault(2)
+	ref := core.NewBruteForce(2)
+	tr.Build(pts[:5000])
+	ref.Build(pts[:5000])
+	for lo := 5000; lo < 20000; lo += 5000 {
+		tr.BatchInsert(pts[lo : lo+5000])
+		ref.BatchInsert(pts[lo : lo+5000])
+		validateOrFail(t, tr)
+	}
+	rng := rand.New(rand.NewSource(19))
+	for round := 0; round < 3; round++ {
+		cur := ref.Points()
+		batch := make([]geom.Point, 4000)
+		for i := range batch {
+			batch[i] = cur[rng.Intn(len(cur))]
+		}
+		tr.BatchDelete(batch)
+		ref.BatchDelete(batch)
+		validateOrFail(t, tr)
+		if tr.Size() != ref.Size() {
+			t.Fatalf("round %d: size %d want %d", round, tr.Size(), ref.Size())
+		}
+	}
+	if err := core.VerifyQueries(tr, ref,
+		workload.GenUniform(30, 2, testSide, 23), []int{1, 10},
+		workload.RangeQueries(10, 2, testSide, 0.02, 29)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebalanceOnSkewedInserts(t *testing.T) {
+	// Sweepline insertion is the adversarial case for kd-trees: every
+	// batch lands at the right edge. The imbalance-triggered rebuilds
+	// must keep the height logarithmic.
+	pts := workload.GenSweepline(60000, 2, testSide, 31)
+	tr := NewDefault(2)
+	tr.Build(pts[:10000])
+	for lo := 10000; lo < 60000; lo += 2500 {
+		tr.BatchInsert(pts[lo : lo+2500])
+	}
+	validateOrFail(t, tr)
+	maxH := int(2.5*math.Log2(float64(60000)/32)) + 4
+	if h := tr.Height(); h > maxH {
+		t.Fatalf("height %d after sweepline inserts exceeds %d (rebalancing broken)", h, maxH)
+	}
+	if tr.Size() != 60000 {
+		t.Fatalf("size %d", tr.Size())
+	}
+}
+
+func TestShrinkOnDeleteKeepsBalance(t *testing.T) {
+	pts := workload.GenUniform(40000, 2, testSide, 37)
+	tr := NewDefault(2)
+	tr.Build(pts)
+	// Delete everything left of the median sweep: forces contraction.
+	for lo := 0; lo < 30000; lo += 3000 {
+		tr.BatchDelete(pts[lo : lo+3000])
+		validateOrFail(t, tr)
+	}
+	if tr.Size() != 10000 {
+		t.Fatalf("size %d", tr.Size())
+	}
+	maxH := int(2.5*math.Log2(float64(10000)/32)) + 4
+	if h := tr.Height(); h > maxH {
+		t.Fatalf("height %d after deletes exceeds %d", h, maxH)
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	p := geom.Pt2(500, 500)
+	pts := make([]geom.Point, 400)
+	for i := range pts {
+		pts[i] = p
+	}
+	tr := NewDefault(2)
+	tr.Build(pts)
+	validateOrFail(t, tr)
+	if tr.Size() != 400 {
+		t.Fatalf("size %d", tr.Size())
+	}
+	tr.BatchDelete(pts[:150])
+	if tr.Size() != 250 {
+		t.Fatalf("size %d after delete", tr.Size())
+	}
+	validateOrFail(t, tr)
+}
+
+func TestNearDuplicates(t *testing.T) {
+	// Two heavy duplicate groups: exercises the exact-split fallback.
+	pts := make([]geom.Point, 0, 600)
+	for i := 0; i < 300; i++ {
+		pts = append(pts, geom.Pt2(100, 100))
+	}
+	for i := 0; i < 300; i++ {
+		pts = append(pts, geom.Pt2(101, 100))
+	}
+	tr := NewDefault(2)
+	tr.Build(pts)
+	validateOrFail(t, tr)
+	ref := core.NewBruteForce(2)
+	ref.Build(pts)
+	if err := core.VerifyQueries(tr, ref,
+		[]geom.Point{geom.Pt2(100, 100), geom.Pt2(102, 100)}, []int{1, 100, 350},
+		[]geom.Box{geom.BoxOf(geom.Pt2(100, 100), geom.Pt2(100, 100))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullDelete(t *testing.T) {
+	pts := workload.GenUniform(5000, 2, testSide, 41)
+	tr := NewDefault(2)
+	tr.Build(pts)
+	tr.BatchDelete(pts)
+	if tr.Size() != 0 {
+		t.Fatalf("size %d", tr.Size())
+	}
+	validateOrFail(t, tr)
+}

@@ -1,0 +1,171 @@
+package pkdtree
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// KNN implements core.Index: binary DFS, nearer child first, pruning on
+// tight bounding boxes.
+func (t *Tree) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
+	if t.root == nil || k <= 0 {
+		return dst
+	}
+	h := geom.NewKNNHeap(k)
+	t.knn(t.root, q, h)
+	return h.Append(dst)
+}
+
+func (t *Tree) knn(nd *node, q geom.Point, h *geom.KNNHeap) {
+	dims := t.opts.Dims
+	if nd.isLeaf() {
+		for _, p := range nd.pts {
+			h.Push(p, geom.Dist2(p, q, dims))
+		}
+		return
+	}
+	dl := nd.left.bbox.Dist2(q, dims)
+	dr := nd.right.bbox.Dist2(q, dims)
+	first, second := nd.left, nd.right
+	d1, d2 := dl, dr
+	if dr < dl {
+		first, second = nd.right, nd.left
+		d1, d2 = dr, dl
+	}
+	if !h.Full() || d1 < h.Bound() {
+		t.knn(first, q, h)
+	}
+	if !h.Full() || d2 < h.Bound() {
+		t.knn(second, q, h)
+	}
+}
+
+// RangeCount implements core.Index.
+func (t *Tree) RangeCount(box geom.Box) int { return t.count(t.root, box) }
+
+func (t *Tree) count(nd *node, box geom.Box) int {
+	if nd == nil {
+		return 0
+	}
+	dims := t.opts.Dims
+	if !box.Intersects(nd.bbox, dims) {
+		return 0
+	}
+	if box.ContainsBox(nd.bbox, dims) {
+		return nd.size
+	}
+	if nd.isLeaf() {
+		n := 0
+		for _, p := range nd.pts {
+			if box.Contains(p, dims) {
+				n++
+			}
+		}
+		return n
+	}
+	return t.count(nd.left, box) + t.count(nd.right, box)
+}
+
+// RangeList implements core.Index.
+func (t *Tree) RangeList(box geom.Box, dst []geom.Point) []geom.Point {
+	return t.list(t.root, box, dst)
+}
+
+func (t *Tree) list(nd *node, box geom.Box, dst []geom.Point) []geom.Point {
+	if nd == nil {
+		return dst
+	}
+	dims := t.opts.Dims
+	if !box.Intersects(nd.bbox, dims) {
+		return dst
+	}
+	if box.ContainsBox(nd.bbox, dims) {
+		return collect(nd, dst)
+	}
+	if nd.isLeaf() {
+		for _, p := range nd.pts {
+			if box.Contains(p, dims) {
+				dst = append(dst, p)
+			}
+		}
+		return dst
+	}
+	dst = t.list(nd.left, box, dst)
+	return t.list(nd.right, box, dst)
+}
+
+// Height returns the tree height (leaf = 1).
+func (t *Tree) Height() int { return height(t.root) }
+
+func height(nd *node) int {
+	if nd == nil {
+		return 0
+	}
+	if nd.isLeaf() {
+		return 1
+	}
+	l, r := height(nd.left), height(nd.right)
+	if r > l {
+		l = r
+	}
+	return l + 1
+}
+
+// Validate checks sizes, bboxes, splitter routing (every point obeys the
+// ancestors' half-space constraints) and the leaf wrap.
+func (t *Tree) Validate() error {
+	const big = int64(1) << 62
+	all := geom.Box{}
+	for d := 0; d < t.opts.Dims; d++ {
+		all.Lo[d], all.Hi[d] = -big, big
+	}
+	_, err := t.validate(t.root, all)
+	return err
+}
+
+func (t *Tree) validate(nd *node, region geom.Box) (int, error) {
+	if nd == nil {
+		return 0, nil
+	}
+	dims := t.opts.Dims
+	if nd.isLeaf() {
+		if len(nd.pts) != nd.size || nd.size == 0 {
+			return 0, fmt.Errorf("leaf size %d with %d points", nd.size, len(nd.pts))
+		}
+		bb := geom.BoundingBox(nd.pts, dims)
+		if bb != nd.bbox {
+			return 0, fmt.Errorf("leaf bbox stale: %v vs %v", nd.bbox, bb)
+		}
+		for _, p := range nd.pts {
+			if !region.Contains(p, dims) {
+				return 0, fmt.Errorf("point %v violates splitter constraints %v", p, region)
+			}
+		}
+		return nd.size, nil
+	}
+	if nd.left == nil || nd.right == nil {
+		return 0, fmt.Errorf("interior with missing child")
+	}
+	if nd.size <= t.opts.LeafWrap {
+		return 0, fmt.Errorf("interior of size %d should be flattened", nd.size)
+	}
+	lRegion, rRegion := region, region
+	lRegion.Hi[nd.dim] = nd.split - 1
+	rRegion.Lo[nd.dim] = nd.split
+	ls, err := t.validate(nd.left, lRegion)
+	if err != nil {
+		return 0, err
+	}
+	rs, err := t.validate(nd.right, rRegion)
+	if err != nil {
+		return 0, err
+	}
+	if ls+rs != nd.size {
+		return 0, fmt.Errorf("interior size %d, children sum %d", nd.size, ls+rs)
+	}
+	if got := nd.left.bbox.Union(nd.right.bbox, dims); got != nd.bbox {
+		return 0, fmt.Errorf("interior bbox stale")
+	}
+	return nd.size, nil
+}

@@ -1,0 +1,67 @@
+package pkdtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Property: randomized operation scripts keep invariants and agree with
+// the oracle, including under heavy duplication.
+func TestQuickOpScripts(t *testing.T) {
+	f := func(seed int64, dense bool, threeD bool) bool {
+		dims := 2
+		if threeD {
+			dims = 3
+		}
+		side := int64(1 << 16)
+		if dense {
+			side = 40
+		}
+		tr := NewDefault(dims)
+		script := core.OpScript{
+			Dims: dims, Side: side, Steps: 12, Seed: seed, MaxBatch: 300,
+			Validate: tr.Validate,
+		}
+		if err := script.Run(tr); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// kd-trees are comparison-based: negative coordinates must work (no
+// universe box required) — the one capability the SFC-based indexes lack
+// (paper Tab. 2, "flexible to any coordinate types and ranges").
+func TestNegativeCoordinates(t *testing.T) {
+	tr := NewDefault(2)
+	ref := core.NewBruteForce(2)
+	pts := []geom.Point{
+		geom.Pt2(-1000, -1000), geom.Pt2(-5, 3), geom.Pt2(0, 0),
+		geom.Pt2(7, -2), geom.Pt2(1000, 1000), geom.Pt2(-1000, 1000),
+	}
+	for i := int64(0); i < 500; i++ {
+		pts = append(pts, geom.Pt2(i*13%997-500, i*7%991-500))
+	}
+	tr.Build(pts)
+	ref.Build(pts)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	queries := []geom.Point{geom.Pt2(-999, -999), geom.Pt2(0, 0), geom.Pt2(400, -400)}
+	boxes := []geom.Box{geom.BoxOf(geom.Pt2(-600, -600), geom.Pt2(-1, -1))}
+	if err := core.VerifyQueries(tr, ref, queries, []int{1, 10}, boxes); err != nil {
+		t.Fatal(err)
+	}
+	tr.BatchDelete(pts[:3])
+	ref.BatchDelete(pts[:3])
+	if err := core.VerifyQueries(tr, ref, queries, []int{1, 10}, boxes); err != nil {
+		t.Fatal(err)
+	}
+}

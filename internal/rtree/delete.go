@@ -1,0 +1,78 @@
+package rtree
+
+import "repro/internal/geom"
+
+// delete1 removes one occurrence of p (Guttman's Delete with CondenseTree:
+// underflowing nodes are dissolved and their points reinserted).
+func (t *Tree) delete1(p geom.Point) bool {
+	if t.root == nil {
+		return false
+	}
+	var orphans []geom.Point
+	removed := t.deleteRec(t.root, p, &orphans)
+	if !removed {
+		return false
+	}
+	// Shrink the root: an interior root with one child is replaced by it;
+	// an empty root disappears.
+	for t.root != nil && !t.root.isLeaf() && len(t.root.kids) == 1 {
+		t.root = t.root.kids[0]
+	}
+	if t.root != nil && t.root.entries() == 0 {
+		t.root = nil
+	}
+	// Reinsert points from dissolved nodes.
+	for _, q := range orphans {
+		t.insert1(q)
+	}
+	return true
+}
+
+// deleteRec finds and removes p below nd, dissolving underflowing children
+// into the orphan list. Sizes and MBRs are recomputed on the way up.
+func (t *Tree) deleteRec(nd *rnode, p geom.Point, orphans *[]geom.Point) bool {
+	if nd.isLeaf() {
+		for i, q := range nd.pts {
+			if q == p {
+				nd.pts[i] = nd.pts[len(nd.pts)-1]
+				nd.pts = nd.pts[:len(nd.pts)-1]
+				nd.size = len(nd.pts)
+				nd.mbr = geom.BoundingBox(nd.pts, t.dims)
+				return true
+			}
+		}
+		return false
+	}
+	for ki, c := range nd.kids {
+		if !c.mbr.Contains(p, t.dims) {
+			continue
+		}
+		if !t.deleteRec(c, p, orphans) {
+			continue
+		}
+		if c.entries() < minEntries {
+			// CondenseTree: dissolve the underflowing child and queue its
+			// remaining points for reinsertion.
+			*orphans = collectPoints(c, *orphans)
+			nd.kids[ki] = nd.kids[len(nd.kids)-1]
+			nd.kids = nd.kids[:len(nd.kids)-1]
+		}
+		refresh(nd, t.dims)
+		return true
+	}
+	return false
+}
+
+// collectPoints appends every point of the subtree to dst.
+func collectPoints(nd *rnode, dst []geom.Point) []geom.Point {
+	if nd == nil {
+		return dst
+	}
+	if nd.isLeaf() {
+		return append(dst, nd.pts...)
+	}
+	for _, c := range nd.kids {
+		dst = collectPoints(c, dst)
+	}
+	return dst
+}

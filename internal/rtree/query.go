@@ -1,0 +1,163 @@
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// KNN implements core.Index with best-first search: a priority queue over
+// nodes and points ordered by minimum distance — the standard R-tree kNN,
+// which copes best with overlapping MBRs.
+func (t *Tree) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
+	if t.root == nil || k <= 0 {
+		return dst
+	}
+	pq := &distQueue{}
+	heap.Push(pq, distEntry{d: t.root.mbr.Dist2(q, t.dims), nd: t.root})
+	found := 0
+	for pq.Len() > 0 && found < k {
+		e := heap.Pop(pq).(distEntry)
+		if e.nd == nil {
+			dst = append(dst, e.pt)
+			found++
+			continue
+		}
+		if e.nd.isLeaf() {
+			for _, p := range e.nd.pts {
+				heap.Push(pq, distEntry{d: geom.Dist2(p, q, t.dims), pt: p})
+			}
+			continue
+		}
+		for _, c := range e.nd.kids {
+			heap.Push(pq, distEntry{d: c.mbr.Dist2(q, t.dims), nd: c})
+		}
+	}
+	return dst
+}
+
+// distEntry is a queue element: a node when nd != nil, a point otherwise.
+type distEntry struct {
+	d  int64
+	nd *rnode
+	pt geom.Point
+}
+
+type distQueue []distEntry
+
+func (q distQueue) Len() int            { return len(q) }
+func (q distQueue) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q distQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *distQueue) Push(x interface{}) { *q = append(*q, x.(distEntry)) }
+func (q *distQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// RangeCount implements core.Index.
+func (t *Tree) RangeCount(box geom.Box) int { return t.count(t.root, box) }
+
+func (t *Tree) count(nd *rnode, box geom.Box) int {
+	if nd == nil || !box.Intersects(nd.mbr, t.dims) {
+		return 0
+	}
+	if box.ContainsBox(nd.mbr, t.dims) {
+		return nd.size
+	}
+	if nd.isLeaf() {
+		n := 0
+		for _, p := range nd.pts {
+			if box.Contains(p, t.dims) {
+				n++
+			}
+		}
+		return n
+	}
+	n := 0
+	for _, c := range nd.kids {
+		n += t.count(c, box)
+	}
+	return n
+}
+
+// RangeList implements core.Index.
+func (t *Tree) RangeList(box geom.Box, dst []geom.Point) []geom.Point {
+	return t.list(t.root, box, dst)
+}
+
+func (t *Tree) list(nd *rnode, box geom.Box, dst []geom.Point) []geom.Point {
+	if nd == nil || !box.Intersects(nd.mbr, t.dims) {
+		return dst
+	}
+	if box.ContainsBox(nd.mbr, t.dims) {
+		return collectPoints(nd, dst)
+	}
+	if nd.isLeaf() {
+		for _, p := range nd.pts {
+			if box.Contains(p, t.dims) {
+				dst = append(dst, p)
+			}
+		}
+		return dst
+	}
+	for _, c := range nd.kids {
+		dst = t.list(c, box, dst)
+	}
+	return dst
+}
+
+// Validate checks the R-tree invariants: fan-out within [minEntries,
+// maxEntries] (root exempt from the minimum), exact MBRs and sizes, and
+// uniform leaf depth (R-trees are height-balanced).
+func (t *Tree) Validate() error {
+	if t.root == nil {
+		return nil
+	}
+	_, _, err := t.validate(t.root, true)
+	return err
+}
+
+func (t *Tree) validate(nd *rnode, isRoot bool) (size, depth int, err error) {
+	if !isRoot && nd.entries() < minEntries {
+		return 0, 0, fmt.Errorf("node underflow: %d entries", nd.entries())
+	}
+	if nd.entries() > maxEntries {
+		return 0, 0, fmt.Errorf("node overflow: %d entries", nd.entries())
+	}
+	if nd.isLeaf() {
+		if nd.size != len(nd.pts) {
+			return 0, 0, fmt.Errorf("leaf size %d with %d points", nd.size, len(nd.pts))
+		}
+		if mbr := geom.BoundingBox(nd.pts, t.dims); mbr != nd.mbr {
+			return 0, 0, fmt.Errorf("leaf MBR stale")
+		}
+		return nd.size, 1, nil
+	}
+	total := 0
+	mbr := geom.EmptyBox(t.dims)
+	childDepth := -1
+	for _, c := range nd.kids {
+		sz, d, err := t.validate(c, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		if childDepth == -1 {
+			childDepth = d
+		} else if d != childDepth {
+			return 0, 0, fmt.Errorf("leaves at unequal depths (%d vs %d)", d, childDepth)
+		}
+		total += sz
+		mbr = mbr.Union(c.mbr, t.dims)
+	}
+	if total != nd.size {
+		return 0, 0, fmt.Errorf("interior size %d, children sum %d", nd.size, total)
+	}
+	if mbr != nd.mbr {
+		return 0, 0, fmt.Errorf("interior MBR stale")
+	}
+	return total, childDepth + 1, nil
+}

@@ -1,0 +1,53 @@
+package rtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Property: randomized operation scripts keep the R-tree invariants
+// (fan-out bounds, exact MBRs, uniform leaf depth) and agree with the
+// oracle. Batches are kept small — every operation is a root-to-leaf
+// walk.
+func TestQuickOpScripts(t *testing.T) {
+	f := func(seed int64, dense bool) bool {
+		side := int64(1 << 16)
+		if dense {
+			side = 40
+		}
+		tr := New(2)
+		script := core.OpScript{
+			Dims: 2, Side: side, Steps: 10, Seed: seed, MaxBatch: 120,
+			Validate: tr.Validate,
+		}
+		if err := script.Run(tr); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// R-trees are object-partitioning: negative coordinates need no universe.
+func TestNegativeCoordinates(t *testing.T) {
+	tr := New(2)
+	ref := core.NewBruteForce(2)
+	var pts []geom.Point
+	for i := int64(0); i < 400; i++ {
+		pts = append(pts, geom.Pt2(i*37%883-441, i*11%877-438))
+	}
+	tr.Build(pts)
+	ref.Build(pts)
+	validateOrFail(t, tr)
+	if err := core.VerifyQueries(tr, ref,
+		[]geom.Point{geom.Pt2(-440, -440), geom.Pt2(0, 0)}, []int{1, 10},
+		[]geom.Box{geom.BoxOf(geom.Pt2(-441, -441), geom.Pt2(0, 0))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package rtree implements the Boost R-tree baseline (§5 "Baselines"): a
+// sequential Guttman R-tree [32] with the quadratic split heuristic — the
+// variant the paper selects because it "gives the best tree quality in the
+// dynamic setting". It supports only point-at-a-time updates (Boost has no
+// batch or parallel operations), which is exactly how the paper drives it:
+// incremental workloads insert/delete one point at a time and only query
+// times are compared.
+package rtree
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Branching factor: Guttman's M (max entries per node) and m (min fill).
+const (
+	maxEntries = 16
+	minEntries = 6 // ~40% of M, the usual quadratic-split fill
+)
+
+// Tree is a sequential quadratic R-tree.
+type Tree struct {
+	dims int
+	root *rnode
+}
+
+var _ core.Index = (*Tree)(nil)
+
+// rnode is a leaf (kids nil, points in pts) or an interior node. mbr is
+// the minimum bounding rectangle of the subtree; size its point count.
+type rnode struct {
+	mbr  geom.Box
+	size int
+	kids []*rnode
+	pts  []geom.Point
+}
+
+func (nd *rnode) isLeaf() bool { return nd.kids == nil }
+
+// entries returns the fan-out of the node (points or children).
+func (nd *rnode) entries() int {
+	if nd.isLeaf() {
+		return len(nd.pts)
+	}
+	return len(nd.kids)
+}
+
+// New returns an empty R-tree.
+func New(dims int) *Tree {
+	if dims != 2 && dims != 3 {
+		panic("rtree: dims must be 2 or 3")
+	}
+	return &Tree{dims: dims}
+}
+
+// Name implements core.Index.
+func (t *Tree) Name() string { return "Boost-R" }
+
+// Dims implements core.Index.
+func (t *Tree) Dims() int { return t.dims }
+
+// Size implements core.Index.
+func (t *Tree) Size() int {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.size
+}
+
+// Build implements core.Index by inserting points one at a time (the only
+// construction Boost's dynamic R-tree offers).
+func (t *Tree) Build(pts []geom.Point) {
+	t.root = nil
+	t.BatchInsert(pts)
+}
+
+// BatchInsert implements core.Index as a loop of single insertions.
+func (t *Tree) BatchInsert(pts []geom.Point) {
+	for _, p := range pts {
+		t.insert1(p)
+	}
+}
+
+// BatchDelete implements core.Index as a loop of single deletions
+// (multiset semantics: each call removes at most one occurrence).
+func (t *Tree) BatchDelete(pts []geom.Point) {
+	for _, p := range pts {
+		t.delete1(p)
+	}
+}
+
+// area returns the volume of the box in float64 (3D volumes overflow
+// int64 at coordinate range 1e9, so the heuristics run in float).
+func area(b geom.Box, dims int) float64 {
+	v := 1.0
+	for d := 0; d < dims; d++ {
+		v *= float64(b.Side(d))
+	}
+	return v
+}
+
+// enlargement returns how much b must grow to absorb o.
+func enlargement(b, o geom.Box, dims int) float64 {
+	return area(b.Union(o, dims), dims) - area(b, dims)
+}
+
+// insert1 adds one point (Guttman's Insert with quadratic node split).
+func (t *Tree) insert1(p geom.Point) {
+	pb := geom.BoxOf(p, p)
+	if t.root == nil {
+		t.root = &rnode{mbr: pb, size: 1, pts: []geom.Point{p}}
+		return
+	}
+	if split := t.insertRec(t.root, p, pb); split != nil {
+		old := t.root
+		t.root = &rnode{
+			mbr:  old.mbr.Union(split.mbr, t.dims),
+			size: old.size + split.size,
+			kids: []*rnode{old, split},
+		}
+	}
+}
+
+// insertRec descends to a leaf by least-enlargement and splits overflowing
+// nodes on the way back up; the returned node (if any) is the new sibling.
+func (t *Tree) insertRec(nd *rnode, p geom.Point, pb geom.Box) *rnode {
+	nd.mbr = nd.mbr.Union(pb, t.dims)
+	nd.size++
+	if nd.isLeaf() {
+		nd.pts = append(nd.pts, p)
+		if len(nd.pts) > maxEntries {
+			return t.splitLeaf(nd)
+		}
+		return nil
+	}
+	child := t.chooseSubtree(nd, pb)
+	if split := t.insertRec(child, p, pb); split != nil {
+		nd.kids = append(nd.kids, split)
+		if len(nd.kids) > maxEntries {
+			return t.splitInterior(nd)
+		}
+	}
+	return nil
+}
+
+// chooseSubtree picks the child needing least enlargement (ties: smallest
+// area), Guttman's ChooseLeaf step.
+func (t *Tree) chooseSubtree(nd *rnode, pb geom.Box) *rnode {
+	best := nd.kids[0]
+	bestEnl := enlargement(best.mbr, pb, t.dims)
+	bestArea := area(best.mbr, t.dims)
+	for _, c := range nd.kids[1:] {
+		enl := enlargement(c.mbr, pb, t.dims)
+		a := area(c.mbr, t.dims)
+		if enl < bestEnl || (enl == bestEnl && a < bestArea) {
+			best, bestEnl, bestArea = c, enl, a
+		}
+	}
+	return best
+}
+
+// BatchDiff implements core.Index: deletions apply before insertions.
+func (t *Tree) BatchDiff(ins, del []geom.Point) {
+	t.BatchDelete(del)
+	t.BatchInsert(ins)
+}

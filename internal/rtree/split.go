@@ -1,0 +1,149 @@
+package rtree
+
+import "repro/internal/geom"
+
+// Quadratic split (Guttman [32]): pick the two entries wasting the most
+// area together as seeds, then assign the rest one at a time to the group
+// whose MBR grows least, force-assigning when a group must reach the
+// minimum fill.
+
+// splitLeaf redistributes an overflowing leaf's points; nd keeps group 1,
+// the returned node holds group 2.
+func (t *Tree) splitLeaf(nd *rnode) *rnode {
+	boxes := make([]geom.Box, len(nd.pts))
+	for i, p := range nd.pts {
+		boxes[i] = geom.BoxOf(p, p)
+	}
+	g1, g2 := t.quadraticGroups(boxes)
+	pts1 := make([]geom.Point, 0, len(g1))
+	pts2 := make([]geom.Point, 0, len(g2))
+	for _, i := range g1 {
+		pts1 = append(pts1, nd.pts[i])
+	}
+	for _, i := range g2 {
+		pts2 = append(pts2, nd.pts[i])
+	}
+	nd.pts = pts1
+	nd.size = len(pts1)
+	nd.mbr = geom.BoundingBox(pts1, t.dims)
+	return &rnode{mbr: geom.BoundingBox(pts2, t.dims), size: len(pts2), pts: pts2}
+}
+
+// splitInterior redistributes an overflowing interior node's children.
+func (t *Tree) splitInterior(nd *rnode) *rnode {
+	boxes := make([]geom.Box, len(nd.kids))
+	for i, c := range nd.kids {
+		boxes[i] = c.mbr
+	}
+	g1, g2 := t.quadraticGroups(boxes)
+	kids1 := make([]*rnode, 0, len(g1))
+	kids2 := make([]*rnode, 0, len(g2))
+	for _, i := range g1 {
+		kids1 = append(kids1, nd.kids[i])
+	}
+	for _, i := range g2 {
+		kids2 = append(kids2, nd.kids[i])
+	}
+	nd.kids = kids1
+	refresh(nd, t.dims)
+	sib := &rnode{kids: kids2}
+	refresh(sib, t.dims)
+	return sib
+}
+
+// refresh recomputes an interior node's mbr and size from its children.
+func refresh(nd *rnode, dims int) {
+	mbr := geom.EmptyBox(dims)
+	size := 0
+	for _, c := range nd.kids {
+		mbr = mbr.Union(c.mbr, dims)
+		size += c.size
+	}
+	nd.mbr = mbr
+	nd.size = size
+}
+
+// quadraticGroups partitions indexes [0, len(boxes)) into two groups.
+func (t *Tree) quadraticGroups(boxes []geom.Box) (g1, g2 []int) {
+	dims := t.dims
+	n := len(boxes)
+	// PickSeeds: maximize dead area of the pair.
+	s1, s2 := 0, 1
+	worst := -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := area(boxes[i].Union(boxes[j], dims), dims) - area(boxes[i], dims) - area(boxes[j], dims)
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	g1 = append(g1, s1)
+	g2 = append(g2, s2)
+	mbr1, mbr2 := boxes[s1], boxes[s2]
+	assigned := make([]bool, n)
+	assigned[s1], assigned[s2] = true, true
+	remaining := n - 2
+	for remaining > 0 {
+		// Force-assign if one group must take all the rest to reach the
+		// minimum fill.
+		if len(g1)+remaining == minEntries {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					g1 = append(g1, i)
+					mbr1 = mbr1.Union(boxes[i], dims)
+					assigned[i] = true
+				}
+			}
+			return g1, g2
+		}
+		if len(g2)+remaining == minEntries {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					g2 = append(g2, i)
+					mbr2 = mbr2.Union(boxes[i], dims)
+					assigned[i] = true
+				}
+			}
+			return g1, g2
+		}
+		// PickNext: the entry with the strongest preference.
+		bestIdx, bestDiff := -1, -1.0
+		var bestD1, bestD2 float64
+		for i := 0; i < n; i++ {
+			if assigned[i] {
+				continue
+			}
+			d1 := enlargement(mbr1, boxes[i], dims)
+			d2 := enlargement(mbr2, boxes[i], dims)
+			diff := d1 - d2
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestIdx, bestDiff, bestD1, bestD2 = i, diff, d1, d2
+			}
+		}
+		i := bestIdx
+		assigned[i] = true
+		remaining--
+		// Resolve by enlargement, then area, then count.
+		toG1 := bestD1 < bestD2
+		if bestD1 == bestD2 {
+			a1, a2 := area(mbr1, dims), area(mbr2, dims)
+			if a1 != a2 {
+				toG1 = a1 < a2
+			} else {
+				toG1 = len(g1) <= len(g2)
+			}
+		}
+		if toG1 {
+			g1 = append(g1, i)
+			mbr1 = mbr1.Union(boxes[i], dims)
+		} else {
+			g2 = append(g2, i)
+			mbr2 = mbr2.Union(boxes[i], dims)
+		}
+	}
+	return g1, g2
+}

@@ -1,0 +1,54 @@
+package sfc
+
+import "repro/internal/geom"
+
+// Curve selects a space-filling curve. The SPaC-tree family and the CPAM
+// baselines are parameterized by it (SPaC-Z vs SPaC-H, CPAM-Z vs CPAM-H);
+// the Zd-tree always uses Morton.
+type Curve int
+
+const (
+	// Morton is the Z-order curve: cheapest to compute, weaker locality.
+	Morton Curve = iota
+	// Hilbert has stronger locality (adjacent codes are geometrically
+	// adjacent), at a higher per-code cost — exactly the trade-off the
+	// paper measures between SPaC-Z and SPaC-H (§5.1.3).
+	Hilbert
+)
+
+// String names the curve the way the paper's tables do.
+func (c Curve) String() string {
+	if c == Hilbert {
+		return "H"
+	}
+	return "Z"
+}
+
+// Encode maps a point with non-negative coordinates to its curve code.
+// Precondition (checked by the callers' constructors, not here, to keep
+// the hot path branch-free): coordinates fit the per-dimension precision —
+// 32/31 bits in 2D (Morton/Hilbert), 21 bits in 3D.
+func Encode(c Curve, p geom.Point, dims int) uint64 {
+	if dims == 2 {
+		if c == Hilbert {
+			return Hilbert2(uint32(p[0]), uint32(p[1]))
+		}
+		return Morton2(uint32(p[0]), uint32(p[1]))
+	}
+	if c == Hilbert {
+		return Hilbert3(uint32(p[0]), uint32(p[1]), uint32(p[2]))
+	}
+	return Morton3(uint32(p[0]), uint32(p[1]), uint32(p[2]))
+}
+
+// MaxCoord returns the largest supported coordinate for the curve and
+// dimensionality. Constructors validate universe boxes against it. The 2D
+// bound is 2^31-1 for both curves: Morton could encode 32 bits, but
+// 2*(2^31)^2 is exactly where exact int64 squared distances would
+// overflow, so the library-wide safe bound is the binding one.
+func MaxCoord(c Curve, dims int) int64 {
+	if dims == 2 {
+		return 1<<31 - 1
+	}
+	return 1<<Hilbert3Bits - 1 // 21 bits for both curves in 3D
+}

@@ -1,0 +1,76 @@
+// Package sfc implements the space-filling curves used by the SPaC-tree
+// family, the Zd-tree and the CPAM baselines: the Morton (Z-) curve and the
+// Hilbert curve, in two and three dimensions (paper §2.2, Fig. 1).
+//
+// Precision follows the paper's discussion (§3, "Applicability"): codes are
+// 64-bit, which allows 32 bits per dimension in 2D and 21 bits per
+// dimension in 3D. Callers with wider coordinates must scale first (the
+// paper scales 3D real-world data to [0, 1e6] for exactly this reason).
+package sfc
+
+// Morton2 interleaves the low 32 bits of x and y into a 64-bit Z-curve
+// code: bit i of x lands at bit 2i, bit i of y at bit 2i+1.
+func Morton2(x, y uint32) uint64 {
+	return spread2(uint64(x)) | spread2(uint64(y))<<1
+}
+
+// spread2 spaces the low 32 bits of v one position apart using the classic
+// magic-mask sequence.
+func spread2(v uint64) uint64 {
+	v &= 0xffffffff
+	v = (v | v<<16) & 0x0000ffff0000ffff
+	v = (v | v<<8) & 0x00ff00ff00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// compact2 inverts spread2.
+func compact2(v uint64) uint64 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v>>4) & 0x00ff00ff00ff00ff
+	v = (v | v>>8) & 0x0000ffff0000ffff
+	v = (v | v>>16) & 0x00000000ffffffff
+	return v
+}
+
+// MortonDecode2 inverts Morton2.
+func MortonDecode2(code uint64) (x, y uint32) {
+	return uint32(compact2(code)), uint32(compact2(code >> 1))
+}
+
+// Morton3 interleaves the low 21 bits of x, y and z into a 63-bit Z-curve
+// code: bit i of x lands at bit 3i, y at 3i+1, z at 3i+2.
+func Morton3(x, y, z uint32) uint64 {
+	return spread3(uint64(x)) | spread3(uint64(y))<<1 | spread3(uint64(z))<<2
+}
+
+// spread3 spaces the low 21 bits of v two positions apart.
+func spread3(v uint64) uint64 {
+	v &= 0x1fffff
+	v = (v | v<<32) & 0x1f00000000ffff
+	v = (v | v<<16) & 0x1f0000ff0000ff
+	v = (v | v<<8) & 0x100f00f00f00f00f
+	v = (v | v<<4) & 0x10c30c30c30c30c3
+	v = (v | v<<2) & 0x1249249249249249
+	return v
+}
+
+// compact3 inverts spread3.
+func compact3(v uint64) uint64 {
+	v &= 0x1249249249249249
+	v = (v | v>>2) & 0x10c30c30c30c30c3
+	v = (v | v>>4) & 0x100f00f00f00f00f
+	v = (v | v>>8) & 0x1f0000ff0000ff
+	v = (v | v>>16) & 0x1f00000000ffff
+	v = (v | v>>32) & 0x1fffff
+	return v
+}
+
+// MortonDecode3 inverts Morton3.
+func MortonDecode3(code uint64) (x, y, z uint32) {
+	return uint32(compact3(code)), uint32(compact3(code >> 1)), uint32(compact3(code >> 2))
+}

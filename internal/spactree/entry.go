@@ -1,0 +1,61 @@
+// Package spactree implements the Spatial PaC-tree (SPaC-tree) family —
+// the paper's second contribution (§4) — together with the CPAM/PaC-tree
+// baseline [23] it is measured against.
+//
+// Both are join-based weight-balanced binary search trees over
+// space-filling-curve codes with block-wrapped leaves and bounding-box
+// augmentation (i.e. parallel R-trees). They differ in exactly the two
+// design points the paper isolates:
+//
+//   - Construction. SPaC mode uses HybridSort (Alg. 3): codes are computed
+//     when a point is first touched by the sort, and only ⟨code, id⟩ pairs
+//     move through the sort, with coordinates gathered into leaves at the
+//     end. CPAM mode is the "plain adaptation": precompute ⟨code, point⟩
+//     pairs, sort the full pairs, build.
+//
+//   - Leaf order. SPaC mode relaxes the total order inside leaves (Alg. 4):
+//     batch inserts append to leaves and mark them unsorted; the order is
+//     restored lazily, only when a join must expose or redistribute the
+//     leaf. CPAM mode maintains fully sorted leaves on every update.
+//
+// Spatial queries never read the in-leaf order — a leaf is scanned wholesale
+// either way — which is the observation that makes the relaxation free for
+// queries and 2-6x cheaper for updates (§5.1.2).
+package spactree
+
+import (
+	"repro/internal/geom"
+	"repro/internal/sfc"
+)
+
+// Entry is a stored element: a point and its curve code. The tree's total
+// order is (Code, then point lexicographically), so duplicate codes — and
+// even duplicate points — have well-defined positions.
+type Entry struct {
+	Code uint64
+	P    geom.Point
+}
+
+// cmpEntry orders entries by code, breaking ties by point coordinates.
+func cmpEntry(a, b Entry) int {
+	switch {
+	case a.Code < b.Code:
+		return -1
+	case a.Code > b.Code:
+		return 1
+	}
+	for d := 0; d < geom.MaxDims; d++ {
+		switch {
+		case a.P[d] < b.P[d]:
+			return -1
+		case a.P[d] > b.P[d]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// encode computes the entry for a point under the tree's curve.
+func (t *Tree) encode(p geom.Point) Entry {
+	return Entry{Code: sfc.Encode(t.curve, p, t.opts.Dims), P: p}
+}

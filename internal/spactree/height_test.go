@@ -1,0 +1,42 @@
+package spactree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sfc"
+	"repro/internal/workload"
+)
+
+// The BB[α] balance invariant implies height <= log_{1/(1-α)}(n/φ) + O(1)
+// (§4.3: O(log n) update cost depends on it). Check the bound holds after
+// construction and after sustained skewed updates.
+func TestHeightBoundTheorem(t *testing.T) {
+	alpha := 0.2
+	phi := 40.0
+	bound := func(n int) int {
+		if n == 0 {
+			return 0
+		}
+		return int(math.Log(float64(n)/phi)/math.Log(1/(1-alpha))) + 4
+	}
+	for _, dist := range []workload.Dist{workload.Uniform, workload.Sweepline, workload.Varden} {
+		pts := workload.Generate(dist, 60000, 2, testSide, 3)
+		tr := NewSPaC(sfc.Hilbert, 2, universe())
+		tr.Build(pts[:20000])
+		if h, b := tr.Height(), bound(20000); h > b {
+			t.Fatalf("%s: built height %d exceeds BB[α] bound %d", dist, h, b)
+		}
+		for lo := 20000; lo < 60000; lo += 1000 {
+			tr.BatchInsert(pts[lo : lo+1000])
+		}
+		if h, b := tr.Height(), bound(60000); h > b {
+			t.Fatalf("%s: post-update height %d exceeds BB[α] bound %d", dist, h, b)
+		}
+		// Shrink back down: deletions must not strand a tall skeleton.
+		tr.BatchDelete(pts[:50000])
+		if h, b := tr.Height(), bound(10000); h > b {
+			t.Fatalf("%s: post-delete height %d exceeds BB[α] bound %d", dist, h, b)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package spactree
+
+// Join-based rebalancing (Alg. 4 lines 20-31), following the
+// weight-balanced join of Blelloch, Ferizovic & Sun [17] as adapted by
+// PaC-trees [23]: Join is the only rebalancing primitive; RightJoin
+// descends the right spine of the heavier left tree until the remainder
+// balances with the right tree, attaches, and repairs with single or
+// double rotations on the way out. All node creation funnels through
+// mkNode, so the leaf-wrap invariant is maintained at every step, and all
+// expose calls restore in-leaf order lazily.
+
+// join returns a balanced tree over l ∪ {k} ∪ r, assuming every entry in l
+// is <= k and every entry in r is >= k (weak BST invariant on the total
+// (code, point) order).
+func (t *Tree) join(l *node, k Entry, r *node) *node {
+	if t.balancedNodes(l, r) {
+		return t.mkNode(l, k, r)
+	}
+	if weight(l) > weight(r) {
+		return t.joinRight(l, k, r)
+	}
+	return t.joinLeft(l, k, r)
+}
+
+// joinRight handles the case weight(l) > weight(r).
+func (t *Tree) joinRight(l *node, k Entry, r *node) *node {
+	if t.balancedNodes(l, r) {
+		return t.mkNode(l, k, r)
+	}
+	ll, lk, lr := t.expose(l)
+	tt := t.joinRight(lr, k, r)
+	if t.balancedNodes(ll, tt) {
+		return t.mkNode(ll, lk, tt)
+	}
+	// Rebalance by rotation (Alg. 4 line 30).
+	tl, tk, tr := t.expose(tt)
+	if t.likeWeights(weight(ll)+weight(tl), weight(tr)) && t.balancedNodes(ll, tl) {
+		// Single left rotation.
+		return t.mkNode(t.mkNode(ll, lk, tl), tk, tr)
+	}
+	// Double rotation: rotate tl right, then left.
+	tll, tlk, tlr := t.expose(tl)
+	return t.mkNode(t.mkNode(ll, lk, tll), tlk, t.mkNode(tlr, tk, tr))
+}
+
+// joinLeft mirrors joinRight for weight(r) > weight(l).
+func (t *Tree) joinLeft(l *node, k Entry, r *node) *node {
+	if t.balancedNodes(l, r) {
+		return t.mkNode(l, k, r)
+	}
+	rl, rk, rr := t.expose(r)
+	tt := t.joinLeft(l, k, rl)
+	if t.balancedNodes(tt, rr) {
+		return t.mkNode(tt, rk, rr)
+	}
+	tl, tk, tr := t.expose(tt)
+	if t.likeWeights(weight(tl), weight(tr)+weight(rr)) && t.balancedNodes(tr, rr) {
+		// Single right rotation.
+		return t.mkNode(tl, tk, t.mkNode(tr, rk, rr))
+	}
+	trl, trk, trr := t.expose(tr)
+	return t.mkNode(t.mkNode(tl, tk, trl), trk, t.mkNode(trr, rk, rr))
+}
+
+// splitLast removes and returns the greatest entry of a non-nil tree.
+func (t *Tree) splitLast(nd *node) (*node, Entry) {
+	if nd.isLeaf() {
+		ents := nd.ents
+		if !nd.sorted {
+			sortEntries(ents)
+			nd.sorted = true
+		}
+		last := ents[len(ents)-1]
+		if len(ents) == 1 {
+			return nil, last
+		}
+		rest := make([]Entry, len(ents)-1)
+		copy(rest, ents)
+		return t.newLeaf(rest, true), last
+	}
+	if nd.right == nil {
+		return nd.left, nd.pivot
+	}
+	rest, last := t.splitLast(nd.right)
+	return t.join(nd.left, nd.pivot, rest), last
+}
+
+// join2 joins two trees with no middle entry (used when a batch deletion
+// consumes a pivot).
+func (t *Tree) join2(l, r *node) *node {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	rest, k := t.splitLast(l)
+	return t.join(rest, k, r)
+}
+
+// splitRun extracts every copy of entry e from the subtree: it returns the
+// tree of entries strictly below e, the tree strictly above, and the
+// number of copies removed. Duplicate entries (identical code and point)
+// may straddle pivots on both sides, so plain routing cannot delete them;
+// batch deletion calls this on the rare equal-to-pivot runs.
+func (t *Tree) splitRun(nd *node, e Entry) (lt, gt *node, count int) {
+	if nd == nil {
+		return nil, nil, 0
+	}
+	if nd.isLeaf() {
+		var lo, hi []Entry
+		for _, x := range nd.ents {
+			switch c := cmpEntry(x, e); {
+			case c < 0:
+				lo = append(lo, x)
+			case c > 0:
+				hi = append(hi, x)
+			default:
+				count++
+			}
+		}
+		if len(lo) > 0 {
+			lt = t.newLeaf(lo, nd.sorted)
+		}
+		if len(hi) > 0 {
+			gt = t.newLeaf(hi, nd.sorted)
+		}
+		return lt, gt, count
+	}
+	switch c := cmpEntry(e, nd.pivot); {
+	case c < 0:
+		llt, lgt, n := t.splitRun(nd.left, e)
+		return llt, t.join(lgt, nd.pivot, nd.right), n
+	case c > 0:
+		rlt, rgt, n := t.splitRun(nd.right, e)
+		return t.join(nd.left, nd.pivot, rlt), rgt, n
+	default:
+		// The pivot itself is a copy; copies may extend into both
+		// subtrees (left holds <= pivot, right holds >= pivot).
+		llt, _, nl := t.splitRun(nd.left, e)
+		_, rgt, nr := t.splitRun(nd.right, e)
+		return llt, rgt, nl + nr + 1
+	}
+}

@@ -1,0 +1,177 @@
+package spactree
+
+import (
+	"slices"
+
+	"repro/internal/geom"
+)
+
+// node is a leaf (left == nil) holding up to LeafWrap entries, or an
+// interior node holding the pivot entry itself (true BST, Alg. 3 line 30).
+// sorted marks whether a leaf's entries are in (code, point) order; interior
+// nodes ignore it. In TotalOrder (CPAM) mode every leaf stays sorted; in
+// PartialOrder (SPaC) mode leaves go unsorted on append and are re-sorted
+// lazily by expose/redistribute (Alg. 4 lines 34, 43).
+type node struct {
+	size        int // points in subtree (leaf entries + interior pivots)
+	bbox        geom.Box
+	pivot       Entry
+	left, right *node
+	ents        []Entry
+	sorted      bool
+}
+
+func (nd *node) isLeaf() bool { return nd != nil && nd.left == nil }
+
+func sizeOf(nd *node) int {
+	if nd == nil {
+		return 0
+	}
+	return nd.size
+}
+
+// weight is the BB[α] weight: size + 1 (nil trees weigh 1).
+func weight(nd *node) int { return sizeOf(nd) + 1 }
+
+// likeWeights reports whether two subtree weights satisfy BB[α]: each side
+// carries at least an α fraction of the total.
+func (t *Tree) likeWeights(lw, rw int) bool {
+	a := t.opts.Alpha
+	tot := float64(lw + rw)
+	return float64(lw) >= a*tot && float64(rw) >= a*tot
+}
+
+func (t *Tree) balancedNodes(l, r *node) bool {
+	return t.likeWeights(weight(l), weight(r))
+}
+
+// newLeaf wraps entries (not copied) into a leaf.
+func (t *Tree) newLeaf(ents []Entry, isSorted bool) *node {
+	return &node{size: len(ents), bbox: entsBBox(ents, t.opts.Dims), ents: ents, sorted: isSorted}
+}
+
+// entsBBox computes the tight bounding box of a run of entries.
+func entsBBox(ents []Entry, dims int) geom.Box {
+	bbox := geom.EmptyBox(dims)
+	for _, e := range ents {
+		bbox = bbox.Extend(e.P, dims)
+	}
+	return bbox
+}
+
+// interiorBBox combines children boxes with the pivot point.
+func (t *Tree) interiorBBox(l *node, k Entry, r *node) geom.Box {
+	bbox := geom.EmptyBox(t.opts.Dims).Extend(k.P, t.opts.Dims)
+	if l != nil {
+		bbox = bbox.Union(l.bbox, t.opts.Dims)
+	}
+	if r != nil {
+		bbox = bbox.Union(r.bbox, t.opts.Dims)
+	}
+	return bbox
+}
+
+// rawNode creates an interior node with no leaf-wrap checks (used by the
+// perfectly balanced builder, where sizes are known to be large enough).
+func (t *Tree) rawNode(l *node, k Entry, r *node) *node {
+	return &node{
+		size:  sizeOf(l) + sizeOf(r) + 1,
+		bbox:  t.interiorBBox(l, k, r),
+		pivot: k,
+		left:  l,
+		right: r,
+	}
+}
+
+// mkNode is the Node() smart constructor of Alg. 4 (lines 38-48): it
+// restores the leaf-wrap invariant where a join step broke it. Subtrees at
+// or below φ collapse into one leaf (line 47); subtrees at or below 2φ
+// whose halves went out of balance redistribute into two even leaves
+// (line 44, "if necessary" — an already-balanced pair is kept as is, so
+// lazily-unsorted leaves are NOT re-sorted on every touch); larger
+// subtrees become plain interior nodes.
+func (t *Tree) mkNode(l *node, k Entry, r *node) *node {
+	phi := t.opts.LeafWrap
+	n := sizeOf(l) + sizeOf(r) + 1
+	if n <= phi {
+		// Flatten into a single leaf (line 47).
+		ents := make([]Entry, 0, n)
+		ents, srt := collectOrdered(l, ents, true)
+		ents = append(ents, k)
+		ents, srt2 := collectOrdered(r, ents, srt)
+		return t.newLeaf(ents, srt && srt2 && isNonDecreasing(ents))
+	}
+	if n <= 2*phi && !t.balancedNodes(l, r) {
+		// Redistribute into two leaves around a middle pivot (line 44),
+		// sorting lazily-unsorted constituents first (line 43).
+		ents := make([]Entry, 0, n)
+		ents, _ = collectOrdered(l, ents, true)
+		ents = append(ents, k)
+		ents, _ = collectOrdered(r, ents, true)
+		sortEntries(ents)
+		m := n / 2
+		return t.rawNode(
+			t.newLeaf(slices.Clone(ents[:m]), true),
+			ents[m],
+			t.newLeaf(slices.Clone(ents[m+1:]), true),
+		)
+	}
+	return t.rawNode(l, k, r)
+}
+
+// collectOrdered appends the subtree's entries in in-order sequence and
+// reports whether the appended run is known to be in sorted order (all
+// leaves sorted).
+func collectOrdered(nd *node, dst []Entry, sortedSoFar bool) ([]Entry, bool) {
+	if nd == nil {
+		return dst, sortedSoFar
+	}
+	if nd.isLeaf() {
+		return append(dst, nd.ents...), sortedSoFar && nd.sorted
+	}
+	dst, s := collectOrdered(nd.left, dst, sortedSoFar)
+	dst = append(dst, nd.pivot)
+	return collectOrdered(nd.right, dst, s)
+}
+
+// isNonDecreasing verifies a short run is actually sorted (flatten
+// concatenates runs from different leaves; their boundaries are ordered by
+// the BST invariant, so sorted sub-runs imply a sorted whole — this check
+// is a cheap belt-and-suspenders for the ≤ φ case).
+func isNonDecreasing(ents []Entry) bool {
+	for i := 1; i < len(ents); i++ {
+		if cmpEntry(ents[i-1], ents[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func sortEntries(ents []Entry) {
+	slices.SortFunc(ents, cmpEntry)
+}
+
+// expose opens a tree into (left, pivot, right) (Alg. 4 lines 32-37). A
+// leaf is split around its middle entry — restoring the in-leaf order
+// first if it was relaxed (line 34); this lazy sort is where the SPaC-tree
+// pays back its deferred work, on the rare join path instead of on every
+// update.
+func (t *Tree) expose(nd *node) (*node, Entry, *node) {
+	if !nd.isLeaf() {
+		return nd.left, nd.pivot, nd.right
+	}
+	ents := nd.ents
+	if !nd.sorted {
+		sortEntries(ents)
+		nd.sorted = true
+	}
+	m := len(ents) / 2
+	var l, r *node
+	if m > 0 {
+		l = t.newLeaf(slices.Clone(ents[:m]), true)
+	}
+	if m+1 < len(ents) {
+		r = t.newLeaf(slices.Clone(ents[m+1:]), true)
+	}
+	return l, ents[m], r
+}

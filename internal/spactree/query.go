@@ -1,0 +1,128 @@
+package spactree
+
+import (
+	"repro/internal/geom"
+)
+
+// KNN implements core.Index: depth-first search over bounding boxes,
+// nearer child first. Interior pivots are stored entries (Alg. 3 line 30),
+// so they are offered to the heap as the search passes them. R-tree boxes
+// overlap, which is why this is slower than the space-partitioning trees
+// (§5.1.3) — the price of the fastest updates.
+func (t *Tree) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
+	if t.root == nil || k <= 0 {
+		return dst
+	}
+	h := geom.NewKNNHeap(k)
+	t.knn(t.root, q, h)
+	return h.Append(dst)
+}
+
+func (t *Tree) knn(nd *node, q geom.Point, h *geom.KNNHeap) {
+	dims := t.opts.Dims
+	if nd.isLeaf() {
+		// Leaves are scanned wholesale: in-leaf order is irrelevant to
+		// queries, which is the observation behind the SPaC relaxation.
+		for _, e := range nd.ents {
+			h.Push(e.P, geom.Dist2(e.P, q, dims))
+		}
+		return
+	}
+	h.Push(nd.pivot.P, geom.Dist2(nd.pivot.P, q, dims))
+	var dl, dr int64 = -1, -1
+	if nd.left != nil {
+		dl = nd.left.bbox.Dist2(q, dims)
+	}
+	if nd.right != nil {
+		dr = nd.right.bbox.Dist2(q, dims)
+	}
+	first, second := nd.left, nd.right
+	d1, d2 := dl, dr
+	if nd.right != nil && (nd.left == nil || dr < dl) {
+		first, second = nd.right, nd.left
+		d1, d2 = dr, dl
+	}
+	if first != nil && (!h.Full() || d1 < h.Bound()) {
+		t.knn(first, q, h)
+	}
+	if second != nil && (!h.Full() || d2 < h.Bound()) {
+		t.knn(second, q, h)
+	}
+}
+
+// RangeCount implements core.Index.
+func (t *Tree) RangeCount(box geom.Box) int { return t.count(t.root, box) }
+
+func (t *Tree) count(nd *node, box geom.Box) int {
+	if nd == nil {
+		return 0
+	}
+	dims := t.opts.Dims
+	if !box.Intersects(nd.bbox, dims) {
+		return 0
+	}
+	if box.ContainsBox(nd.bbox, dims) {
+		return nd.size
+	}
+	if nd.isLeaf() {
+		n := 0
+		for _, e := range nd.ents {
+			if box.Contains(e.P, dims) {
+				n++
+			}
+		}
+		return n
+	}
+	n := t.count(nd.left, box) + t.count(nd.right, box)
+	if box.Contains(nd.pivot.P, dims) {
+		n++
+	}
+	return n
+}
+
+// RangeList implements core.Index.
+func (t *Tree) RangeList(box geom.Box, dst []geom.Point) []geom.Point {
+	return t.list(t.root, box, dst)
+}
+
+func (t *Tree) list(nd *node, box geom.Box, dst []geom.Point) []geom.Point {
+	if nd == nil {
+		return dst
+	}
+	dims := t.opts.Dims
+	if !box.Intersects(nd.bbox, dims) {
+		return dst
+	}
+	if box.ContainsBox(nd.bbox, dims) {
+		return collectPoints(nd, dst)
+	}
+	if nd.isLeaf() {
+		for _, e := range nd.ents {
+			if box.Contains(e.P, dims) {
+				dst = append(dst, e.P)
+			}
+		}
+		return dst
+	}
+	dst = t.list(nd.left, box, dst)
+	if box.Contains(nd.pivot.P, dims) {
+		dst = append(dst, nd.pivot.P)
+	}
+	return t.list(nd.right, box, dst)
+}
+
+// collectPoints appends every point of a subtree (pivots included).
+func collectPoints(nd *node, dst []geom.Point) []geom.Point {
+	if nd == nil {
+		return dst
+	}
+	if nd.isLeaf() {
+		for _, e := range nd.ents {
+			dst = append(dst, e.P)
+		}
+		return dst
+	}
+	dst = collectPoints(nd.left, dst)
+	dst = append(dst, nd.pivot.P)
+	return collectPoints(nd.right, dst)
+}

@@ -1,0 +1,166 @@
+package spactree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sfc"
+	"repro/internal/workload"
+)
+
+// Property: randomized operation scripts keep every invariant (BST order,
+// BB[α] balance, leaf wrap, honest sorted flags) and agree with the
+// oracle — across modes, curves, dims and duplicate densities. This is
+// the join/rotation machinery's main line of defence.
+func TestQuickOpScripts(t *testing.T) {
+	f := func(seed int64, total bool, hilbert bool, dense bool) bool {
+		side := int64(1 << 16)
+		if dense {
+			side = 40
+		}
+		curve := sfc.Morton
+		if hilbert {
+			curve = sfc.Hilbert
+		}
+		mode := PartialOrder
+		if total {
+			mode = TotalOrder
+		}
+		opts := core.DefaultOptions(2, geom.UniverseBox(2, side))
+		opts.LeafWrap = 40
+		opts.Alpha = 0.2
+		tr := New(curve, mode, opts)
+		script := core.OpScript{
+			Dims: 2, Side: side, Steps: 12, Seed: seed, MaxBatch: 300,
+			Validate: tr.Validate,
+		}
+		if err := script.Run(tr); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 16}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: splitRun extracts exactly the duplicates of an entry and
+// partitions the rest by order — checked against a direct scan.
+func TestQuickSplitRun(t *testing.T) {
+	f := func(seed int64, copies uint8) bool {
+		side := int64(1 << 10)
+		tr := NewSPaC(sfc.Hilbert, 2, geom.UniverseBox(2, side))
+		pts := workload.GenUniform(500, 2, side, seed)
+		dup := pts[0]
+		for i := 0; i < int(copies)%40; i++ {
+			pts = append(pts, dup)
+		}
+		tr.Build(pts)
+		e := tr.encode(dup)
+		lt, gt, count := tr.splitRun(tr.root, e)
+		// Count ground truth.
+		want := 0
+		for _, p := range pts {
+			if p == dup {
+				want++
+			}
+		}
+		if count != want {
+			t.Logf("count %d want %d", count, want)
+			return false
+		}
+		// lt strictly below, gt strictly above; sizes add up.
+		ltEnts, _ := collectOrdered(lt, nil, true)
+		gtEnts, _ := collectOrdered(gt, nil, true)
+		if len(ltEnts)+len(gtEnts)+count != len(pts) {
+			return false
+		}
+		for _, x := range ltEnts {
+			if cmpEntry(x, e) >= 0 {
+				return false
+			}
+		}
+		for _, x := range gtEnts {
+			if cmpEntry(x, e) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: join on arbitrary split points of a sorted entry set yields a
+// tree with all invariants — the rotation cases get hit from many angles.
+func TestQuickJoinBalance(t *testing.T) {
+	side := int64(1 << 16)
+	tr := NewSPaC(sfc.Hilbert, 2, geom.UniverseBox(2, side))
+	base := tr.encodeAndSort(workload.GenUniform(3000, 2, side, 9))
+	f := func(cut uint16) bool {
+		i := int(cut) % len(base)
+		l := tr.buildSortedEnts(base[:i:i])
+		r := tr.buildSortedEnts(base[i+1 : len(base) : len(base)])
+		tr.root = tr.join(l, base[i], r)
+		if err := tr.Validate(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return tr.Size() == len(base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Extremely lopsided joins: join a tiny tree with a huge one (both
+// directions) — the deep-spine path of RightJoin/LeftJoin.
+func TestLopsidedJoins(t *testing.T) {
+	side := int64(1 << 16)
+	tr := NewSPaC(sfc.Hilbert, 2, geom.UniverseBox(2, side))
+	ents := tr.encodeAndSort(workload.GenUniform(20000, 2, side, 11))
+	for _, cut := range []int{1, 3, 41, len(ents) - 2, len(ents) - 42} {
+		l := tr.buildSortedEnts(ents[:cut:cut])
+		r := tr.buildSortedEnts(ents[cut+1 : len(ents) : len(ents)])
+		tr.root = tr.join(l, ents[cut], r)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if tr.Size() != len(ents) {
+			t.Fatalf("cut %d: size %d", cut, tr.Size())
+		}
+	}
+}
+
+// Boundary coordinates at the curve precision limit must encode, insert
+// and query correctly.
+func TestPrecisionBoundary(t *testing.T) {
+	for _, curve := range []sfc.Curve{sfc.Morton, sfc.Hilbert} {
+		maxc := sfc.MaxCoord(curve, 2)
+		u := geom.BoxOf(geom.Pt2(0, 0), geom.Pt2(maxc, maxc))
+		tr := New(curve, PartialOrder, func() core.Options {
+			o := core.DefaultOptions(2, u)
+			o.LeafWrap = 40
+			o.Alpha = 0.2
+			return o
+		}())
+		pts := []geom.Point{
+			geom.Pt2(0, 0), geom.Pt2(maxc, maxc), geom.Pt2(0, maxc),
+			geom.Pt2(maxc, 0), geom.Pt2(maxc/2, maxc/2),
+		}
+		tr.Build(pts)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%v: %v", curve, err)
+		}
+		for _, p := range pts {
+			nn := tr.KNN(p, 1, nil)
+			if len(nn) != 1 || nn[0] != p {
+				t.Fatalf("%v: corner %v lost", curve, p)
+			}
+		}
+	}
+}

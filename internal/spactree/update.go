@@ -1,0 +1,261 @@
+package spactree
+
+import (
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// upperBound returns the first index in sorted batch with entry > e.
+func upperBound(batch []Entry, e Entry) int {
+	return sort.Search(len(batch), func(i int) bool { return cmpEntry(batch[i], e) > 0 })
+}
+
+// lowerBound returns the first index in sorted batch with entry >= e.
+func lowerBound(batch []Entry, e Entry) int {
+	return sort.Search(len(batch), func(i int) bool { return cmpEntry(batch[i], e) >= 0 })
+}
+
+// insertSorted is InsertSorted (Alg. 4): route the sorted batch down by
+// pivot codes, absorb or rebuild at leaves, Join on the way back up.
+func (t *Tree) insertSorted(nd *node, batch []Entry) *node {
+	if len(batch) == 0 {
+		return nd
+	}
+	if nd == nil {
+		return t.buildSortedEnts(batch)
+	}
+	phi := t.opts.LeafWrap
+	if nd.isLeaf() {
+		total := nd.size + len(batch)
+		if total <= phi {
+			// Lines 8-11: absorb. SPaC mode appends and marks the leaf
+			// unsorted — the whole point of the partial-order relaxation;
+			// CPAM mode pays for a sorted merge on every touch.
+			if t.mode == TotalOrder {
+				merged := mergeSorted(nd.ents, batch)
+				return t.newLeaf(merged, true)
+			}
+			bbox := nd.bbox
+			for _, e := range batch {
+				bbox = bbox.Extend(e.P, t.opts.Dims)
+			}
+			nd.ents = append(nd.ents, batch...)
+			nd.size = len(nd.ents)
+			nd.bbox = bbox
+			nd.sorted = false
+			return nd
+		}
+		if total <= 4*phi {
+			// §C heuristic, small side: localized rebuild.
+			var all []Entry
+			if t.mode == TotalOrder {
+				all = mergeSorted(nd.ents, batch)
+			} else {
+				all = make([]Entry, 0, total)
+				all = append(all, nd.ents...)
+				all = append(all, batch...)
+				sortEntries(all)
+			}
+			return t.buildSortedEnts(all)
+		}
+		// §C heuristic, large side: expose the leaf and distribute the
+		// batch across its halves instead of merging a huge run.
+		l, k, r := t.expose(nd)
+		i := upperBound(batch, k)
+		var nl, nr *node
+		parallel.DoIf(len(batch) >= seqCutoff,
+			func() { nl = t.insertSorted(l, batch[:i]) },
+			func() { nr = t.insertSorted(r, batch[i:]) })
+		return t.join(nl, k, nr)
+	}
+	// Lines 13-19: binary-search the pivot in the batch, recurse in
+	// parallel, Join rebalances.
+	i := upperBound(batch, nd.pivot)
+	var l, r *node
+	parallel.DoIf(len(batch) >= seqCutoff,
+		func() { l = t.insertSorted(nd.left, batch[:i]) },
+		func() { r = t.insertSorted(nd.right, batch[i:]) })
+	return t.joinInto(nd, l, r)
+}
+
+// joinInto is Join(l, pivot, r) with an in-place fast path: when the
+// children stayed balanced and no leaf-wrap action applies, the existing
+// interior node is updated rather than reallocated. Only the rebalancing
+// path pays for fresh nodes — the joins are semantically identical, the
+// tree is simply not persistent (the paper's C++ trees reuse nodes the
+// same way unless compressed sharing is on).
+func (t *Tree) joinInto(nd *node, l, r *node) *node {
+	if t.balancedNodes(l, r) {
+		if n := sizeOf(l) + sizeOf(r) + 1; n > 2*t.opts.LeafWrap {
+			nd.left, nd.right = l, r
+			nd.size = n
+			nd.bbox = t.interiorBBox(l, nd.pivot, r)
+			return nd
+		}
+	}
+	return t.join(l, nd.pivot, r)
+}
+
+// mergeSorted merges two entry slices sorted by cmpEntry.
+func mergeSorted(a, b []Entry) []Entry {
+	out := make([]Entry, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if cmpEntry(a[i], b[j]) <= 0 {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// deleteSorted removes one stored occurrence per batch entry (§4.2: "when
+// it reaches a leaf, it removes the points there, marks the leaf as
+// unsorted if necessary, and updates the bounding box"; rebalancing via
+// Join/Join2 as in insertion).
+func (t *Tree) deleteSorted(nd *node, batch []Entry) *node {
+	if nd == nil || len(batch) == 0 {
+		return nd
+	}
+	if nd.isLeaf() {
+		return t.deleteFromLeaf(nd, batch)
+	}
+	lo := lowerBound(batch, nd.pivot)
+	hi := upperBound(batch, nd.pivot)
+	if lo == hi {
+		// Pivot not targeted: plain split-recurse-join.
+		var l, r *node
+		parallel.DoIf(len(batch) >= seqCutoff,
+			func() { l = t.deleteSorted(nd.left, batch[:lo]) },
+			func() { r = t.deleteSorted(nd.right, batch[hi:]) })
+		return t.joinInto(nd, l, r)
+	}
+	// The batch deletes copies of the pivot entry itself. Copies of an
+	// identical entry may sit on both sides of the pivot, so plain
+	// routing cannot find them all: extract the whole run, then put back
+	// whatever the batch did not consume.
+	req := hi - lo
+	var l, r *node
+	parallel.DoIf(len(batch) >= seqCutoff,
+		func() { l = t.deleteSorted(nd.left, batch[:lo]) },
+		func() { r = t.deleteSorted(nd.right, batch[hi:]) })
+	ll, lg, cl := t.splitRun(l, nd.pivot)
+	rl, rg, cr := t.splitRun(r, nd.pivot)
+	avail := cl + cr + 1 // + the pivot itself
+	leftover := avail - req
+	if leftover < 0 {
+		leftover = 0
+	}
+	res := t.join2(t.join2(ll, lg), t.join2(rl, rg))
+	if leftover > 0 {
+		run := make([]Entry, leftover)
+		for i := range run {
+			run[i] = nd.pivot
+		}
+		res = t.insertSorted(res, run)
+	}
+	return res
+}
+
+// deleteFromLeaf removes multiset matches from a leaf. In PartialOrder
+// mode the removal is an in-place swap-delete — the leaf just goes
+// unsorted, exactly the freedom §4.2 grants deletions ("removes the
+// points there, marks the leaf as unsorted if necessary"). TotalOrder
+// (CPAM) mode must keep the leaf sorted, so it pays for an order-
+// preserving compaction.
+func (t *Tree) deleteFromLeaf(nd *node, batch []Entry) *node {
+	if t.mode == PartialOrder {
+		ents := nd.ents
+		removed := false
+		for _, b := range batch {
+			for i := range ents {
+				if ents[i].Code == b.Code && ents[i].P == b.P {
+					ents[i] = ents[len(ents)-1]
+					ents = ents[:len(ents)-1]
+					removed = true
+					break
+				}
+			}
+		}
+		if !removed {
+			return nd
+		}
+		if len(ents) == 0 {
+			return nil
+		}
+		nd.ents = ents
+		nd.size = len(ents)
+		nd.sorted = false
+		nd.bbox = entsBBox(ents, t.opts.Dims)
+		return nd
+	}
+	used := make([]bool, len(batch))
+	kept := make([]Entry, 0, len(nd.ents))
+	for _, e := range nd.ents {
+		matched := false
+		lo := lowerBound(batch, e)
+		for j := lo; j < len(batch) && cmpEntry(batch[j], e) == 0; j++ {
+			if !used[j] {
+				used[j] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	if len(kept) == len(nd.ents) {
+		return nd
+	}
+	return t.newLeaf(kept, nd.sorted)
+}
+
+// LeafStats reports how many leaves exist and how many are currently
+// marked unsorted — the observable footprint of the partial-order
+// relaxation (used by tests and the ablation benches).
+func (t *Tree) LeafStats() (leaves, unsorted int) {
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		if nd.isLeaf() {
+			leaves++
+			if !nd.sorted {
+				unsorted++
+			}
+			return
+		}
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(t.root)
+	return
+}
+
+// Height returns the tree height (leaf = 1).
+func (t *Tree) Height() int { return heightOf(t.root) }
+
+func heightOf(nd *node) int {
+	if nd == nil {
+		return 0
+	}
+	if nd.isLeaf() {
+		return 1
+	}
+	l, r := heightOf(nd.left), heightOf(nd.right)
+	if r > l {
+		l = r
+	}
+	return l + 1
+}

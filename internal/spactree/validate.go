@@ -1,0 +1,101 @@
+package spactree
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Validate checks every invariant of the SPaC/CPAM tree:
+//
+//  1. BST order on (code, point): left subtree <= pivot <= right subtree;
+//     inside leaves the order is relaxed iff the sorted flag is false
+//     (and in TotalOrder mode the flag must always be true);
+//  2. an honest sorted flag (flagged leaves really are sorted);
+//  3. BB[α] weight balance at every interior node;
+//  4. leaf wrapping: leaves hold at most LeafWrap entries, interiors hold
+//     more than LeafWrap points;
+//  5. exact sizes and tight bounding boxes.
+func (t *Tree) Validate() error {
+	_, _, _, err := t.validate(t.root)
+	return err
+}
+
+// validate returns (size, minEntry, maxEntry, err).
+func (t *Tree) validate(nd *node) (int, Entry, Entry, error) {
+	var zero Entry
+	if nd == nil {
+		return 0, zero, zero, nil
+	}
+	dims := t.opts.Dims
+	if nd.isLeaf() {
+		if len(nd.ents) == 0 {
+			return 0, zero, zero, fmt.Errorf("empty leaf present")
+		}
+		if nd.size != len(nd.ents) {
+			return 0, zero, zero, fmt.Errorf("leaf size %d with %d entries", nd.size, len(nd.ents))
+		}
+		if len(nd.ents) > t.opts.LeafWrap {
+			return 0, zero, zero, fmt.Errorf("leaf exceeds wrap: %d > %d", len(nd.ents), t.opts.LeafWrap)
+		}
+		if t.mode == TotalOrder && !nd.sorted {
+			return 0, zero, zero, fmt.Errorf("CPAM leaf marked unsorted")
+		}
+		bbox := geom.EmptyBox(dims)
+		mn, mx := nd.ents[0], nd.ents[0]
+		for i, e := range nd.ents {
+			if e.Code != t.encode(e.P).Code {
+				return 0, zero, zero, fmt.Errorf("entry code stale for %v", e.P)
+			}
+			if nd.sorted && i > 0 && cmpEntry(nd.ents[i-1], e) > 0 {
+				return 0, zero, zero, fmt.Errorf("leaf flagged sorted but is not")
+			}
+			if cmpEntry(e, mn) < 0 {
+				mn = e
+			}
+			if cmpEntry(e, mx) > 0 {
+				mx = e
+			}
+			bbox = bbox.Extend(e.P, dims)
+		}
+		if bbox != nd.bbox {
+			return 0, zero, zero, fmt.Errorf("leaf bbox stale: %v vs %v", nd.bbox, bbox)
+		}
+		return nd.size, mn, mx, nil
+	}
+	ls, lmn, lmx, err := t.validate(nd.left)
+	if err != nil {
+		return 0, zero, zero, err
+	}
+	rs, rmn, rmx, err := t.validate(nd.right)
+	if err != nil {
+		return 0, zero, zero, err
+	}
+	if ls > 0 && cmpEntry(lmx, nd.pivot) > 0 {
+		return 0, zero, zero, fmt.Errorf("left max %v exceeds pivot %v", lmx, nd.pivot)
+	}
+	if rs > 0 && cmpEntry(rmn, nd.pivot) < 0 {
+		return 0, zero, zero, fmt.Errorf("right min %v below pivot %v", rmn, nd.pivot)
+	}
+	if nd.size != ls+rs+1 {
+		return 0, zero, zero, fmt.Errorf("interior size %d, children+pivot %d", nd.size, ls+rs+1)
+	}
+	if nd.size <= t.opts.LeafWrap {
+		return 0, zero, zero, fmt.Errorf("interior of size %d should be a leaf (wrap %d)", nd.size, t.opts.LeafWrap)
+	}
+	if !t.likeWeights(weight(nd.left), weight(nd.right)) {
+		return 0, zero, zero, fmt.Errorf("weight balance violated: |L|=%d |R|=%d alpha=%.2f",
+			sizeOf(nd.left), sizeOf(nd.right), t.opts.Alpha)
+	}
+	if got := t.interiorBBox(nd.left, nd.pivot, nd.right); got != nd.bbox {
+		return 0, zero, zero, fmt.Errorf("interior bbox stale")
+	}
+	mn, mx := nd.pivot, nd.pivot
+	if ls > 0 && cmpEntry(lmn, mn) < 0 {
+		mn = lmn
+	}
+	if rs > 0 && cmpEntry(rmx, mx) > 0 {
+		mx = rmx
+	}
+	return nd.size, mn, mx, nil
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/geom"
+)
+
+// Binary dataset format used by cmd/psigen and cmd/psibench -data:
+//
+//	magic  uint32  "PSI1"
+//	dims   uint32
+//	n      uint64
+//	coords n*dims int64 little-endian (row-major)
+//
+// This mirrors the paper's artifact workflow of generating datasets to disk
+// once and reusing them across experiments (§F.6).
+
+const fileMagic = 0x50534931 // "PSI1"
+
+// WritePoints writes pts in the binary dataset format.
+func WritePoints(w io.Writer, pts []geom.Point, dims int) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(dims))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(pts)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, p := range pts {
+		for d := 0; d < dims; d++ {
+			binary.LittleEndian.PutUint64(buf[:], uint64(p[d]))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPoints reads a binary dataset.
+func ReadPoints(r io.Reader) (pts []geom.Point, dims int, err error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("workload: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != fileMagic {
+		return nil, 0, fmt.Errorf("workload: bad magic (not a PSI dataset)")
+	}
+	dims = int(binary.LittleEndian.Uint32(hdr[4:]))
+	if dims < 1 || dims > geom.MaxDims {
+		return nil, 0, fmt.Errorf("workload: unsupported dims %d", dims)
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	pts = make([]geom.Point, n)
+	var buf [8]byte
+	for i := range pts {
+		for d := 0; d < dims; d++ {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, 0, fmt.Errorf("workload: truncated at point %d: %w", i, err)
+			}
+			pts[i][d] = int64(binary.LittleEndian.Uint64(buf[:]))
+		}
+	}
+	return pts, dims, nil
+}
+
+// SaveFile writes pts to path in the binary dataset format.
+func SaveFile(path string, pts []geom.Point, dims int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePoints(f, pts, dims); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a binary dataset from path.
+func LoadFile(path string) ([]geom.Point, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return ReadPoints(f)
+}

@@ -1,0 +1,235 @@
+// Package workload generates the datasets and query sets of the paper's
+// evaluation (§5.1): Uniform, Sweepline and Varden synthetic distributions,
+// the real-world stand-ins (Cosmo-like 3D and OSM-like 2D clustering), and
+// the in-distribution / out-of-distribution kNN query sets plus range-query
+// generators.
+//
+// All generators are deterministic in (seed, n, dims) and generate in
+// parallel with per-chunk PRNGs, so a billion-point dataset on the paper's
+// machine and a million-point dataset here are drawn from the same family.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+// hashMul decorrelates per-chunk PRNG seeds (SplitMix64-style multiplier,
+// truncated to a positive int64).
+const hashMul = int64(0x2545F4914F6CDD1D)
+
+// DefaultSide is the coordinate range [0, DefaultSide] used for 2D data in
+// the paper (§5.1: "All coordinates are 64-bit integers in [0, 1e9]").
+const DefaultSide = int64(1_000_000_000)
+
+// DefaultSide3D is the 3D coordinate range; the paper scales 3D data to
+// [0, 1e6] so Hilbert/Morton 21-bit precision suffices (§E).
+const DefaultSide3D = int64(1_000_000)
+
+// Dist names a point distribution.
+type Dist string
+
+const (
+	// Uniform draws each point uniformly from the universe.
+	Uniform Dist = "uniform"
+	// Sweepline is uniform data sorted along dimension 0: it simulates a
+	// skewed *update pattern* in which arriving batches have spatial
+	// locality (§5.1).
+	Sweepline Dist = "sweepline"
+	// Varden is the clustered distribution of Gan & Tao [27]: a random
+	// walk with small steps and a low restart probability, producing
+	// far-apart dense clusters. It simulates a skewed *point
+	// distribution*.
+	Varden Dist = "varden"
+	// Cosmo is the stand-in for the COSMO astronomy dataset (Fig. 6):
+	// heavily clustered 3D points along filament-like walks.
+	Cosmo Dist = "cosmo"
+	// OSM is the stand-in for OpenStreetMap North America (Fig. 6): 2D
+	// points concentrated along polyline "roads" with a sparse uniform
+	// background.
+	OSM Dist = "osm"
+)
+
+// Side returns the conventional universe side for the distribution.
+func (d Dist) Side(dims int) int64 {
+	if dims == 3 {
+		return DefaultSide3D
+	}
+	return DefaultSide
+}
+
+// Universe returns the conventional universe box for the distribution.
+func Universe(dims int, side int64) geom.Box { return geom.UniverseBox(dims, side) }
+
+// Generate produces n points of the given distribution. It panics on an
+// unknown distribution (programmer error, not input error).
+func Generate(d Dist, n, dims int, side int64, seed int64) []geom.Point {
+	switch d {
+	case Uniform:
+		return GenUniform(n, dims, side, seed)
+	case Sweepline:
+		return GenSweepline(n, dims, side, seed)
+	case Varden:
+		return GenVarden(n, dims, side, seed)
+	case Cosmo:
+		return GenCosmo(n, dims, side, seed)
+	case OSM:
+		return GenOSM(n, dims, side, seed)
+	}
+	panic("workload: unknown distribution " + string(d))
+}
+
+// GenUniform draws n points uniformly from [0, side]^dims.
+func GenUniform(n, dims int, side int64, seed int64) []geom.Point {
+	pts := make([]geom.Point, n)
+	const grain = 8192
+	parallel.Blocks(n, grain, func(lo, hi int) {
+		rng := rand.New(rand.NewSource(seed ^ int64(lo)*hashMul))
+		for i := lo; i < hi; i++ {
+			for d := 0; d < dims; d++ {
+				pts[i][d] = rng.Int63n(side + 1)
+			}
+		}
+	})
+	return pts
+}
+
+// GenSweepline draws uniform points and sorts them by dimension 0, so that
+// consecutive update batches sweep across the space.
+func GenSweepline(n, dims int, side int64, seed int64) []geom.Point {
+	pts := GenUniform(n, dims, side, seed)
+	parallel.Sort(pts, func(a, b geom.Point) int {
+		switch {
+		case a[0] < b[0]:
+			return -1
+		case a[0] > b[0]:
+			return 1
+		}
+		return 0
+	})
+	return pts
+}
+
+// vardenParams tunes the random walk of [27]: step size relative to the
+// universe and restart probability. Small steps + rare restarts give the
+// far-apart dense clusters the paper exploits to stress orth-trees.
+type walkParams struct {
+	stepFrac    int64   // step drawn from [-side/stepFrac, side/stepFrac]
+	restartProb float64 // probability of teleporting to a fresh uniform spot
+}
+
+func genWalk(n, dims int, side int64, seed int64, p walkParams) []geom.Point {
+	pts := make([]geom.Point, n)
+	// Parallel over independent walk segments: each chunk restarts at a
+	// fresh position, which is itself a restart event of the walk, so the
+	// distribution family is unchanged while generation scales.
+	const grain = 1 << 15
+	step := side / p.stepFrac
+	if step < 1 {
+		step = 1
+	}
+	parallel.Blocks(n, grain, func(lo, hi int) {
+		rng := rand.New(rand.NewSource(seed ^ int64(lo)*hashMul))
+		var cur geom.Point
+		for d := 0; d < dims; d++ {
+			cur[d] = rng.Int63n(side + 1)
+		}
+		for i := lo; i < hi; i++ {
+			if rng.Float64() < p.restartProb {
+				for d := 0; d < dims; d++ {
+					cur[d] = rng.Int63n(side + 1)
+				}
+			} else {
+				for d := 0; d < dims; d++ {
+					c := cur[d] + rng.Int63n(2*step+1) - step
+					if c < 0 {
+						c = -c
+					}
+					if c > side {
+						c = 2*side - c
+					}
+					cur[d] = c
+				}
+			}
+			pts[i] = cur
+		}
+	})
+	return pts
+}
+
+// GenVarden generates the Varden clustered distribution [27].
+func GenVarden(n, dims int, side int64, seed int64) []geom.Point {
+	return genWalk(n, dims, side, seed, walkParams{stepFrac: 10000, restartProb: 1e-4})
+}
+
+// GenCosmo generates the COSMO stand-in: tighter clusters, even rarer
+// restarts (astronomical surveys concentrate points in filaments).
+func GenCosmo(n, dims int, side int64, seed int64) []geom.Point {
+	return genWalk(n, dims, side, seed, walkParams{stepFrac: 50000, restartProb: 3e-5})
+}
+
+// GenOSM generates the OSM stand-in: 85% of points along polyline walks
+// with moderate steps ("roads"), 15% uniform background ("rural").
+func GenOSM(n, dims int, side int64, seed int64) []geom.Point {
+	nRoad := n * 85 / 100
+	road := genWalk(nRoad, dims, side, seed, walkParams{stepFrac: 2000, restartProb: 5e-4})
+	bg := GenUniform(n-nRoad, dims, side, seed^0x5bf03635)
+	pts := append(road, bg...)
+	// Shuffle deterministically so update batches mix road and rural
+	// points the way OSM ingestion does.
+	rng := rand.New(rand.NewSource(seed ^ 0x2545f491))
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	return pts
+}
+
+// InDQueries samples nq in-distribution query points: fresh draws from the
+// same distribution family (different seed), matching the paper's InD
+// query sets.
+func InDQueries(d Dist, nq, dims int, side int64, seed int64) []geom.Point {
+	return Generate(d, nq, dims, side, seed+0x10d)
+}
+
+// OODQueries samples nq out-of-distribution query points. For clustered or
+// sorted data the natural OOD choice is uniform over the universe; for
+// uniform data it is a clustered (Varden) draw — in both cases queries land
+// where the data is not, which is what the paper's OOD columns measure.
+func OODQueries(d Dist, nq, dims int, side int64, seed int64) []geom.Point {
+	if d == Uniform {
+		return GenVarden(nq, dims, side, seed+0xda7a)
+	}
+	return GenUniform(nq, dims, side, seed+0xda7a)
+}
+
+// RangeQueries returns nq axis-aligned query boxes with side lengths drawn
+// so the expected output size sweeps the paper's range (§5.1: range sizes
+// chosen for 1e4–1e6 outputs at n = 1e9; we parameterize by the target
+// fraction instead so the harness scales). frac is the expected fraction of
+// the universe volume covered by each box.
+func RangeQueries(nq, dims int, side int64, frac float64, seed int64) []geom.Box {
+	rng := rand.New(rand.NewSource(seed ^ 0xb0c5))
+	// Box side for target volume fraction: side * frac^(1/dims).
+	ext := int64(float64(side) * math.Pow(frac, 1.0/float64(dims)))
+	if ext < 1 {
+		ext = 1
+	}
+	boxes := make([]geom.Box, nq)
+	for i := range boxes {
+		var lo geom.Point
+		for d := 0; d < dims; d++ {
+			maxLo := side - ext
+			if maxLo < 0 {
+				maxLo = 0
+			}
+			lo[d] = rng.Int63n(maxLo + 1)
+		}
+		hi := lo
+		for d := 0; d < dims; d++ {
+			hi[d] = lo[d] + ext
+		}
+		boxes[i] = geom.BoxOf(lo, hi)
+	}
+	return boxes
+}

@@ -1,0 +1,224 @@
+package zdtree
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// KNN implements core.Index with the same bbox-ordered DFS as the P-Orth
+// tree (the Zd-tree is an orth-tree; only construction differs).
+func (t *Tree) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
+	if t.root == nil || k <= 0 {
+		return dst
+	}
+	h := geom.NewKNNHeap(k)
+	t.knn(t.root, q, h)
+	return h.Append(dst)
+}
+
+func (t *Tree) knn(nd *node, q geom.Point, h *geom.KNNHeap) {
+	dims := t.opts.Dims
+	if nd.isLeaf() {
+		for _, e := range nd.ents {
+			h.Push(e.P, geom.Dist2(e.P, q, dims))
+		}
+		return
+	}
+	type cand struct {
+		d int64
+		c *node
+	}
+	var arr [8]cand
+	m := 0
+	for _, c := range nd.kids {
+		if c == nil {
+			continue
+		}
+		d := c.bbox.Dist2(q, dims)
+		j := m
+		for j > 0 && arr[j-1].d > d {
+			arr[j] = arr[j-1]
+			j--
+		}
+		arr[j] = cand{d: d, c: c}
+		m++
+	}
+	for i := 0; i < m; i++ {
+		if h.Full() && arr[i].d >= h.Bound() {
+			return
+		}
+		t.knn(arr[i].c, q, h)
+	}
+}
+
+// RangeCount implements core.Index.
+func (t *Tree) RangeCount(box geom.Box) int { return t.count(t.root, box) }
+
+func (t *Tree) count(nd *node, box geom.Box) int {
+	if nd == nil {
+		return 0
+	}
+	dims := t.opts.Dims
+	if !box.Intersects(nd.bbox, dims) {
+		return 0
+	}
+	if box.ContainsBox(nd.bbox, dims) {
+		return nd.size
+	}
+	if nd.isLeaf() {
+		n := 0
+		for _, e := range nd.ents {
+			if box.Contains(e.P, dims) {
+				n++
+			}
+		}
+		return n
+	}
+	n := 0
+	for _, c := range nd.kids {
+		n += t.count(c, box)
+	}
+	return n
+}
+
+// RangeList implements core.Index.
+func (t *Tree) RangeList(box geom.Box, dst []geom.Point) []geom.Point {
+	return t.list(t.root, box, dst)
+}
+
+func (t *Tree) list(nd *node, box geom.Box, dst []geom.Point) []geom.Point {
+	if nd == nil {
+		return dst
+	}
+	dims := t.opts.Dims
+	if !box.Intersects(nd.bbox, dims) {
+		return dst
+	}
+	if box.ContainsBox(nd.bbox, dims) {
+		return appendAll(nd, dst)
+	}
+	if nd.isLeaf() {
+		for _, e := range nd.ents {
+			if box.Contains(e.P, dims) {
+				dst = append(dst, e.P)
+			}
+		}
+		return dst
+	}
+	for _, c := range nd.kids {
+		dst = t.list(c, box, dst)
+	}
+	return dst
+}
+
+func appendAll(nd *node, dst []geom.Point) []geom.Point {
+	if nd == nil {
+		return dst
+	}
+	if nd.isLeaf() {
+		for _, e := range nd.ents {
+			dst = append(dst, e.P)
+		}
+		return dst
+	}
+	for _, c := range nd.kids {
+		dst = appendAll(c, dst)
+	}
+	return dst
+}
+
+// Validate checks the Zd-tree invariants: leaf code order, code-prefix
+// consistency per quadrant, size/bbox consistency, and the canonical leaf
+// wrap (interior iff size > wrap and codes not exhausted).
+func (t *Tree) Validate() error {
+	_, err := t.validate(t.root, 0, t.topShift)
+	return err
+}
+
+func (t *Tree) validate(nd *node, prefix uint64, shift int) (int, error) {
+	if nd == nil {
+		return 0, nil
+	}
+	dims := t.opts.Dims
+	// Every code below this node must agree with prefix on all digits
+	// above shift.
+	mask := ^uint64(0)
+	if shift+dims < 64 {
+		mask <<= uint(shift + dims)
+	} else {
+		mask = 0
+	}
+	if nd.isLeaf() {
+		if len(nd.ents) != nd.size || nd.size == 0 {
+			return 0, fmt.Errorf("leaf size %d with %d entries", nd.size, len(nd.ents))
+		}
+		if nd.size > t.opts.LeafWrap && shift >= 0 {
+			return 0, fmt.Errorf("oversized leaf (%d) with codes remaining", nd.size)
+		}
+		bbox := geom.EmptyBox(dims)
+		var prev uint64
+		for i, e := range nd.ents {
+			if i > 0 && e.Code < prev {
+				return 0, fmt.Errorf("leaf entries out of code order")
+			}
+			prev = e.Code
+			if e.Code&mask != prefix&mask {
+				return 0, fmt.Errorf("leaf code %x violates prefix %x at shift %d", e.Code, prefix, shift)
+			}
+			bbox = bbox.Extend(e.P, dims)
+		}
+		if bbox != nd.bbox {
+			return 0, fmt.Errorf("leaf bbox stale")
+		}
+		return nd.size, nil
+	}
+	if nd.size <= t.opts.LeafWrap {
+		return 0, fmt.Errorf("interior of size %d should be a leaf", nd.size)
+	}
+	total := 0
+	bbox := geom.EmptyBox(dims)
+	for q, c := range nd.kids {
+		sz, err := t.validate(c, prefix|uint64(q)<<uint(shift), shift-dims)
+		if err != nil {
+			return 0, err
+		}
+		total += sz
+		if c != nil {
+			bbox = bbox.Union(c.bbox, dims)
+		}
+	}
+	if total != nd.size || bbox != nd.bbox {
+		return 0, fmt.Errorf("interior size/bbox stale: size %d sum %d", nd.size, total)
+	}
+	return total, nil
+}
+
+// StructuralEqual reports whether two Zd-trees are identical (entry order
+// within leaves included — Morton order is canonical).
+func StructuralEqual(a, b *Tree) bool {
+	return zdEqual(a.root, b.root)
+}
+
+func zdEqual(x, y *node) bool {
+	if x == nil || y == nil {
+		return x == y
+	}
+	if x.size != y.size || x.bbox != y.bbox || x.isLeaf() != y.isLeaf() {
+		return false
+	}
+	if x.isLeaf() {
+		for i := range x.ents {
+			if x.ents[i] != y.ents[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for q := range x.kids {
+		if !zdEqual(x.kids[q], y.kids[q]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,60 @@
+package zdtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Property: randomized operation scripts keep the Zd-tree's invariants
+// (code order, prefix consistency, leaf wrap) and agree with the oracle.
+func TestQuickOpScripts(t *testing.T) {
+	f := func(seed int64, dense bool, threeD bool) bool {
+		dims := 2
+		if threeD {
+			dims = 3
+		}
+		side := int64(1 << 16)
+		if dense {
+			side = 40
+		}
+		tr := NewDefault(dims, geom.UniverseBox(dims, side))
+		script := core.OpScript{
+			Dims: dims, Side: side, Steps: 12, Seed: seed, MaxBatch: 300,
+			Validate: tr.Validate,
+		}
+		if err := script.Run(tr); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Boundary: points at the Morton precision limit.
+func TestPrecisionBoundaryPoints(t *testing.T) {
+	maxc := int64(1<<31 - 1)
+	u := geom.BoxOf(geom.Pt2(0, 0), geom.Pt2(maxc, maxc))
+	tr := NewDefault(2, u)
+	pts := []geom.Point{
+		geom.Pt2(0, 0), geom.Pt2(maxc, maxc), geom.Pt2(maxc, 0),
+		geom.Pt2(0, maxc), geom.Pt2(maxc/2, maxc/2+1),
+	}
+	tr.Build(pts)
+	validateOrFail(t, tr)
+	for _, p := range pts {
+		nn := tr.KNN(p, 1, nil)
+		if len(nn) != 1 || nn[0] != p {
+			t.Fatalf("boundary point %v lost (got %v)", p, nn)
+		}
+	}
+	tr.BatchDelete(pts)
+	if tr.Size() != 0 {
+		t.Fatal("boundary points not deleted")
+	}
+}

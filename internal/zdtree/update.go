@@ -1,0 +1,135 @@
+package zdtree
+
+import (
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+// insert merges a code-sorted batch into a subtree.
+func (t *Tree) insert(nd *node, batch []Entry, shift int) *node {
+	if len(batch) == 0 {
+		return nd
+	}
+	if nd == nil {
+		return t.build(batch, shift)
+	}
+	if nd.isLeaf() {
+		merged := mergeSorted(nd.ents, batch)
+		if len(merged) <= t.opts.LeafWrap || shift < 0 {
+			bbox := nd.bbox
+			for _, e := range batch {
+				bbox = bbox.Extend(e.P, t.opts.Dims)
+			}
+			return &node{size: len(merged), bbox: bbox, ents: merged}
+		}
+		return t.build(merged, shift)
+	}
+	bounds := t.splitBounds(batch, shift)
+	rec := func(q int) {
+		lo, hi := bounds[q], bounds[q+1]
+		if lo < hi {
+			nd.kids[q] = t.insert(nd.kids[q], batch[lo:hi], shift-t.opts.Dims)
+		}
+	}
+	if len(batch) >= seqCutoff {
+		parallel.ForEach(t.nway, 1, rec)
+	} else {
+		for q := 0; q < t.nway; q++ {
+			rec(q)
+		}
+	}
+	t.refresh(nd)
+	return nd
+}
+
+// delete removes one occurrence per batch entry.
+func (t *Tree) delete(nd *node, batch []Entry, shift int) *node {
+	if nd == nil || len(batch) == 0 {
+		return nd
+	}
+	if nd.isLeaf() {
+		removeFromLeaf(nd, batch, t.opts.Dims)
+		if nd.size == 0 {
+			return nil
+		}
+		return nd
+	}
+	bounds := t.splitBounds(batch, shift)
+	rec := func(q int) {
+		lo, hi := bounds[q], bounds[q+1]
+		if lo < hi {
+			nd.kids[q] = t.delete(nd.kids[q], batch[lo:hi], shift-t.opts.Dims)
+		}
+	}
+	if len(batch) >= seqCutoff {
+		parallel.ForEach(t.nway, 1, rec)
+	} else {
+		for q := 0; q < t.nway; q++ {
+			rec(q)
+		}
+	}
+	return t.makeInterior(nd.kids)
+}
+
+// refresh recomputes an interior node's size and bbox after inserts.
+func (t *Tree) refresh(nd *node) {
+	size := 0
+	bbox := geom.EmptyBox(t.opts.Dims)
+	for _, c := range nd.kids {
+		if c != nil {
+			size += c.size
+			bbox = bbox.Union(c.bbox, t.opts.Dims)
+		}
+	}
+	nd.size = size
+	nd.bbox = bbox
+}
+
+// mergeSorted merges two code-sorted entry slices into a new slice.
+func mergeSorted(a, b []Entry) []Entry {
+	out := make([]Entry, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Code <= b[j].Code {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// removeFromLeaf removes one occurrence per batch entry (both slices are
+// code-sorted, so a linear merge finds matches). The leaf stays sorted.
+func removeFromLeaf(nd *node, batch []Entry, dims int) {
+	kept := nd.ents[:0]
+	i := 0
+	used := make([]bool, len(batch))
+	for _, e := range nd.ents {
+		for i < len(batch) && batch[i].Code < e.Code {
+			i++
+		}
+		matched := false
+		for j := i; j < len(batch) && batch[j].Code == e.Code; j++ {
+			if !used[j] && batch[j].P == e.P {
+				used[j] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			kept = append(kept, e)
+		}
+	}
+	nd.ents = kept
+	nd.size = len(kept)
+	bbox := geom.EmptyBox(dims)
+	for _, e := range kept {
+		bbox = bbox.Extend(e.P, dims)
+	}
+	nd.bbox = bbox
+}

@@ -1,0 +1,177 @@
+package zdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+const testSide = int64(1 << 20)
+
+func universe() geom.Box { return geom.UniverseBox(2, testSide) }
+
+func newTest2D() *Tree { return NewDefault(2, universe()) }
+
+func validateOrFail(t *testing.T, tr *Tree) {
+	t.Helper()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := newTest2D()
+	if tr.Size() != 0 || len(tr.KNN(geom.Pt2(1, 1), 3, nil)) != 0 || tr.RangeCount(universe()) != 0 {
+		t.Fatal("empty tree misbehaves")
+	}
+	tr.BatchDelete([]geom.Point{geom.Pt2(1, 1)})
+	validateOrFail(t, tr)
+}
+
+func TestBuildMatchesBruteForce(t *testing.T) {
+	for _, dist := range []workload.Dist{workload.Uniform, workload.Sweepline, workload.Varden} {
+		for _, n := range []int{1, 33, 1000, 20000} {
+			pts := workload.Generate(dist, n, 2, testSide, 7)
+			tr := newTest2D()
+			tr.Build(pts)
+			validateOrFail(t, tr)
+			ref := core.NewBruteForce(2)
+			ref.Build(pts)
+			queries := workload.GenUniform(30, 2, testSide, 9)
+			boxes := workload.RangeQueries(15, 2, testSide, 0.01, 11)
+			boxes = append(boxes, universe())
+			if err := core.VerifyQueries(tr, ref, queries, []int{1, 3, 10}, boxes); err != nil {
+				t.Fatalf("%s n=%d: %v", dist, n, err)
+			}
+		}
+	}
+}
+
+func TestBuild3D(t *testing.T) {
+	side := workload.DefaultSide3D
+	tr := NewDefault(3, geom.UniverseBox(3, side))
+	pts := workload.GenVarden(8000, 3, side, 3)
+	tr.Build(pts)
+	validateOrFail(t, tr)
+	ref := core.NewBruteForce(3)
+	ref.Build(pts)
+	if err := core.VerifyQueries(tr, ref,
+		workload.GenUniform(20, 3, side, 5), []int{1, 10},
+		workload.RangeQueries(10, 3, side, 0.05, 6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniversePrecisionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: 3D universe exceeding 21-bit Morton range")
+		}
+	}()
+	New(core.DefaultOptions(3, geom.UniverseBox(3, 1<<22)))
+}
+
+func TestInsertDeleteMatchesBruteForce(t *testing.T) {
+	pts := workload.GenVarden(20000, 2, testSide, 13)
+	tr := newTest2D()
+	ref := core.NewBruteForce(2)
+	tr.Build(pts[:5000])
+	ref.Build(pts[:5000])
+	for lo := 5000; lo < 20000; lo += 5000 {
+		tr.BatchInsert(pts[lo : lo+5000])
+		ref.BatchInsert(pts[lo : lo+5000])
+		validateOrFail(t, tr)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for round := 0; round < 3; round++ {
+		cur := ref.Points()
+		batch := make([]geom.Point, 3000)
+		for i := range batch {
+			batch[i] = cur[rng.Intn(len(cur))]
+		}
+		tr.BatchDelete(batch)
+		ref.BatchDelete(batch)
+		validateOrFail(t, tr)
+		if tr.Size() != ref.Size() {
+			t.Fatalf("round %d: size %d want %d", round, tr.Size(), ref.Size())
+		}
+	}
+	queries := workload.GenUniform(30, 2, testSide, 19)
+	boxes := workload.RangeQueries(10, 2, testSide, 0.02, 23)
+	if err := core.VerifyQueries(tr, ref, queries, []int{1, 10}, boxes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryIndependence(t *testing.T) {
+	all := workload.GenVarden(12000, 2, testSide, 29)
+	a := newTest2D()
+	a.Build(all[:6000])
+	a.BatchInsert(all[6000:])
+	b := newTest2D()
+	b.Build(all)
+	if !StructuralEqual(a, b) {
+		t.Fatal("insert-built Zd-tree differs from scratch build")
+	}
+	a.BatchDelete(all[6000:])
+	c := newTest2D()
+	c.Build(all[:6000])
+	if !StructuralEqual(a, c) {
+		t.Fatal("delete-built Zd-tree differs from scratch build")
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	p := geom.Pt2(4242, 1717)
+	pts := make([]geom.Point, 300)
+	for i := range pts {
+		pts[i] = p
+	}
+	tr := newTest2D()
+	tr.Build(pts)
+	validateOrFail(t, tr)
+	tr.BatchDelete(pts[:100])
+	if tr.Size() != 200 {
+		t.Fatalf("size %d", tr.Size())
+	}
+	validateOrFail(t, tr)
+	nn := tr.KNN(geom.Pt2(0, 0), 5, nil)
+	if len(nn) != 5 || nn[0] != p {
+		t.Fatalf("kNN over duplicates: %v", nn)
+	}
+}
+
+func TestFullDeleteEmptiesTree(t *testing.T) {
+	pts := workload.GenUniform(5000, 2, testSide, 31)
+	tr := newTest2D()
+	tr.Build(pts)
+	tr.BatchDelete(pts)
+	if tr.Size() != 0 {
+		t.Fatalf("size %d after deleting all", tr.Size())
+	}
+	validateOrFail(t, tr)
+}
+
+func TestMortonOrderInvariantAfterUpdates(t *testing.T) {
+	// Directed regression: interleave inserts and deletes, then check the
+	// global Morton order of a full collection.
+	tr := newTest2D()
+	pool := workload.GenUniform(10000, 2, testSide, 37)
+	tr.Build(pool[:4000])
+	tr.BatchInsert(pool[4000:8000])
+	tr.BatchDelete(pool[1000:3000])
+	tr.BatchInsert(pool[8000:])
+	validateOrFail(t, tr)
+	ents := collectEntries(tr.root, nil)
+	for i := 1; i < len(ents); i++ {
+		if ents[i].Code < ents[i-1].Code {
+			t.Fatal("global Morton order broken")
+		}
+	}
+	if len(ents) != tr.Size() {
+		t.Fatal("size mismatch with collected entries")
+	}
+}

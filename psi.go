@@ -1,0 +1,213 @@
+// Package psi is Ψ-Lib/Go: a parallel spatial index library reproducing
+// "Parallel Dynamic Spatial Indexes" (PPoPP 2026). It provides batch-
+// dynamic spatial indexes for 2D and 3D integer point data with parallel
+// construction, parallel batch insertion/deletion, and k-nearest-neighbor
+// and orthogonal range queries:
+//
+//   - the P-Orth tree — a parallel quadtree/octree built without
+//     space-filling curves (the paper's §3);
+//   - the SPaC-tree family — parallel R-trees over Morton or Hilbert
+//     codes with relaxed in-leaf order (the paper's §4);
+//   - the baselines the paper evaluates against: Pkd-tree, Zd-tree,
+//     CPAM-Z/CPAM-H, and a sequential quadratic R-tree.
+//
+// All indexes implement the same Index interface, so they are drop-in
+// interchangeable; pick by workload using the guidance in the README
+// (distilled from the paper's §5.4):
+//
+//	u := psi.Universe2D(1_000_000_000)
+//	idx := psi.NewSPaCH(2, u) // fastest batch updates
+//	idx.Build(points)
+//	idx.BatchInsert(more)
+//	nn := idx.KNN(q, 10, nil)
+//
+// Indexes are safe for concurrent queries but not for concurrent
+// mutation; batch operations parallelize internally.
+package psi
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/logtree"
+	"repro/internal/orthtree"
+	"repro/internal/pkdtree"
+	"repro/internal/rtree"
+	"repro/internal/sfc"
+	"repro/internal/spactree"
+	"repro/internal/workload"
+	"repro/internal/zdtree"
+)
+
+// Point is a 2D or 3D point with int64 coordinates. For 2D data the third
+// slot must be zero.
+type Point = geom.Point
+
+// Box is a closed axis-aligned box.
+type Box = geom.Box
+
+// Index is the uniform interface implemented by every spatial index in
+// the library. See core.Index for the full contract.
+type Index = core.Index
+
+// Options carries tree tuning parameters (leaf wrap φ, balance α,
+// skeleton levels λ, universe box). Use DefaultOptions as a base.
+type Options = core.Options
+
+// Pt2 builds a 2D point.
+func Pt2(x, y int64) Point { return geom.Pt2(x, y) }
+
+// Pt3 builds a 3D point.
+func Pt3(x, y, z int64) Point { return geom.Pt3(x, y, z) }
+
+// BoxOf builds the box with corners lo and hi (inclusive).
+func BoxOf(lo, hi Point) Box { return geom.BoxOf(lo, hi) }
+
+// Universe2D returns the box [0, side]^2, the conventional root region.
+func Universe2D(side int64) Box { return geom.UniverseBox(2, side) }
+
+// Universe3D returns the box [0, side]^3.
+func Universe3D(side int64) Box { return geom.UniverseBox(3, side) }
+
+// DefaultOptions returns the paper's parameter choices (§C).
+func DefaultOptions(dims int, universe Box) Options {
+	return core.DefaultOptions(dims, universe)
+}
+
+// NewPOrth returns a P-Orth tree (this paper, §3): the best
+// query/update trade-off on non-skewed data; history-independent, so
+// query performance does not degrade under sustained updates.
+func NewPOrth(dims int, universe Box) Index {
+	return orthtree.NewDefault(dims, universe)
+}
+
+// NewPOrthOpts returns a P-Orth tree with explicit options.
+func NewPOrthOpts(opts Options) Index { return orthtree.New(opts) }
+
+// NewSPaCH returns a SPaC-H-tree (this paper, §4, Hilbert curve): the
+// paper's recommended default for highly dynamic workloads — the fastest
+// construction and batch updates, with the better query speed of the two
+// SPaC variants.
+func NewSPaCH(dims int, universe Box) Index {
+	return spactree.NewSPaC(sfc.Hilbert, dims, universe)
+}
+
+// NewSPaCZ returns a SPaC-Z-tree (Morton curve): slightly faster updates
+// than SPaC-H, slower queries.
+func NewSPaCZ(dims int, universe Box) Index {
+	return spactree.NewSPaC(sfc.Morton, dims, universe)
+}
+
+// NewCPAMH returns the CPAM-H baseline: a PaC-tree over Hilbert codes
+// with a fully sorted total order (the paper's ablation of the SPaC
+// relaxation).
+func NewCPAMH(dims int, universe Box) Index {
+	return spactree.NewCPAM(sfc.Hilbert, dims, universe)
+}
+
+// NewCPAMZ returns the CPAM-Z baseline (Morton codes).
+func NewCPAMZ(dims int, universe Box) Index {
+	return spactree.NewCPAM(sfc.Morton, dims, universe)
+}
+
+// NewPkd returns the Pkd-tree baseline [43]: strong queries, updates pay
+// O(log² n) amortized per point.
+func NewPkd(dims int) Index { return pkdtree.NewDefault(dims) }
+
+// NewZd returns the Zd-tree baseline [16]: a Morton-sort-based parallel
+// orth-tree.
+func NewZd(dims int, universe Box) Index {
+	return zdtree.NewDefault(dims, universe)
+}
+
+// NewRTree returns the sequential quadratic R-tree baseline (Boost-R).
+func NewRTree(dims int) Index { return rtree.New(dims) }
+
+// NewLogTree returns the logarithmic-method kd-tree baseline [62]: cheap
+// batch insertion by binary-counter carries, but every query pays an
+// O(log n) forest traversal — the trade-off the paper's designs avoid.
+func NewLogTree(dims int) Index { return logtree.NewLog(dims) }
+
+// NewBHLTree returns the full-rebuild kd-tree baseline [62]: every batch
+// update rebuilds the whole tree.
+func NewBHLTree(dims int) Index { return logtree.NewBHL(dims) }
+
+// NewBruteForce returns the linear-scan reference index (exact, slow;
+// intended for testing and cross-validation).
+func NewBruteForce(dims int) Index { return core.NewBruteForce(dims) }
+
+// All returns one instance of every parallel index in the library plus
+// the sequential R-tree, in the paper's table order. Universe must cover
+// all points and fit SFC precision (2D: [0, 2^31); 3D: [0, 2^21)).
+func All(dims int, universe Box) []Index {
+	return []Index{
+		NewPOrth(dims, universe),
+		NewZd(dims, universe),
+		NewSPaCH(dims, universe),
+		NewSPaCZ(dims, universe),
+		NewCPAMH(dims, universe),
+		NewCPAMZ(dims, universe),
+		NewRTree(dims),
+		NewPkd(dims),
+		NewLogTree(dims),
+		NewBHLTree(dims),
+	}
+}
+
+// ByName constructs an index by its table name ("P-Orth", "Zd-Tree",
+// "SPaC-H", "SPaC-Z", "CPAM-H", "CPAM-Z", "Boost-R", "Pkd-Tree"); it
+// returns nil for unknown names.
+func ByName(name string, dims int, universe Box) Index {
+	switch name {
+	case "P-Orth":
+		return NewPOrth(dims, universe)
+	case "Zd-Tree":
+		return NewZd(dims, universe)
+	case "SPaC-H":
+		return NewSPaCH(dims, universe)
+	case "SPaC-Z":
+		return NewSPaCZ(dims, universe)
+	case "CPAM-H":
+		return NewCPAMH(dims, universe)
+	case "CPAM-Z":
+		return NewCPAMZ(dims, universe)
+	case "Boost-R":
+		return NewRTree(dims)
+	case "Pkd-Tree":
+		return NewPkd(dims)
+	case "Log-Tree":
+		return NewLogTree(dims)
+	case "BHL-Tree":
+		return NewBHLTree(dims)
+	case "BruteForce":
+		return NewBruteForce(dims)
+	}
+	return nil
+}
+
+// Workload re-exports: the paper's synthetic distributions and query
+// generators, for examples and downstream benchmarking.
+
+// Dist names a point distribution ("uniform", "sweepline", "varden",
+// "cosmo", "osm").
+type Dist = workload.Dist
+
+// Distributions available to Generate.
+const (
+	Uniform   = workload.Uniform
+	Sweepline = workload.Sweepline
+	Varden    = workload.Varden
+	Cosmo     = workload.Cosmo
+	OSM       = workload.OSM
+)
+
+// Generate produces n points of the given distribution inside
+// [0, side]^dims, deterministically in seed.
+func Generate(d Dist, n, dims int, side int64, seed int64) []Point {
+	return workload.Generate(d, n, dims, side, seed)
+}
+
+// RangeQueries generates query boxes covering the given fraction of the
+// universe volume.
+func RangeQueries(nq, dims int, side int64, frac float64, seed int64) []Box {
+	return workload.RangeQueries(nq, dims, side, frac, seed)
+}

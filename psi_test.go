@@ -1,0 +1,187 @@
+package psi
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// The root tests are the library's integration suite: every index is
+// driven through the same build/insert/delete sequences and must agree
+// with the brute-force oracle (and therefore with each other) on the full
+// query suite.
+
+const itSide = int64(1 << 20)
+
+func TestAllIndexesAgreeOnStaticData(t *testing.T) {
+	for _, dist := range []Dist{Uniform, Varden} {
+		pts := Generate(dist, 8000, 2, itSide, 5)
+		ref := core.NewBruteForce(2)
+		ref.Build(pts)
+		queries := workload.InDQueries(dist, 25, 2, itSide, 7)
+		boxes := RangeQueries(10, 2, itSide, 0.01, 9)
+		for _, idx := range All(2, Universe2D(itSide)) {
+			idx.Build(pts)
+			if err := core.VerifyQueries(idx, ref, queries, []int{1, 5, 20}, boxes); err != nil {
+				t.Errorf("%s on %s: %v", idx.Name(), dist, err)
+			}
+		}
+	}
+}
+
+func TestAllIndexesAgreeUnderDynamicWorkload(t *testing.T) {
+	// The paper's incremental setting in miniature: build 50%, then
+	// alternate insert/delete batches; all indexes must track the oracle.
+	pts := Generate(Varden, 16000, 2, itSide, 11)
+	ref := core.NewBruteForce(2)
+	indexes := All(2, Universe2D(itSide))
+	ref.Build(pts[:8000])
+	for _, idx := range indexes {
+		idx.Build(pts[:8000])
+	}
+	rng := rand.New(rand.NewSource(13))
+	next := 8000
+	for round := 0; round < 6; round++ {
+		if round%2 == 0 {
+			batch := pts[next : next+1300]
+			next += 1300
+			ref.BatchInsert(batch)
+			for _, idx := range indexes {
+				idx.BatchInsert(batch)
+			}
+		} else {
+			cur := ref.Points()
+			batch := make([]Point, 900)
+			for i := range batch {
+				batch[i] = cur[rng.Intn(len(cur))]
+			}
+			ref.BatchDelete(batch)
+			for _, idx := range indexes {
+				idx.BatchDelete(batch)
+			}
+		}
+	}
+	queries := workload.GenUniform(20, 2, itSide, 17)
+	boxes := RangeQueries(8, 2, itSide, 0.02, 19)
+	for _, idx := range indexes {
+		if idx.Size() != ref.Size() {
+			t.Errorf("%s: size %d, oracle %d", idx.Name(), idx.Size(), ref.Size())
+			continue
+		}
+		if err := core.VerifyQueries(idx, ref, queries, []int{1, 10}, boxes); err != nil {
+			t.Errorf("%s: %v", idx.Name(), err)
+		}
+	}
+}
+
+func TestAllIndexes3D(t *testing.T) {
+	side := workload.DefaultSide3D
+	pts := Generate(Cosmo, 6000, 3, side, 23)
+	ref := core.NewBruteForce(3)
+	ref.Build(pts)
+	queries := workload.GenUniform(15, 3, side, 29)
+	boxes := RangeQueries(8, 3, side, 0.03, 31)
+	for _, idx := range All(3, Universe3D(side)) {
+		idx.Build(pts)
+		if err := core.VerifyQueries(idx, ref, queries, []int{1, 10}, boxes); err != nil {
+			t.Errorf("%s 3D: %v", idx.Name(), err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	u := Universe2D(itSide)
+	for _, name := range []string{"P-Orth", "Zd-Tree", "SPaC-H", "SPaC-Z", "CPAM-H", "CPAM-Z", "Boost-R", "Pkd-Tree", "BruteForce"} {
+		idx := ByName(name, 2, u)
+		if idx == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+		if idx.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, idx.Name())
+		}
+	}
+	if ByName("nope", 2, u) != nil {
+		t.Fatal("unknown name should return nil")
+	}
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	u := Universe2D(100)
+	idx := NewPOrth(2, u)
+	idx.Build([]Point{Pt2(1, 1), Pt2(2, 2), Pt2(3, 3)})
+	idx.BatchInsert([]Point{Pt2(4, 4)})
+	idx.BatchDelete([]Point{Pt2(1, 1)})
+	if idx.Size() != 3 {
+		t.Fatalf("size %d", idx.Size())
+	}
+	if got := idx.KNN(Pt2(0, 0), 1, nil); len(got) != 1 || got[0] != Pt2(2, 2) {
+		t.Fatalf("KNN = %v", got)
+	}
+	if idx.RangeCount(BoxOf(Pt2(2, 2), Pt2(4, 4))) != 3 {
+		t.Fatal("RangeCount")
+	}
+	if DefaultOptions(2, u).LeafWrap != 32 {
+		t.Fatal("DefaultOptions")
+	}
+	if Universe3D(5).Hi != Pt3(5, 5, 5) {
+		t.Fatal("Universe3D")
+	}
+}
+
+func TestBatchDiffMoveSemantics(t *testing.T) {
+	// A "move" diff — delete old positions, insert new ones — must leave
+	// the size unchanged and relocate the points, on every index.
+	old := Generate(Uniform, 3000, 2, itSide, 41)
+	moved := make([]Point, len(old))
+	for i, p := range old {
+		moved[i] = Pt2((p[0]+1000)%(itSide+1), p[1])
+	}
+	for _, idx := range All(2, Universe2D(itSide)) {
+		idx.Build(old)
+		idx.BatchDiff(moved, old)
+		if idx.Size() != len(old) {
+			t.Errorf("%s: size %d after move diff, want %d", idx.Name(), idx.Size(), len(old))
+			continue
+		}
+		// The new position must now be present, the old one gone (probe a
+		// sample to keep the test fast).
+		for i := 0; i < 50; i++ {
+			if got := idx.RangeCount(BoxOf(moved[i], moved[i])); got < 1 {
+				t.Errorf("%s: moved point %v missing", idx.Name(), moved[i])
+				break
+			}
+		}
+	}
+}
+
+func TestConcurrentQueriesAreSafe(t *testing.T) {
+	// Queries are documented safe for concurrent use. Run a mixed query
+	// storm on every index; the -race run makes this a real detector.
+	pts := Generate(Varden, 10000, 2, itSide, 43)
+	queries := Generate(Uniform, 64, 2, itSide, 47)
+	boxes := RangeQueries(16, 2, itSide, 0.01, 53)
+	for _, idx := range All(2, Universe2D(itSide)) {
+		idx.Build(pts)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					switch (w + i) % 3 {
+					case 0:
+						idx.KNN(queries[i%len(queries)], 10, nil)
+					case 1:
+						idx.RangeCount(boxes[i%len(boxes)])
+					case 2:
+						idx.RangeList(boxes[i%len(boxes)], nil)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
