@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig3", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|all")
+	exp := flag.String("exp", "fig3", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|concurrent|all")
 	n := flag.Int("n", 1_000_000, "dataset size (paper: 1e9)")
 	knnq := flag.Int("knnq", 0, "number of kNN queries (default n/100)")
 	rangeq := flag.Int("rangeq", 200, "number of range queries")
@@ -59,18 +59,19 @@ func main() {
 		*exp, *n, *reps, *threads, runtime.NumCPU())
 	start := time.Now()
 	run := map[string]func(bench.Config){
-		"fig3":     bench.Fig3,
-		"fig4":     bench.Fig4,
-		"fig5":     bench.Fig5,
-		"fig6":     bench.Fig6,
-		"fig7":     bench.Fig7,
-		"fig8":     bench.Fig8,
-		"fig9":     bench.Fig9,
-		"fig10":    bench.Fig10,
-		"ablation": bench.Ablations,
+		"fig3":       bench.Fig3,
+		"fig4":       bench.Fig4,
+		"fig5":       bench.Fig5,
+		"fig6":       bench.Fig6,
+		"fig7":       bench.Fig7,
+		"fig8":       bench.Fig8,
+		"fig9":       bench.Fig9,
+		"fig10":      bench.Fig10,
+		"ablation":   bench.Ablations,
+		"concurrent": bench.Concurrent,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation"} {
+		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "concurrent"} {
 			run[name](cfg)
 		}
 	} else if f, ok := run[*exp]; ok {

@@ -1,0 +1,136 @@
+// Server: concurrent serving through the batch-coalescing psi.Store.
+//
+// A fleet of vehicles streams position updates from N writer goroutines
+// while M reader goroutines answer "nearest vehicles" and "vehicles in
+// area" queries — the tile38-style geo-serving scenario. The raw indexes
+// are batch-synchronous (not safe for concurrent mutation); Store
+// coalesces the concurrent single-point updates into batches, applies
+// them through the index's parallel batch machinery, and serves every
+// query a consistent view.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	psi "repro"
+)
+
+const (
+	side     = int64(1_000_000_000) // universe [0, 1e9]^2
+	vehicles = 200_000
+	writers  = 4
+	readers  = 4
+	moves    = 50_000 // position updates per writer
+	duration = 2 * time.Second
+)
+
+func main() {
+	// SPaC-H has the fastest batch updates — the right engine under a
+	// write-heavy stream. Store makes it safe to share.
+	st := psi.NewStore(psi.NewSPaCH(2, psi.Universe2D(side)), psi.StoreOptions{
+		MaxBatch:      4096,
+		FlushInterval: 2 * time.Millisecond, // readers lag writers by at most ~2ms
+	})
+	defer st.Close()
+
+	pos := psi.Generate(psi.Uniform, vehicles, 2, side, 1)
+	st.Build(pos)
+	fmt.Printf("serving %d vehicles through %s: %d writers, %d readers\n",
+		st.Size(), st.Name(), writers, readers)
+
+	var wgW, wgQ sync.WaitGroup
+	var served atomic.Int64
+	stop := make(chan struct{})
+	start := time.Now()
+
+	// Writers: each owns a shard of the fleet and streams moves. A move is
+	// delete-old + insert-new; Store batches both sides and BatchDiff
+	// applies them as one step.
+	for w := 0; w < writers; w++ {
+		wgW.Add(1)
+		go func(w int) {
+			defer wgW.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			shard := pos[w*vehicles/writers : (w+1)*vehicles/writers]
+			for i := 0; i < moves; i++ {
+				v := rng.Intn(len(shard))
+				old := shard[v]
+				next := psi.Pt2(
+					jitter(rng, old[0]),
+					jitter(rng, old[1]),
+				)
+				st.Delete(old)
+				st.Insert(next)
+				shard[v] = next
+			}
+		}(w)
+	}
+
+	// Readers: random riders asking for the 5 nearest vehicles, dispatch
+	// zones counting coverage.
+	for r := 0; r < readers; r++ {
+		wgQ.Add(1)
+		go func(r int) {
+			defer wgQ.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := psi.Pt2(rng.Int63n(side), rng.Int63n(side))
+				if r%2 == 0 {
+					st.KNN(q, 5, nil)
+				} else {
+					lo := psi.Pt2(max0(q[0]-5_000_000), max0(q[1]-5_000_000))
+					hi := psi.Pt2(q[0]+5_000_000, q[1]+5_000_000)
+					st.RangeCount(psi.BoxOf(lo, hi))
+				}
+				served.Add(1)
+			}
+		}(r)
+	}
+
+	wgW.Wait()
+	if left := time.Until(start.Add(duration)); left > 0 {
+		time.Sleep(left) // let readers run against the settled fleet too
+	}
+	close(stop)
+	wgQ.Wait()
+	st.Flush()
+	elapsed := time.Since(start).Seconds()
+
+	stats := st.Stats()
+	ops := stats.Inserted + stats.Deleted + 2*stats.Cancelled
+	fmt.Printf("in %.2fs: %d moves (%d mutation ops, %.0f ops/s) in %d coalesced batches (avg %.0f ops/batch, %d in-window pairs netted out)\n",
+		elapsed, ops/2, ops, float64(ops)/elapsed,
+		stats.Flushes, float64(ops)/float64(stats.Flushes), stats.Cancelled)
+	fmt.Printf("         %d queries served (%.0f/s), fleet size still %d\n",
+		served.Load(), float64(served.Load())/elapsed, st.Size())
+}
+
+// jitter moves one coordinate a small random step, clamped to the universe.
+func jitter(rng *rand.Rand, c int64) int64 {
+	c += rng.Int63n(2_000_001) - 1_000_000
+	if c < 0 {
+		c = 0
+	}
+	if c > side {
+		c = side
+	}
+	return c
+}
+
+func max0(c int64) int64 {
+	if c < 0 {
+		return 0
+	}
+	return c
+}

@@ -114,6 +114,20 @@ func TestAblationsSmoke(t *testing.T) {
 	}
 }
 
+func TestConcurrentSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	Concurrent(tinyConfig(&buf))
+	out := buf.String()
+	for _, want := range []string{
+		"Store mixed workload", "throughput by index", "coalescing ablation",
+		"SPaC-H", "Pkd-Tree", "batch=1", "batch=4096", "mut-Mops/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Concurrent output missing %q\n%s", want, out)
+		}
+	}
+}
+
 func TestGeoMean(t *testing.T) {
 	if g := geoMean([]float64{1, 4}); g != 2 {
 		t.Fatalf("geoMean = %v", g)

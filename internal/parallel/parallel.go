@@ -142,10 +142,9 @@ func NumBlocks(n, grain int) int {
 	return (n + grain - 1) / grain
 }
 
-// Reduce combines f(i) over [0, n) with the associative op, seeded by id.
-// The reduction tree follows the block structure, so op must be
-// commutative-free safe only in the associative sense (blocks are combined
-// in index order).
+// Reduce combines f(i) over [0, n) with op, seeded by id. op must be
+// associative; it need not be commutative, because the reduction follows
+// the block structure and blocks are combined in index order.
 func Reduce[T any](n, grain int, id T, f func(i int) T, op func(a, b T) T) T {
 	if grain <= 0 {
 		grain = DefaultGrain

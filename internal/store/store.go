@@ -1,0 +1,360 @@
+// Package store implements psi.Store, a concurrent batch-coalescing
+// front-end over any core.Index. The paper's indexes are batch-synchronous:
+// batch updates parallelize internally but the caller must serialize
+// mutation (core.Index: "NOT safe for concurrent mutation"). Store removes
+// that caveat at the API boundary. Many goroutines enqueue Insert/Delete
+// requests concurrently; Store coalesces them into batches and applies each
+// batch with a single BatchDiff under a write lock, so the paper's parallel
+// batch-update machinery is amortized across callers instead of being
+// driven one mutation at a time. Queries take a read lock and therefore
+// always observe a consistent view: either all of a flushed batch or none
+// of it, never a half-applied update.
+//
+// Visibility contract: a mutation becomes visible to queries atomically at
+// the flush that applies it — on the enqueue that fills the batch to
+// MaxBatch, at the next FlushInterval tick, or at an explicit Flush. A
+// flush has the same net effect as executing the window's mutations
+// sequentially in enqueue order: pending mutations are kept in one
+// ordered log, and at flush each delete cancels against one *preceding*
+// unmatched pending insert of the same point when one exists — otherwise
+// it passes through to the index's delete batch, which applies before the
+// surviving inserts. This order-aware netting is what makes coalescing
+// transparent: a move chain (delete p0, insert p1, delete p1, insert p2)
+// nets to {delete p0, insert p2} even when the whole chain lands in one
+// window, and a delete enqueued before any insert of its point never
+// consumes that later insert. Enqueue order is the order appends take the
+// pending lock, which is consistent with every goroutine's program order.
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// DefaultMaxBatch is the coalescing threshold used when Options.MaxBatch
+// is unset: the pending-mutation count at which the enqueuing goroutine
+// flushes synchronously. The default matches parallel.DefaultGrain, the
+// size below which the indexes' batch operations stop forking.
+const DefaultMaxBatch = 1024
+
+// Options tunes a Store. The zero value is usable: DefaultMaxBatch
+// coalescing, no background flusher.
+type Options struct {
+	// MaxBatch is the pending-mutation count that triggers a synchronous
+	// flush by the enqueuing goroutine (built-in backpressure: the caller
+	// that fills the batch pays for applying it). <= 0 selects
+	// DefaultMaxBatch.
+	MaxBatch int
+	// FlushInterval, when positive, starts a background goroutine that
+	// flushes pending mutations every interval, bounding the staleness of
+	// the queried view under light write traffic. Stop it with Close.
+	FlushInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	return o
+}
+
+// Stats is a snapshot of a Store's lifetime counters.
+type Stats struct {
+	Flushes   uint64 // batches applied to the index
+	Inserted  uint64 // insert requests applied by those batches
+	Deleted   uint64 // delete requests applied by those batches
+	Cancelled uint64 // insert/delete pairs netted out before applying
+	Pending   int    // mutations enqueued but not yet flushed
+}
+
+// Store wraps a core.Index for safe concurrent use. Create one with New;
+// the zero value is not usable. Store itself implements core.Index, so it
+// is a drop-in replacement anywhere an index is consumed — with the added
+// guarantee that every method may be called from any number of goroutines.
+type Store struct {
+	opts Options
+	idx  core.Index
+
+	// pend guards the coalescing log. It is held only for appends and
+	// swaps — never while a batch is applied — so enqueueing stays cheap
+	// under contention. The log is ordered: netting at flush time needs to
+	// know whether a delete preceded or followed an insert of its point.
+	pend struct {
+		sync.Mutex
+		ops []pendOp
+	}
+
+	// flushMu serializes flushes: batches are swapped out and applied in a
+	// single order, so the index always reflects a prefix of the enqueue
+	// history. rw guards the wrapped index: queries share read locks,
+	// batch application takes the write lock.
+	flushMu sync.Mutex
+	rw      sync.RWMutex
+
+	flushes   atomic.Uint64
+	inserted  atomic.Uint64
+	deleted   atomic.Uint64
+	cancelled atomic.Uint64
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// pendOp is one logged mutation request.
+type pendOp struct {
+	p   geom.Point
+	del bool
+}
+
+var _ core.Index = (*Store)(nil)
+
+// New wraps idx in a Store. The Store takes ownership: the caller must not
+// touch idx directly afterwards. If opts.FlushInterval is positive the
+// background flusher starts immediately; pair New with Close to stop it.
+func New(idx core.Index, opts Options) *Store {
+	s := &Store{opts: opts.withDefaults(), idx: idx, stop: make(chan struct{})}
+	if s.opts.FlushInterval > 0 {
+		s.wg.Add(1)
+		go s.flushLoop()
+	}
+	return s
+}
+
+func (s *Store) flushLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.Flush()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Close stops the background flusher (if any) and applies all pending
+// mutations. The Store remains usable after Close — only the periodic
+// flushing ends. Close is idempotent.
+func (s *Store) Close() {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+	})
+	s.Flush()
+}
+
+// Name implements core.Index.
+func (s *Store) Name() string { return fmt.Sprintf("Store(%s)", s.idx.Name()) }
+
+// Dims implements core.Index.
+func (s *Store) Dims() int { return s.idx.Dims() }
+
+// Insert enqueues one point for insertion.
+func (s *Store) Insert(p geom.Point) { s.enqueue(p, false) }
+
+// Delete enqueues the removal of one occurrence of p. As with
+// core.Index.BatchDelete, a request matching no stored point is ignored
+// when its batch applies.
+func (s *Store) Delete(p geom.Point) { s.enqueue(p, true) }
+
+func (s *Store) enqueue(p geom.Point, del bool) {
+	s.pend.Lock()
+	s.pend.ops = append(s.pend.ops, pendOp{p: p, del: del})
+	full := len(s.pend.ops) >= s.opts.MaxBatch
+	s.pend.Unlock()
+	if full {
+		s.Flush()
+	}
+}
+
+// BatchInsert implements core.Index: the whole batch is enqueued as a unit
+// and will be applied by a single flush.
+func (s *Store) BatchInsert(pts []geom.Point) { s.enqueueBatch(pts, nil) }
+
+// BatchDelete implements core.Index.
+func (s *Store) BatchDelete(pts []geom.Point) { s.enqueueBatch(nil, pts) }
+
+// BatchDiff implements core.Index.
+func (s *Store) BatchDiff(ins, del []geom.Point) { s.enqueueBatch(ins, del) }
+
+// enqueueBatch logs the deletes before the inserts, matching the
+// core.Index BatchDiff contract ("the del points leave, the ins points
+// enter") for a same-call overlap.
+func (s *Store) enqueueBatch(ins, del []geom.Point) {
+	if len(ins) == 0 && len(del) == 0 {
+		return
+	}
+	s.pend.Lock()
+	for _, p := range del {
+		s.pend.ops = append(s.pend.ops, pendOp{p: p, del: true})
+	}
+	for _, p := range ins {
+		s.pend.ops = append(s.pend.ops, pendOp{p: p})
+	}
+	full := len(s.pend.ops) >= s.opts.MaxBatch
+	s.pend.Unlock()
+	if full {
+		s.Flush()
+	}
+}
+
+// Flush applies every pending mutation as one batch and returns the number
+// applied. Each enqueued mutation is applied by exactly one flush: the
+// buffers are swapped out under the pending lock, so concurrent flushes
+// and enqueues never double-apply or drop a request. Flush is a
+// synchronization barrier — on return, every mutation enqueued before the
+// call is visible to queries.
+func (s *Store) Flush() int {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.pend.Lock()
+	ops := s.pend.ops
+	s.pend.ops = nil
+	s.pend.Unlock()
+	if len(ops) == 0 {
+		return 0
+	}
+	ins, del, cancelled := netWindow(ops)
+	s.rw.Lock()
+	s.idx.BatchDiff(ins, del)
+	s.rw.Unlock()
+	s.flushes.Add(1)
+	s.cancelled.Add(uint64(cancelled))
+	s.inserted.Add(uint64(len(ins)))
+	s.deleted.Add(uint64(len(del)))
+	return len(ins) + len(del)
+}
+
+// netWindow reduces one flush window's ordered op log to the (ins, del)
+// batches whose BatchDiff application has the same net effect as running
+// the log sequentially. Each delete cancels one preceding unmatched
+// pending insert of its point when one exists; otherwise it is a real
+// delete targeting points stored before the window, so applying all real
+// deletes before all surviving inserts (the BatchDiff order) reproduces
+// sequential execution exactly. A delete enqueued before any insert of
+// its point therefore never consumes that later insert. The common
+// single-kind windows skip the matching pass entirely.
+func netWindow(ops []pendOp) (ins, del []geom.Point, cancelled int) {
+	nDel := 0
+	for _, op := range ops {
+		if op.del {
+			nDel++
+		}
+	}
+	if nDel == 0 || nDel == len(ops) {
+		out := make([]geom.Point, len(ops))
+		for i, op := range ops {
+			out[i] = op.p
+		}
+		if nDel == 0 {
+			return out, nil, 0
+		}
+		return nil, out, 0
+	}
+	// Pass 1, in order: count unmatched preceding inserts per point; a
+	// delete with one available consumes it, the rest are real deletes.
+	avail := make(map[geom.Point]int)
+	skip := make(map[geom.Point]int) // insert occurrences to drop per point
+	del = make([]geom.Point, 0, nDel)
+	for _, op := range ops {
+		switch {
+		case !op.del:
+			avail[op.p]++
+		case avail[op.p] > 0:
+			avail[op.p]--
+			skip[op.p]++
+			cancelled++
+		default:
+			del = append(del, op.p)
+		}
+	}
+	// Pass 2: collect the surviving inserts. Which occurrence of a point
+	// is dropped is irrelevant under multiset semantics, so skip the
+	// earliest ones.
+	ins = make([]geom.Point, 0, len(ops)-nDel-cancelled)
+	for _, op := range ops {
+		if op.del {
+			continue
+		}
+		if skip[op.p] > 0 {
+			skip[op.p]--
+			continue
+		}
+		ins = append(ins, op.p)
+	}
+	return ins, del, cancelled
+}
+
+// Build implements core.Index: it atomically replaces the contents with
+// pts. Mutations enqueued before Build and not yet flushed are discarded —
+// Build defines a new epoch, matching the bulk-construction contract.
+func (s *Store) Build(pts []geom.Point) {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.pend.Lock()
+	s.pend.ops = nil
+	s.pend.Unlock()
+	s.rw.Lock()
+	s.idx.Build(pts)
+	s.rw.Unlock()
+}
+
+// Size implements core.Index. It first flushes pending mutations so the
+// answer reflects every enqueue that happened before the call.
+func (s *Store) Size() int {
+	s.Flush()
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.idx.Size()
+}
+
+// KNN implements core.Index. Queries run under a shared read lock: any
+// number run concurrently, and none ever observes a partially applied
+// batch.
+func (s *Store) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.idx.KNN(q, k, dst)
+}
+
+// RangeCount implements core.Index.
+func (s *Store) RangeCount(box geom.Box) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.idx.RangeCount(box)
+}
+
+// RangeList implements core.Index.
+func (s *Store) RangeList(box geom.Box, dst []geom.Point) []geom.Point {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.idx.RangeList(box, dst)
+}
+
+// Pending returns the number of enqueued, not-yet-flushed mutations.
+func (s *Store) Pending() int {
+	s.pend.Lock()
+	defer s.pend.Unlock()
+	return len(s.pend.ops)
+}
+
+// Stats returns a snapshot of the Store's counters. The counters are
+// updated after each flush, so a snapshot taken concurrently with a flush
+// may lag by that one batch.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Flushes:   s.flushes.Load(),
+		Inserted:  s.inserted.Load(),
+		Deleted:   s.deleted.Load(),
+		Cancelled: s.cancelled.Load(),
+		Pending:   s.Pending(),
+	}
+}

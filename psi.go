@@ -22,7 +22,9 @@
 //	nn := idx.KNN(q, 10, nil)
 //
 // Indexes are safe for concurrent queries but not for concurrent
-// mutation; batch operations parallelize internally.
+// mutation; batch operations parallelize internally. To serve mutations
+// from many goroutines, wrap any index in a Store (NewStore), the
+// concurrent batch-coalescing front-end.
 package psi
 
 import (
@@ -34,6 +36,7 @@ import (
 	"repro/internal/rtree"
 	"repro/internal/sfc"
 	"repro/internal/spactree"
+	"repro/internal/store"
 	"repro/internal/workload"
 	"repro/internal/zdtree"
 )
@@ -154,8 +157,9 @@ func All(dims int, universe Box) []Index {
 }
 
 // ByName constructs an index by its table name ("P-Orth", "Zd-Tree",
-// "SPaC-H", "SPaC-Z", "CPAM-H", "CPAM-Z", "Boost-R", "Pkd-Tree"); it
-// returns nil for unknown names.
+// "SPaC-H", "SPaC-Z", "CPAM-H", "CPAM-Z", "Boost-R", "Pkd-Tree",
+// "Log-Tree", "BHL-Tree", "BruteForce"); it returns nil for unknown
+// names.
 func ByName(name string, dims int, universe Box) Index {
 	switch name {
 	case "P-Orth":
@@ -183,6 +187,27 @@ func ByName(name string, dims int, universe Box) Index {
 	}
 	return nil
 }
+
+// Store is a concurrent, batch-coalescing front-end over any Index: many
+// goroutines may call Insert/Delete/KNN/RangeCount/RangeList/Flush
+// concurrently. Mutations are coalesced into batches and applied through
+// the index's parallel batch updates; queries always observe a consistent
+// view (never a half-applied batch). See internal/store for the full
+// visibility contract.
+type Store = store.Store
+
+// StoreOptions tunes a Store: MaxBatch is the coalescing threshold that
+// triggers a synchronous flush, FlushInterval (optional) runs a background
+// flusher bounding staleness. The zero value is usable.
+type StoreOptions = store.Options
+
+// StoreStats is a snapshot of a Store's lifetime flush counters.
+type StoreStats = store.Stats
+
+// NewStore wraps idx for safe concurrent use. The Store takes ownership of
+// idx; do not touch it directly afterwards. If opts.FlushInterval is set,
+// pair with Close to stop the background flusher.
+func NewStore(idx Index, opts StoreOptions) *Store { return store.New(idx, opts) }
 
 // Workload re-exports: the paper's synthetic distributions and query
 // generators, for examples and downstream benchmarking.

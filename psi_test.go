@@ -94,17 +94,42 @@ func TestAllIndexes3D(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	u := Universe2D(itSide)
-	for _, name := range []string{"P-Orth", "Zd-Tree", "SPaC-H", "SPaC-Z", "CPAM-H", "CPAM-Z", "Boost-R", "Pkd-Tree", "BruteForce"} {
-		idx := ByName(name, 2, u)
-		if idx == nil {
-			t.Fatalf("ByName(%q) = nil", name)
-		}
-		if idx.Name() != name {
-			t.Fatalf("ByName(%q).Name() = %q", name, idx.Name())
-		}
+	// Every name the ByName doc comment lists must resolve, round-trip
+	// through Name(), and unknown names must return nil.
+	cases := []struct {
+		name string
+		ok   bool
+	}{
+		{"P-Orth", true},
+		{"Zd-Tree", true},
+		{"SPaC-H", true},
+		{"SPaC-Z", true},
+		{"CPAM-H", true},
+		{"CPAM-Z", true},
+		{"Boost-R", true},
+		{"Pkd-Tree", true},
+		{"Log-Tree", true},
+		{"BHL-Tree", true},
+		{"BruteForce", true},
+		{"", false},
+		{"nope", false},
+		{"spac-h", false}, // names are case-sensitive
 	}
-	if ByName("nope", 2, u) != nil {
-		t.Fatal("unknown name should return nil")
+	for _, tc := range cases {
+		idx := ByName(tc.name, 2, u)
+		if !tc.ok {
+			if idx != nil {
+				t.Errorf("ByName(%q) = %v, want nil", tc.name, idx.Name())
+			}
+			continue
+		}
+		if idx == nil {
+			t.Errorf("ByName(%q) = nil", tc.name)
+			continue
+		}
+		if idx.Name() != tc.name {
+			t.Errorf("ByName(%q).Name() = %q", tc.name, idx.Name())
+		}
 	}
 }
 
@@ -153,6 +178,41 @@ func TestBatchDiffMoveSemantics(t *testing.T) {
 				t.Errorf("%s: moved point %v missing", idx.Name(), moved[i])
 				break
 			}
+		}
+	}
+}
+
+func TestStoreWrapsEveryIndex(t *testing.T) {
+	// The Store front-end makes concurrent mutation safe on every index in
+	// the library: four writers race single-point updates, then the result
+	// must match the oracle exactly.
+	pts := Generate(Uniform, 4000, 2, itSide, 59)
+	fresh := Generate(Uniform, 1000, 2, itSide, 61)
+	queries := workload.GenUniform(15, 2, itSide, 67)
+	boxes := RangeQueries(6, 2, itSide, 0.02, 71)
+	for _, idx := range All(2, Universe2D(itSide)) {
+		st := NewStore(idx, StoreOptions{MaxBatch: 128})
+		st.Build(pts)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(fresh); i += 4 {
+					st.Insert(fresh[i])
+				}
+				for i := w; i < 1000; i += 4 {
+					st.Delete(pts[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+		st.Close()
+		ref := core.NewBruteForce(2)
+		ref.Build(pts[1000:])
+		ref.BatchInsert(fresh)
+		if err := core.VerifyQueries(st, ref, queries, []int{1, 10}, boxes); err != nil {
+			t.Errorf("Store over %s: %v", idx.Name(), err)
 		}
 	}
 }
