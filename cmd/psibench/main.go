@@ -1,6 +1,7 @@
 // Command psibench regenerates the paper's tables and figures at a
 // configurable scale. Each experiment prints timing tables to stdout;
-// the mapping from experiment id to paper figure is in DESIGN.md §3.
+// the mapping from experiment id to paper figure is in the "Experiments"
+// section of README.md.
 //
 // Usage:
 //
@@ -8,7 +9,8 @@
 //	psibench -exp all -n 100000 -reps 3
 //
 // The default n is 10^6 (the paper uses 10^9 on a 112-core machine; the
-// comparison shapes are scale-stable, see EXPERIMENTS.md).
+// comparison shapes are scale-stable — every experiment takes its sizes
+// from the single -n flag).
 package main
 
 import (
@@ -22,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig3", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|concurrent|all")
+	exp := flag.String("exp", "fig3", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|concurrent|shard|all")
 	n := flag.Int("n", 1_000_000, "dataset size (paper: 1e9)")
 	knnq := flag.Int("knnq", 0, "number of kNN queries (default n/100)")
 	rangeq := flag.Int("rangeq", 200, "number of range queries")
@@ -32,18 +34,18 @@ func main() {
 	csvPath := flag.String("csv", "", "also write measurements to this CSV file")
 	flag.Parse()
 
+	var csvFile *os.File
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "psibench: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		if err := bench.SetCSV(f); err != nil {
 			fmt.Fprintf(os.Stderr, "psibench: %v\n", err)
 			os.Exit(1)
 		}
-		defer bench.FlushCSV()
+		csvFile = f
 	}
 
 	cfg := bench.Config{
@@ -69,9 +71,10 @@ func main() {
 		"fig10":      bench.Fig10,
 		"ablation":   bench.Ablations,
 		"concurrent": bench.Concurrent,
+		"shard":      bench.Shard,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "concurrent"} {
+		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "concurrent", "shard"} {
 			run[name](cfg)
 		}
 	} else if f, ok := run[*exp]; ok {
@@ -80,6 +83,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psibench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+	// The CSV writer buffers; surface flush/close failures as a non-zero
+	// exit instead of silently truncating the measurement log.
+	if csvFile != nil {
+		if err := bench.FlushCSV(); err != nil {
+			fmt.Fprintf(os.Stderr, "psibench: writing CSV: %v\n", err)
+			os.Exit(1)
+		}
+		if err := csvFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "psibench: closing CSV: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("\npsibench: done in %.1fs\n", time.Since(start).Seconds())
 }

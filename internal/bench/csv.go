@@ -33,13 +33,17 @@ func SetCSV(w io.Writer) error {
 	return csvSink.w.Write([]string{"table", "index", "column", "seconds"})
 }
 
-// FlushCSV flushes pending CSV output (call before process exit).
-func FlushCSV() {
+// FlushCSV flushes pending CSV output and reports any write error the
+// buffered writer swallowed along the way (call and check before process
+// exit — a full disk or closed pipe surfaces here, not at Write time).
+func FlushCSV() error {
 	csvSink.mu.Lock()
 	defer csvSink.mu.Unlock()
-	if csvSink.w != nil {
-		csvSink.w.Flush()
+	if csvSink.w == nil {
+		return nil
 	}
+	csvSink.w.Flush()
+	return csvSink.w.Error()
 }
 
 // emitCSV mirrors one rendered table into the CSV sink, if set.

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+
+	psi "repro"
+)
+
+// Shard benchmarks the sharding fan-out layer (-exp shard): for uniform
+// and Varden-clustered data, sweep shard count × partitioning strategy
+// over several child index families and compare against the unsharded
+// baseline on bulk build, one 10% and one 1% BatchDiff (a "move" batch:
+// fresh inserts plus deletes of resident points), and the query suite.
+//
+// The two partitioners are the literature's two shapes: "G" rows are the
+// classic *static* uniform grid (equal-area slabs, Options.Static), "H"
+// rows are Hilbert-curve ranges with Build-time equi-depth rebalancing.
+// On skewed (Varden) data the static grid piles points into few shards —
+// the balance column goes toward S — while SFC ranges stay near 1.
+//
+// What to expect: on multi-core machines the per-shard sub-batches apply
+// concurrently, so BatchDiff scales with min(S, cores) on top of each
+// index's internal parallelism. Even on one core, sharding pays off for
+// the indexes whose update cost grows with tree size — BHL-Tree rebuilds
+// only the shards a batch touches instead of the whole tree, and the
+// sequential Boost-R works on S shallower trees.
+func Shard(cfg Config) {
+	cfg = cfg.withDefaults()
+	defer setThreads(cfg.Threads)()
+	cache := newCache()
+
+	counts := []int{2, 4, 8}
+	if p := runtime.NumCPU(); p > 8 {
+		counts = append(counts, p)
+	}
+	strategies := []psi.ShardStrategy{psi.ShardGrid, psi.ShardHilbert}
+
+	// Children: the paper's fastest batch-parallel index, the full-rebuild
+	// baseline (sharding localizes its rebuilds), and the sequential
+	// R-tree (sharding is its only route to batch concurrency). Boost-R
+	// runs at n/10 — its point-at-a-time build dominates otherwise.
+	children := []struct {
+		name string
+		n    int
+	}{
+		{"SPaC-H", cfg.N},
+		{"BHL-Tree", cfg.N},
+		{"Boost-R", cfg.N / 10},
+	}
+
+	fmt.Fprintf(cfg.Out, "Shard — space-partitioned fan-out layer, n=%d, %d cores\n", cfg.N, runtime.NumCPU())
+	fmt.Fprintf(cfg.Out, "(seconds except balance = max shard load / ideal, 1.0 is perfect; S=1 row is the unsharded baseline)\n")
+	for _, dist := range []workload.Dist{workload.Uniform, workload.Varden} {
+		for _, child := range children {
+			n := child.n
+			if n < 1000 {
+				n = 1000
+			}
+			pts := cache.points(dist, n, 2, cfg.Seed)
+			side := dist.Side(2)
+			universe := geom.UniverseBox(2, side)
+			qcfg := cfg
+			qcfg.N = n
+			qcfg.KNNQ = 0 // rescale to n/100
+			qcfg = qcfg.withDefaults()
+			qs := makeQueries(qcfg, dist, 2)
+			fresh10 := workload.Generate(dist, batchOf(n, 0.1), 2, side, cfg.Seed+321)
+			fresh1 := workload.Generate(dist, batchOf(n, 0.01), 2, side, cfg.Seed+654)
+
+			tb := newTable(fmt.Sprintf("%s: sharding over %s (n=%d)", dist, child.name, n),
+				"build", "diff-10%", "diff-1%", "10NN-InD", "rangeCnt", "rangeList", "balance")
+			mkBase := func() core.Index { return psi.ByName(child.name, 2, universe) }
+			shardRow(cfg, tb, child.name, mkBase, pts, fresh10, fresh1, qs)
+			for _, s := range counts {
+				for _, strat := range strategies {
+					s, strat := s, strat
+					mk := func() core.Index {
+						return psi.NewShardedOpts(psi.ShardedOptions{
+							Dims:     2,
+							Universe: universe,
+							Shards:   s,
+							Strategy: strat,
+							Static:   strat == psi.ShardGrid,
+							New: func(dims int, u geom.Box) core.Index {
+								return psi.ByName(child.name, dims, u)
+							},
+						})
+					}
+					shardRow(cfg, tb, fmt.Sprintf("S=%d %s", s, strat), mk, pts, fresh10, fresh1, qs)
+				}
+			}
+			tb.write(cfg.Out)
+		}
+	}
+}
+
+// shardRow times one table row: build, the two move diffs, and the query
+// suite on the post-10%-diff tree, plus the shard load balance.
+func shardRow(cfg Config, tb *table, label string, mk func() core.Index,
+	pts, fresh10, fresh1 []geom.Point, qs querySet) {
+	var idx core.Index
+	buildT := timeOp(cfg.Reps,
+		func() { idx = mk() },
+		func() { idx.Build(pts) })
+	diff10 := timeOp(cfg.Reps,
+		func() { idx = mk(); idx.Build(pts) },
+		func() { idx.BatchDiff(fresh10, pts[:len(fresh10)]) })
+	balance := shardBalance(idx)
+	qInD, _, qCnt, qLst := queryPhases(idx, qs, cfg.Reps)
+	diff1 := timeOp(cfg.Reps,
+		func() { idx = mk(); idx.Build(pts) },
+		func() { idx.BatchDiff(fresh1, pts[:len(fresh1)]) })
+	tb.add(label, buildT, diff10, diff1, qInD, qCnt, qLst, balance)
+}
+
+// shardBalance returns max shard load over the ideal equal split (1.0 is
+// perfect balance), or NaN for unsharded indexes.
+func shardBalance(idx core.Index) float64 {
+	s, ok := idx.(*psi.Sharded)
+	if !ok {
+		return nan
+	}
+	sizes := s.ShardSizes(nil)
+	total, maxSz := 0, 0
+	for _, sz := range sizes {
+		total += sz
+		if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if total == 0 {
+		return nan
+	}
+	return float64(maxSz) * float64(len(sizes)) / float64(total)
+}

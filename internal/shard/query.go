@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+// overlapping appends the ids of shards whose region intersects box.
+// Soundness of the pruning: points are assigned to shards by location, so
+// every point of shard i lies inside regions[i]; a shard whose region
+// misses the box cannot contribute.
+func (p *partition) overlapping(box geom.Box, dst []int) []int {
+	for i, r := range p.regions {
+		if r.Intersects(box, p.dims) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// RangeCount implements core.Index: the count query fans out to the
+// shards whose region overlaps the box and merges the per-shard counts.
+func (s *Sharded) RangeCount(box geom.Box) int {
+	s.epoch.RLock()
+	defer s.epoch.RUnlock()
+	ids := s.part.overlapping(box, make([]int, 0, len(s.shards)))
+	return parallel.Reduce(len(ids), 1, 0,
+		func(i int) int {
+			sh := &s.shards[ids[i]]
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+			return sh.idx.RangeCount(box)
+		},
+		func(a, b int) int { return a + b })
+}
+
+// RangeList implements core.Index: overlapping shards report into
+// per-shard buffers in parallel (no contended append), which are then
+// concatenated into dst.
+func (s *Sharded) RangeList(box geom.Box, dst []geom.Point) []geom.Point {
+	s.epoch.RLock()
+	defer s.epoch.RUnlock()
+	ids := s.part.overlapping(box, make([]int, 0, len(s.shards)))
+	if len(ids) == 0 {
+		return dst
+	}
+	if len(ids) == 1 {
+		sh := &s.shards[ids[0]]
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		return sh.idx.RangeList(box, dst)
+	}
+	bufs := make([][]geom.Point, len(ids))
+	parallel.ForEach(len(ids), 1, func(i int) {
+		sh := &s.shards[ids[i]]
+		sh.mu.RLock()
+		bufs[i] = sh.idx.RangeList(box, nil)
+		sh.mu.RUnlock()
+	})
+	for _, b := range bufs {
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// KNN implements core.Index with best-first expansion over shard regions:
+// shards are visited in order of min-distance to the query, each shard's
+// local k nearest merge into one bounded heap, and the search terminates
+// as soon as the k-th candidate so far beats the next shard's lower
+// bound — distant shards are never touched.
+func (s *Sharded) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
+	if k <= 0 {
+		return dst
+	}
+	s.epoch.RLock()
+	defer s.epoch.RUnlock()
+	part := s.part
+	dims := part.dims
+
+	// Frontier: shard ids ordered by squared min-distance from q to the
+	// region. Regions left empty by a degenerate partition are skipped
+	// (they hold no points, and their sentinel corners would overflow the
+	// distance arithmetic).
+	type entry struct {
+		id    int
+		dist2 int64
+	}
+	frontier := make([]entry, 0, len(s.shards))
+	for i, r := range part.regions {
+		if r.IsEmpty() {
+			continue
+		}
+		frontier = append(frontier, entry{id: i, dist2: r.Dist2(q, dims)})
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].dist2 < frontier[j].dist2 })
+
+	h := geom.NewKNNHeap(k)
+	var buf []geom.Point
+	for _, e := range frontier {
+		if h.Full() && e.dist2 > h.Bound() {
+			break
+		}
+		sh := &s.shards[e.id]
+		sh.mu.RLock()
+		buf = sh.idx.KNN(q, k, buf[:0])
+		sh.mu.RUnlock()
+		for _, p := range buf {
+			h.Push(p, geom.Dist2(p, q, dims))
+		}
+	}
+	return h.Append(dst)
+}

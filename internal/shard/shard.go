@@ -1,0 +1,257 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/parallel"
+)
+
+// DefaultCellsPerShard is the partition granularity used when
+// Options.CellsPerShard is unset: enough cells per shard that equi-depth
+// rebalancing has room to move boundaries, few enough that the cell
+// tables stay trivial.
+const DefaultCellsPerShard = 16
+
+// MaxShards bounds Options.Shards (cell ids are staged in uint16 tables
+// and every shard carries a full index; thousands of shards is already
+// far past the useful range).
+const MaxShards = 4096
+
+// Options configures a Sharded index. Zero fields take defaults; Dims,
+// Universe and New are required.
+type Options struct {
+	// Dims is the dimensionality, 2 or 3.
+	Dims int
+	// Universe is the root region being partitioned. It must cover all
+	// points, the library-wide precondition for space-partitioning
+	// indexes.
+	Universe geom.Box
+	// Shards is the number of regions S. <= 0 selects GOMAXPROCS, one
+	// shard per core.
+	Shards int
+	// Strategy selects the region shape: Grid slabs or Morton/Hilbert
+	// SFC ranges (HilbertRange gives the most compact regions).
+	Strategy Strategy
+	// CellsPerShard is the partition granularity: the grid carries
+	// ~max(S * CellsPerShard, 16384) cells (capped at 65536), so
+	// rebalancing can split clustered data well below shard granularity.
+	// <= 0 selects DefaultCellsPerShard.
+	CellsPerShard int
+	// Static disables the Build-time equi-depth rebalancing of region
+	// boundaries. With Static set, regions carry equal cell counts no
+	// matter how skewed the data — the configuration in which clustered
+	// distributions pile points into few shards.
+	Static bool
+	// New constructs one shard's index. It is called once per shard with
+	// the full universe (shard indexes may receive any in-universe point
+	// after a rebalance, and space-partitioning children need the
+	// universe fixed for history independence).
+	New func(dims int, universe geom.Box) core.Index
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.CellsPerShard <= 0 {
+		o.CellsPerShard = DefaultCellsPerShard
+	}
+	return o
+}
+
+// validate panics on programmer error, matching core.Options.Validate.
+func (o Options) validate() {
+	if o.Dims != 2 && o.Dims != 3 {
+		panic(fmt.Sprintf("shard: unsupported Dims %d", o.Dims))
+	}
+	if o.Universe.IsEmpty() {
+		panic("shard: Universe must be non-empty")
+	}
+	if o.Shards > MaxShards {
+		panic(fmt.Sprintf("shard: Shards %d exceeds MaxShards %d", o.Shards, MaxShards))
+	}
+	if o.New == nil {
+		panic("shard: New (shard index constructor) is required")
+	}
+}
+
+// Sharded partitions the universe into S regions, each owning an
+// independent core.Index behind its own lock. It implements core.Index,
+// and — unlike the raw indexes — is safe for fully concurrent use: batch
+// updates lock only the shards they touch, so mutations of different
+// regions never contend, and queries take per-shard read locks.
+//
+// Consistency is per shard: a query running concurrently with a batch
+// update observes each shard either before or after its sub-batch, never
+// mid-application, but may see a cross-shard batch partially applied.
+// Callers that need whole-batch atomicity across shards wrap the Sharded
+// in a store.Store, whose global read/write lock restores it (see the
+// "Scaling out" section of the README for the composition guidance).
+type Sharded struct {
+	opts Options
+
+	// epoch serializes partition swaps against everything else: Build
+	// (which may rebalance region boundaries) takes the write side; all
+	// other operations read-lock it and then synchronize per shard.
+	epoch  sync.RWMutex
+	part   *partition
+	shards []shardSlot
+}
+
+// shardSlot is one region's index and its lock.
+type shardSlot struct {
+	mu  sync.RWMutex
+	idx core.Index
+}
+
+var _ core.Index = (*Sharded)(nil)
+
+// New returns an empty Sharded index.
+func New(opts Options) *Sharded {
+	opts = opts.withDefaults()
+	opts.validate()
+	s := &Sharded{
+		opts:   opts,
+		part:   newPartition(opts.Dims, opts.Universe, opts.Shards, opts.Strategy, opts.CellsPerShard),
+		shards: make([]shardSlot, opts.Shards),
+	}
+	for i := range s.shards {
+		s.shards[i].idx = opts.New(opts.Dims, opts.Universe)
+	}
+	return s
+}
+
+// Name implements core.Index.
+func (s *Sharded) Name() string {
+	return fmt.Sprintf("Sharded[%d%s](%s)", s.opts.Shards, s.opts.Strategy, s.shards[0].idx.Name())
+}
+
+// Dims implements core.Index.
+func (s *Sharded) Dims() int { return s.opts.Dims }
+
+// Shards returns the shard count S.
+func (s *Sharded) Shards() int { return s.opts.Shards }
+
+// Size implements core.Index.
+func (s *Sharded) Size() int {
+	s.epoch.RLock()
+	defer s.epoch.RUnlock()
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += sh.idx.Size()
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// ShardSizes appends each shard's point count to dst (load-balance
+// introspection for the benchmarks and tests).
+func (s *Sharded) ShardSizes(dst []int) []int {
+	s.epoch.RLock()
+	defer s.epoch.RUnlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		dst = append(dst, sh.idx.Size())
+		sh.mu.RUnlock()
+	}
+	return dst
+}
+
+// Build implements core.Index: it replaces the contents with pts. Unless
+// Options.Static is set, Build first rebalances the region boundaries so
+// every shard receives ~len(pts)/S points (equi-depth over the cell
+// histogram), then builds all shard indexes in parallel. Build excludes
+// every concurrent operation for the duration of the boundary swap.
+func (s *Sharded) Build(pts []geom.Point) {
+	s.epoch.Lock()
+	defer s.epoch.Unlock()
+	if !s.opts.Static {
+		s.part = s.part.rebalanced(s.cellHistogram(pts))
+	}
+	part := s.part
+	scratch := make([]geom.Point, len(pts))
+	offsets := parallel.Sieve(pts, scratch, part.shards, part.shardOf)
+	parallel.ForEach(part.shards, 1, func(i int) {
+		s.shards[i].idx.Build(scratch[offsets[i]:offsets[i+1]])
+	})
+}
+
+// cellHistogram counts pts per grid cell (row-major ids) in parallel.
+// The block grain is chosen so the per-block count arrays (one int per
+// cell) stay bounded no matter how large the build is.
+func (s *Sharded) cellHistogram(pts []geom.Point) []int {
+	part := s.part
+	cells := len(part.cellShard)
+	grain := parallel.DefaultGrain
+	if g := (len(pts) + 63) / 64; g > grain {
+		grain = g
+	}
+	nb := parallel.NumBlocks(len(pts), grain)
+	if nb <= 1 {
+		counts := make([]int, cells)
+		for _, p := range pts {
+			counts[part.cellOf(p)]++
+		}
+		return counts
+	}
+	partial := make([][]int, nb)
+	parallel.Blocks(len(pts), grain, func(lo, hi int) {
+		counts := make([]int, cells)
+		for _, p := range pts[lo:hi] {
+			counts[part.cellOf(p)]++
+		}
+		partial[lo/grain] = counts
+	})
+	counts := make([]int, cells)
+	for _, row := range partial {
+		for c, v := range row {
+			counts[c] += v
+		}
+	}
+	return counts
+}
+
+// BatchInsert implements core.Index: the batch is partitioned by shard in
+// parallel and all per-shard sub-batches apply concurrently.
+func (s *Sharded) BatchInsert(pts []geom.Point) { s.BatchDiff(pts, nil) }
+
+// BatchDelete implements core.Index.
+func (s *Sharded) BatchDelete(pts []geom.Point) { s.BatchDiff(nil, pts) }
+
+// BatchDiff implements core.Index. A point's deletes and inserts land on
+// the same shard (assignment is by location), so applying every shard's
+// sub-diff independently preserves the BatchDiff contract exactly, and
+// sub-diffs for different shards run with no contention at all.
+func (s *Sharded) BatchDiff(ins, del []geom.Point) {
+	if len(ins) == 0 && len(del) == 0 {
+		return
+	}
+	s.epoch.RLock()
+	defer s.epoch.RUnlock()
+	part := s.part
+	var insOff, delOff []int
+	insScratch := make([]geom.Point, len(ins))
+	delScratch := make([]geom.Point, len(del))
+	parallel.Do(
+		func() { insOff = parallel.Sieve(ins, insScratch, part.shards, part.shardOf) },
+		func() { delOff = parallel.Sieve(del, delScratch, part.shards, part.shardOf) },
+	)
+	parallel.ForEach(part.shards, 1, func(i int) {
+		subIns := insScratch[insOff[i]:insOff[i+1]]
+		subDel := delScratch[delOff[i]:delOff[i+1]]
+		if len(subIns) == 0 && len(subDel) == 0 {
+			return
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.idx.BatchDiff(subIns, subDel)
+		sh.mu.Unlock()
+	})
+}

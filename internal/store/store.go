@@ -24,6 +24,12 @@
 // window, and a delete enqueued before any insert of its point never
 // consumes that later insert. Enqueue order is the order appends take the
 // pending lock, which is consistent with every goroutine's program order.
+//
+// Scaling composition: a Store's flush throughput is bounded by one
+// index's batch speed. Wrapping a shard.Sharded (Store over Sharded)
+// keeps this package's coalescing and whole-batch visibility while each
+// flush fans out across the shards in parallel — the recommended
+// high-volume serving stack (README "Scaling out").
 package store
 
 import (

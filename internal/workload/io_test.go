@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestPointsRoundTrip writes datasets in the binary format and reads them
+// back: the points, their order, and the dimensionality must survive in
+// both 2D and 3D, including negative coordinates and the empty set.
+func TestPointsRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		dims int
+		pts  []geom.Point
+	}{
+		{"uniform-2d", 2, GenUniform(5000, 2, DefaultSide, 1)},
+		{"varden-3d", 3, GenVarden(3000, 3, DefaultSide3D, 2)},
+		{"negative-coords", 2, []geom.Point{geom.Pt2(-5, 3), geom.Pt2(0, -1<<40)}},
+		{"empty", 3, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WritePoints(&buf, tc.pts, tc.dims); err != nil {
+				t.Fatalf("WritePoints: %v", err)
+			}
+			wantLen := 16 + 8*tc.dims*len(tc.pts)
+			if buf.Len() != wantLen {
+				t.Fatalf("encoded %d bytes, want %d", buf.Len(), wantLen)
+			}
+			got, dims, err := ReadPoints(&buf)
+			if err != nil {
+				t.Fatalf("ReadPoints: %v", err)
+			}
+			if dims != tc.dims {
+				t.Fatalf("dims = %d, want %d", dims, tc.dims)
+			}
+			if len(got) != len(tc.pts) {
+				t.Fatalf("read %d points, want %d", len(got), len(tc.pts))
+			}
+			for i := range got {
+				if got[i] != tc.pts[i] {
+					t.Fatalf("point %d = %v, want %v", i, got[i], tc.pts[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFileRoundTrip covers the SaveFile/LoadFile path end to end.
+func TestFileRoundTrip(t *testing.T) {
+	for _, dims := range []int{2, 3} {
+		pts := GenUniform(1000, dims, DefaultSide3D, int64(dims))
+		path := filepath.Join(t.TempDir(), "pts.psi")
+		if err := SaveFile(path, pts, dims); err != nil {
+			t.Fatalf("SaveFile %dD: %v", dims, err)
+		}
+		got, gotDims, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile %dD: %v", dims, err)
+		}
+		if gotDims != dims || len(got) != len(pts) {
+			t.Fatalf("LoadFile %dD: got %d points dims %d", dims, len(got), gotDims)
+		}
+		for i := range got {
+			if got[i] != pts[i] {
+				t.Fatalf("%dD point %d = %v, want %v", dims, i, got[i], pts[i])
+			}
+		}
+	}
+}
+
+// TestReadPointsRejectsGarbage pins the error paths: wrong magic, an
+// unsupported dimensionality, and a truncated coordinate stream.
+func TestReadPointsRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadPoints(bytes.NewReader([]byte("not a psi file....."))); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePoints(&buf, GenUniform(10, 2, 100, 3), 2); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	bad := append([]byte(nil), full...)
+	bad[4] = 7 // dims field
+	if _, _, err := ReadPoints(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "dims") {
+		t.Fatalf("bad dims: err = %v", err)
+	}
+
+	if _, _, err := ReadPoints(bytes.NewReader(full[:len(full)-5])); err == nil ||
+		!strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated: err = %v", err)
+	}
+}

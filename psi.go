@@ -24,7 +24,11 @@
 // Indexes are safe for concurrent queries but not for concurrent
 // mutation; batch operations parallelize internally. To serve mutations
 // from many goroutines, wrap any index in a Store (NewStore), the
-// concurrent batch-coalescing front-end.
+// concurrent batch-coalescing front-end. To scale past one index's batch
+// throughput, shard the universe with NewSharded: S regions each own an
+// independent index behind their own lock, batch updates fan out across
+// shards in parallel, and queries prune to the shards that can
+// contribute.
 package psi
 
 import (
@@ -35,6 +39,7 @@ import (
 	"repro/internal/pkdtree"
 	"repro/internal/rtree"
 	"repro/internal/sfc"
+	"repro/internal/shard"
 	"repro/internal/spactree"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -208,6 +213,52 @@ type StoreStats = store.Stats
 // idx; do not touch it directly afterwards. If opts.FlushInterval is set,
 // pair with Close to stop the background flusher.
 func NewStore(idx Index, opts StoreOptions) *Store { return store.New(idx, opts) }
+
+// Sharded is a space-partitioned fan-out layer over any index family:
+// the universe is split into S compact regions, each owning an
+// independent index behind its own lock. Batch updates are partitioned
+// by region in parallel and all shard sub-batches apply concurrently
+// (mutations of different regions never contend); range queries visit
+// only the shards whose region overlaps the box, and KNN expands shards
+// best-first by region distance. Unlike the raw indexes, a Sharded is
+// safe for fully concurrent use — consistency is per shard; wrap it in a
+// Store for whole-batch atomicity across shards (see README "Scaling
+// out").
+type Sharded = shard.Sharded
+
+// ShardedOptions configures a Sharded index: shard count S, partitioning
+// strategy, granularity, static vs Build-rebalanced boundaries, and the
+// per-shard index constructor.
+type ShardedOptions = shard.Options
+
+// ShardStrategy selects the shard region shape.
+type ShardStrategy = shard.Strategy
+
+// Shard partitioning strategies: static grid slabs, Morton (Z-curve)
+// ranges, or Hilbert ranges (most compact regions, the default of
+// NewSharded).
+const (
+	ShardGrid    = shard.Grid
+	ShardMorton  = shard.MortonRange
+	ShardHilbert = shard.HilbertRange
+)
+
+// NewSharded partitions the universe into shards regions (Hilbert-range
+// partitioning; shards <= 0 selects one per core) and builds one index
+// per region with newIndex — e.g. psi.NewSharded(psi.NewSPaCH, 2, u, 0).
+// Use NewShardedOpts for full control.
+func NewSharded(newIndex func(dims int, universe Box) Index, dims int, universe Box, shards int) *Sharded {
+	return shard.New(shard.Options{
+		Dims:     dims,
+		Universe: universe,
+		Shards:   shards,
+		Strategy: shard.HilbertRange,
+		New:      newIndex,
+	})
+}
+
+// NewShardedOpts builds a Sharded index with explicit options.
+func NewShardedOpts(opts ShardedOptions) *Sharded { return shard.New(opts) }
 
 // Workload re-exports: the paper's synthetic distributions and query
 // generators, for examples and downstream benchmarking.

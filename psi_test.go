@@ -217,6 +217,38 @@ func TestStoreWrapsEveryIndex(t *testing.T) {
 	}
 }
 
+func TestShardedWrapsEveryIndex(t *testing.T) {
+	// The sharding fan-out must preserve every index family's semantics:
+	// drive a Sharded over each constructor through a mixed batch
+	// sequence and verify the full query suite against the oracle.
+	u := Universe2D(itSide)
+	pts := Generate(Varden, 6000, 2, itSide, 73)
+	fresh := Generate(Varden, 1500, 2, itSide, 79)
+	queries := workload.InDQueries(Varden, 15, 2, itSide, 83)
+	boxes := RangeQueries(8, 2, itSide, 0.02, 89)
+	factories := map[string]func(dims int, universe Box) Index{
+		"SPaC-H": NewSPaCH,
+		"P-Orth": NewPOrth,
+		"Zd":     NewZd,
+	}
+	for name, factory := range factories {
+		s := NewSharded(factory, 2, u, 6)
+		s.Build(pts)
+		s.BatchInsert(fresh)
+		s.BatchDiff(nil, pts[:1000])
+		if err := s.Validate(); err != nil {
+			t.Errorf("Sharded over %s: %v", name, err)
+			continue
+		}
+		ref := core.NewBruteForce(2)
+		ref.Build(pts[1000:])
+		ref.BatchInsert(fresh)
+		if err := core.VerifyQueries(s, ref, queries, []int{1, 10, 30}, boxes); err != nil {
+			t.Errorf("Sharded over %s: %v", name, err)
+		}
+	}
+}
+
 func TestConcurrentQueriesAreSafe(t *testing.T) {
 	// Queries are documented safe for concurrent use. Run a mixed query
 	// storm on every index; the -race run makes this a real detector.
