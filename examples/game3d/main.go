@@ -13,15 +13,20 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/examples/internal/demo"
+
 	psi "repro"
 )
 
 const (
-	side    = int64(1_000_000) // 3D world, 21-bit SFC precision (§E)
-	objects = 200_000
-	movers  = 20_000 // objects that move per frame
-	frames  = 30
-	probes  = 2_000 // collision probes per frame
+	side   = int64(1_000_000) // 3D world, 21-bit SFC precision (§E)
+	frames = 30
+)
+
+var (
+	objects = demo.Scale(200_000)
+	movers  = objects / 10  // objects that move per frame
+	probes  = objects / 100 // collision probes per frame
 )
 
 func main() {

@@ -11,15 +11,18 @@ import (
 	"fmt"
 	"time"
 
+	"repro/examples/internal/demo"
+
 	psi "repro"
 )
 
 const (
-	side      = int64(1_000_000_000)
-	batchSize = 20_000
-	window    = 25 // batches kept live (sliding window)
-	ticks     = 40
+	side   = int64(1_000_000_000)
+	window = 25 // batches kept live (sliding window)
+	ticks  = 40
 )
+
+var batchSize = demo.Scale(20_000)
 
 func main() {
 	universe := psi.Universe2D(side)

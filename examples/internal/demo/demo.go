@@ -1,0 +1,27 @@
+// Package demo holds the one knob shared by every example binary: a
+// scale factor read from the environment, so CI can smoke-run the demos
+// end to end in seconds while `go run ./examples/...` keeps its
+// full-size defaults for humans.
+package demo
+
+import (
+	"os"
+	"strconv"
+)
+
+// Scale returns def, or the value of PSI_EXAMPLE_N when it is set to a
+// positive integer. Examples size their primary dataset with it and
+// derive secondary sizes (batches, moves, probes) by integer division,
+// so requests are clamped to a floor of 100 — below that the derived
+// sizes degenerate to zero (empty slices, divides by zero).
+func Scale(def int) int {
+	if s := os.Getenv("PSI_EXAMPLE_N"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			if v < 100 {
+				v = 100
+			}
+			return v
+		}
+	}
+	return def
+}

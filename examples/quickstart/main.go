@@ -6,10 +6,13 @@ package main
 import (
 	"fmt"
 
+	"repro/examples/internal/demo"
+
 	psi "repro"
 )
 
 func main() {
+	n := demo.Scale(1_000_000)
 	// Points live in the universe [0, 1e9]^2 (the paper's coordinate
 	// range). The universe fixes the split hierarchy for the
 	// space-partitioning trees and must cover every point ever inserted.
@@ -21,7 +24,7 @@ func main() {
 	idx := psi.NewSPaCH(2, universe)
 
 	// Bulk-build from a million uniformly random points (parallel).
-	pts := psi.Generate(psi.Uniform, 1_000_000, 2, 1_000_000_000, 1)
+	pts := psi.Generate(psi.Uniform, n, 2, 1_000_000_000, 1)
 	idx.Build(pts)
 	fmt.Printf("built %s with %d points\n", idx.Name(), idx.Size())
 
@@ -38,8 +41,8 @@ func main() {
 	fmt.Printf("points in %v: %d\n", box, idx.RangeCount(box))
 
 	// Batch updates: insert fresh points, delete an old slice.
-	fresh := psi.Generate(psi.Uniform, 50_000, 2, 1_000_000_000, 2)
+	fresh := psi.Generate(psi.Uniform, n/20, 2, 1_000_000_000, 2)
 	idx.BatchInsert(fresh)
-	idx.BatchDelete(pts[:50_000])
+	idx.BatchDelete(pts[:n/20])
 	fmt.Printf("after one update cycle: %d points\n", idx.Size())
 }

@@ -18,16 +18,21 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/examples/internal/demo"
+
 	psi "repro"
 )
 
 const (
 	side     = int64(1_000_000_000) // universe [0, 1e9]^2
-	vehicles = 200_000
 	writers  = 4
 	readers  = 4
-	moves    = 50_000 // position updates per writer
 	duration = 2 * time.Second
+)
+
+var (
+	vehicles = demo.Scale(200_000)
+	moves    = vehicles / 4 // position updates per writer
 )
 
 func main() {

@@ -20,14 +20,19 @@ import (
 	"sync"
 	"time"
 
+	"repro/examples/internal/demo"
+
 	psi "repro"
 )
 
 const (
 	side   = int64(1_000_000_000)
-	n      = 400_000
-	batch  = n / 10
 	shards = 8
+)
+
+var (
+	n     = demo.Scale(400_000)
+	batch = n / 10
 )
 
 func main() {
@@ -71,7 +76,7 @@ func main() {
 	var wg sync.WaitGroup
 	t0 = time.Now()
 	writers := 4
-	moves := psi.Generate(psi.Varden, 100_000, 2, side, 3)
+	moves := psi.Generate(psi.Varden, n/4, 2, side, 3)
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
 		go func(w int) {

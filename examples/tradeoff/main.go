@@ -12,13 +12,14 @@ import (
 	"math"
 	"time"
 
+	"repro/examples/internal/demo"
 	"repro/internal/core"
 
 	psi "repro"
 )
 
 func main() {
-	n := flag.Int("n", 200_000, "points")
+	n := flag.Int("n", demo.Scale(200_000), "points")
 	flag.Parse()
 	side := int64(1_000_000_000)
 	universe := psi.Universe2D(side)

@@ -1,0 +1,232 @@
+package psi
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// FuzzIndexOracle is the library-wide differential fuzzer: the input
+// bytes are decoded into an operation tape (Build / BatchInsert /
+// BatchDelete / BatchDiff) that is applied identically to all 11 ByName
+// indexes and to a BruteForce oracle, cross-checking sizes after every
+// op and the full query suite (KNN at several k, RangeCount, RangeList)
+// at checkpoints and at the end of the tape. Deletions are biased toward
+// stored points so multiset-delete paths are actually exercised, and the
+// coordinate domain is kept tiny so duplicate points and same-cell
+// collisions are routine. Seed corpus lives in
+// testdata/fuzz/FuzzIndexOracle; CI smoke-runs the target for 10s and
+// the Testing section of README.md documents longer local runs.
+func FuzzIndexOracle(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runIndexOracleTape(t, data)
+	})
+}
+
+// fuzzSeeds are the in-code seed corpus: arbitrary byte strings chosen
+// to open with each opcode and mix batch shapes. The committed files
+// under testdata/fuzz add deeper tapes.
+var fuzzSeeds = []string{
+	"",
+	"0",
+	"build then query 0123456789",
+	"aAbBcCdDeEfFgGhH 0123 9876 zyxw",
+	"PPoPP 2026 parallel dynamic spatial indexes",
+	"\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09",
+	"kkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkk",
+	"~}|{zyxwvutsrqponmlkjihgfedcba`_^]\\[ZYXWVUTSRQPONMLKJIHGFEDCBA@?",
+}
+
+// fuzzSide bounds the fuzz coordinate domain: byte-derived coordinates
+// scaled into [0, 4080], far inside SFC precision for both 2D and 3D.
+const fuzzSide = int64(4096)
+
+// fuzzTape is a cursor over the fuzz input; decoding stops cleanly when
+// the bytes run out.
+type fuzzTape struct {
+	data []byte
+	i    int
+}
+
+func (tp *fuzzTape) next() (byte, bool) {
+	if tp.i >= len(tp.data) {
+		return 0, false
+	}
+	b := tp.data[tp.i]
+	tp.i++
+	return b, true
+}
+
+func (tp *fuzzTape) point(dims int) (geom.Point, bool) {
+	var p geom.Point
+	for d := 0; d < dims; d++ {
+		b, ok := tp.next()
+		if !ok {
+			return p, false
+		}
+		p[d] = int64(b) * 16
+	}
+	return p, true
+}
+
+// batch decodes 1 + (count byte % max) points; it returns what it could
+// decode before the tape ran out.
+func (tp *fuzzTape) batch(dims, max int) []geom.Point {
+	b, ok := tp.next()
+	if !ok {
+		return nil
+	}
+	n := 1 + int(b)%max
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		p, ok := tp.point(dims)
+		if !ok {
+			break
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// deleteBatch decodes delete targets, biased ~3:1 toward points the
+// oracle currently stores (so deletes mostly hit) with the rest decoded
+// fresh (usually missing — the ignored-request path).
+func (tp *fuzzTape) deleteBatch(oracle *core.BruteForce, dims, max int) []geom.Point {
+	b, ok := tp.next()
+	if !ok {
+		return nil
+	}
+	live := append([]geom.Point(nil), oracle.Points()...)
+	n := 1 + int(b)%max
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		sel, ok := tp.next()
+		if !ok {
+			break
+		}
+		if len(live) > 0 && sel%4 != 0 {
+			pts = append(pts, live[int(sel)*7%len(live)])
+			continue
+		}
+		p, ok := tp.point(dims)
+		if !ok {
+			break
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// verifyAll cross-checks every index against the oracle on the standard
+// query suite; query points and boxes are part of the decoded tape so
+// the fuzzer can steer them toward discrepancies.
+func verifyAll(t *testing.T, idxs []core.Index, oracle *core.BruteForce, tp *fuzzTape, dims int) {
+	t.Helper()
+	queries := []geom.Point{{}, geom.UniverseBox(dims, fuzzSide).Hi}
+	for i := 0; i < 3; i++ {
+		if q, ok := tp.point(dims); ok {
+			queries = append(queries, q)
+		}
+	}
+	if pts := oracle.Points(); len(pts) > 0 {
+		queries = append(queries, pts[len(pts)/2])
+	}
+	boxes := []geom.Box{geom.UniverseBox(dims, fuzzSide)}
+	for i := 0; i < 2; i++ {
+		lo, ok1 := tp.point(dims)
+		hi, ok2 := tp.point(dims)
+		if !ok1 || !ok2 {
+			break
+		}
+		for d := 0; d < dims; d++ {
+			if lo[d] > hi[d] {
+				lo[d], hi[d] = hi[d], lo[d]
+			}
+		}
+		boxes = append(boxes, geom.BoxOf(lo, hi))
+	}
+	for _, idx := range idxs {
+		if err := core.VerifyQueries(idx, oracle, queries, []int{1, 3, 10}, boxes); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func runIndexOracleTape(t *testing.T, data []byte) {
+	tp := &fuzzTape{data: data}
+	sel, ok := tp.next()
+	if !ok {
+		return
+	}
+	dims := 2 + int(sel)%2
+	universe := geom.UniverseBox(dims, fuzzSide)
+	names := []string{
+		"P-Orth", "Zd-Tree", "SPaC-H", "SPaC-Z", "CPAM-H", "CPAM-Z",
+		"Boost-R", "Pkd-Tree", "Log-Tree", "BHL-Tree", "BruteForce",
+	}
+	idxs := make([]core.Index, len(names))
+	for i, name := range names {
+		idxs[i] = ByName(name, dims, universe)
+		if idxs[i] == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+	}
+	oracle := core.NewBruteForce(dims)
+
+	apply := func(op func(core.Index)) {
+		op(oracle)
+		for _, idx := range idxs {
+			op(idx)
+		}
+	}
+	// Bounded tape: enough ops to stack interesting histories, small
+	// enough that driving 11 indexes stays fast per exec.
+	for opCount := 0; opCount < 12; opCount++ {
+		b, ok := tp.next()
+		if !ok {
+			break
+		}
+		switch b % 5 {
+		case 0:
+			pts := tp.batch(dims, 128)
+			apply(func(idx core.Index) { idx.Build(pts) })
+		case 1:
+			pts := tp.batch(dims, 32)
+			if len(pts) > 0 {
+				apply(func(idx core.Index) { idx.BatchInsert(pts) })
+			}
+		case 2:
+			pts := tp.deleteBatch(oracle, dims, 32)
+			if len(pts) > 0 {
+				apply(func(idx core.Index) { idx.BatchDelete(pts) })
+			}
+		case 3:
+			ins := tp.batch(dims, 16)
+			del := tp.deleteBatch(oracle, dims, 16)
+			if len(ins) > 0 || len(del) > 0 {
+				apply(func(idx core.Index) { idx.BatchDiff(ins, del) })
+			}
+		case 4:
+			verifyAll(t, idxs, oracle, tp, dims)
+		}
+		for i, idx := range idxs {
+			if idx.Size() != oracle.Size() {
+				t.Fatalf("%s: size %d after op %d, oracle %d", names[i], idx.Size(), opCount, oracle.Size())
+			}
+		}
+	}
+	verifyAll(t, idxs, oracle, tp, dims)
+}
+
+// TestIndexOracleSeeds replays the in-code seed corpus as a plain test,
+// so `go test` exercises the differential harness even when fuzzing is
+// not invoked.
+func TestIndexOracleSeeds(t *testing.T) {
+	for _, s := range fuzzSeeds {
+		runIndexOracleTape(t, []byte(s))
+	}
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+
+	psi "repro"
+)
+
+// Fleet benchmarks the moving-object serving layer (-exp fleet): N
+// tracked objects churn through Collection.Set from several mover
+// goroutines — each Set nets to one del+ins BatchDiff pair at the next
+// flush — while query clients resolve NearbyIDs ("nearest vehicles") and
+// WithinIDs ("vehicles in area") concurrently. One table per move
+// distance (as a fraction of the universe side: short hops keep updates
+// spatially local, teleports scatter them), each comparing an unsharded
+// SPaC-H against a Sharded SPaC-H under the same Collection front-end.
+//
+// What to expect: every flush is one BatchDiff of ~MaxBatch netted
+// moves, so the table measures how well each stack turns the paper's
+// parallel batch updates into identity-churn throughput. Sharding pays
+// most for local moves (a flush touches few shards and they apply
+// concurrently) and least for teleports (every flush scatters across all
+// shards). Columns are throughput in million ops/second (higher is
+// better; the '*' minimum markers are not meaningful here).
+func Fleet(cfg Config) {
+	cfg = cfg.withDefaults()
+	defer setThreads(cfg.Threads)()
+	const movers, clients = 4, 4
+	side := workload.Uniform.Side(2)
+	universe := geom.UniverseBox(2, side)
+	start := workload.GenUniform(cfg.N, 2, side, cfg.Seed)
+	boxes := workload.RangeQueries(max(cfg.RangeQ, 1), 2, side, 1e-3, cfg.Seed+779)
+	queries := workload.GenUniform(max(cfg.KNNQ, 1), 2, side, cfg.Seed+778)
+
+	stacks := []struct {
+		name string
+		mk   func() core.Index
+	}{
+		{"SPaC-H", func() core.Index { return psi.NewSPaCH(2, universe) }},
+		{"Sharded", func() core.Index { return psi.NewSharded(psi.NewSPaCH, 2, universe, 0) }},
+	}
+	dists := []struct {
+		name string
+		frac float64 // move distance as a fraction of the universe side; 1 = teleport
+	}{
+		{"hop 0.1%", 0.001},
+		{"hop 1%", 0.01},
+		{"teleport", 1},
+	}
+
+	fmt.Fprintf(cfg.Out, "Fleet — Collection moving-object churn, %d objects, %d movers + %d clients, %d cores\n",
+		cfg.N, movers, clients, runtime.NumCPU())
+	fmt.Fprintf(cfg.Out, "(columns are Mops/s; higher is better; '*' marks are not meaningful here)\n")
+	for _, d := range dists {
+		tb := newTable(fmt.Sprintf("move distance %s: Collection over unsharded vs sharded SPaC-H", d.name),
+			"set-Mops/s", "qry-Mops/s")
+		for _, st := range stacks {
+			set, qry := runFleetWorkload(st.mk, start, queries, boxes, d.frac, movers, clients, cfg.Seed)
+			tb.add(st.name, set, qry)
+		}
+		tb.write(cfg.Out)
+	}
+}
+
+// runFleetWorkload loads the fleet into a fresh Collection, then runs
+// len(start) Set-churn moves split across the mover goroutines (each
+// mover owns an interleaved slice of the IDs and tracks its own
+// positions, so moves are bounded hops without reading back) while the
+// clients alternate 10-NN NearbyIDs and WithinIDs until the movers
+// finish. Returns Set and query throughput in Mops/s over the shared
+// wall-clock window.
+func runFleetWorkload(mk func() core.Index, start, queries []geom.Point, boxes []geom.Box,
+	frac float64, movers, clients int, seed int64) (setMops, qryMops float64) {
+	c := collection.New[int32](mk(), collection.Options{MaxBatch: 4096})
+	defer c.Close()
+	for id, p := range start {
+		c.Set(int32(id), p)
+	}
+	c.Flush()
+
+	side := workload.Uniform.Side(2)
+	step := int64(frac * float64(side))
+	nMoves := len(start)
+	var wgM, wgQ sync.WaitGroup
+	var queriesDone atomic.Int64
+	stop := make(chan struct{})
+	begin := time.Now()
+	for m := 0; m < movers; m++ {
+		wgM.Add(1)
+		go func(m int) {
+			defer wgM.Done()
+			rng := rand.New(rand.NewSource(seed + int64(m)))
+			// This mover's slice of the fleet and its private view of
+			// their positions.
+			ids := make([]int32, 0, len(start)/movers+1)
+			pos := make([]geom.Point, 0, cap(ids))
+			for id := m; id < len(start); id += movers {
+				ids = append(ids, int32(id))
+				pos = append(pos, start[id])
+			}
+			for i := m; i < nMoves; i += movers {
+				j := rng.Intn(len(ids))
+				p := pos[j]
+				if step >= side {
+					p = geom.Pt2(rng.Int63n(side+1), rng.Int63n(side+1))
+				} else {
+					for d := 0; d < 2; d++ {
+						v := p[d] + rng.Int63n(2*step+1) - step
+						if v < 0 {
+							v = 0
+						} else if v > side {
+							v = side
+						}
+						p[d] = v
+					}
+				}
+				pos[j] = p
+				c.Set(ids[j], p)
+			}
+		}(m)
+	}
+	for r := 0; r < clients; r++ {
+		wgQ.Add(1)
+		go func(r int) {
+			defer wgQ.Done()
+			for i := r; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%2 == 0 {
+					c.NearbyIDs(queries[i%len(queries)], 10)
+				} else {
+					c.WithinIDs(boxes[i%len(boxes)])
+				}
+				queriesDone.Add(1)
+			}
+		}(r)
+	}
+	wgM.Wait()
+	c.Flush() // all moves visible
+	elapsed := time.Since(begin).Seconds()
+	close(stop)
+	wgQ.Wait()
+	return float64(nMoves) / elapsed / 1e6, float64(queriesDone.Load()) / elapsed / 1e6
+}

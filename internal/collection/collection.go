@@ -1,0 +1,468 @@
+// Package collection implements psi.Collection, a concurrent ID-keyed
+// moving-object layer over any core.Index. The paper's indexes (and the
+// Store/Sharded layers built on them) operate on anonymous point
+// multisets; every serving scenario — fleet tracking, geofencing, game
+// worlds — needs *identity*: "object X moved from p0 to p1", which is
+// exactly the paper's BatchDiff applied per tracked object. A Collection
+// owns one point per live ID and turns each Set into the minimal diff:
+//
+//	Set(id, p1) on an object at p0  →  BatchDiff{ins: p1, del: p0}
+//
+// Mutations go through an ID-keyed coalescing log (the identity analogue
+// of internal/store's multiset log): Set/Remove calls from any number of
+// goroutines append to an ordered tape, and a flush nets the tape by
+// last-write-wins per ID — an object moved five times in one window costs
+// the index one delete and one insert, and a Set followed by Remove in
+// the same window costs nothing. Because identity makes netting exact,
+// the tape never needs the order-aware insert/delete matching the Store
+// does for anonymous points.
+//
+// Consistency: the geometric index, the forward table (ID → point), and
+// the reverse multimap (point → IDs) all advance together at the flush
+// boundary, under one writer lock. Queries (NearbyIDs, WithinIDs) take
+// the shared read lock, run the geometric query, and resolve every hit
+// through the reverse multimap — they can never observe an index point
+// without its owner or vice versa. Get is the exception: it reads the
+// caller's own pending tail (read-your-writes), so Get(id) after Set(id,
+// p) returns p even before the flush makes p visible to geometric
+// queries.
+//
+// Composition: the inner index may be a raw tree (Collection adds the
+// concurrency safety), a shard.Sharded (each flush fans out across
+// shards in parallel — the recommended high-churn stack), or a
+// store.Store (legal; the Collection flushes it synchronously so the
+// reverse multimap never runs ahead of the index, but the Store's own
+// coalescing is redundant below a Collection).
+package collection
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// DefaultMaxBatch is the coalescing threshold used when Options.MaxBatch
+// is unset, matching store.DefaultMaxBatch: the pending-op count at which
+// the enqueuing goroutine flushes synchronously.
+const DefaultMaxBatch = 1024
+
+// Options tunes a Collection. The zero value is usable: DefaultMaxBatch
+// coalescing, no background flusher.
+type Options struct {
+	// MaxBatch is the pending-op count that triggers a synchronous flush
+	// by the enqueuing goroutine (built-in backpressure). <= 0 selects
+	// DefaultMaxBatch.
+	MaxBatch int
+	// FlushInterval, when positive, starts a background goroutine that
+	// flushes every interval, bounding how far geometric queries lag
+	// behind Set calls under light write traffic. Stop it with Close.
+	FlushInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	return o
+}
+
+// Stats is a snapshot of a Collection's lifetime counters.
+type Stats struct {
+	Flushes   uint64 // batches applied to the index
+	Inserted  uint64 // objects that entered the index (first Set)
+	Moved     uint64 // objects relocated (Set on a live ID, position changed)
+	Removed   uint64 // objects deleted from the index
+	Cancelled uint64 // enqueued ops superseded in-window by a later op on the same ID
+	Pending   int    // ops enqueued but not yet flushed
+}
+
+// Entry is one resolved query hit: a live object and its indexed
+// position.
+type Entry[ID comparable] struct {
+	ID    ID
+	Point geom.Point
+}
+
+// Collection tracks one point per ID over an inner core.Index. Create
+// one with New; the zero value is not usable. All methods are safe for
+// concurrent use by any number of goroutines.
+type Collection[ID comparable] struct {
+	opts Options
+	idx  core.Index
+	dims int
+
+	// pend guards the ID-keyed coalescing log: the ordered op tape plus
+	// an overlay holding the latest pending op per ID (what Get reads).
+	// It is held only for appends, overlay lookups, and the post-commit
+	// purge — never while a batch is applied.
+	pend struct {
+		sync.Mutex
+		seq     uint64
+		ops     []op[ID]
+		overlay map[ID]tailOp
+	}
+
+	// flushMu serializes flushes, so the committed state always reflects
+	// a prefix of the enqueue history. rw guards the committed triple
+	// (inner index, fwd, rev): queries share read locks, a flush commits
+	// under the write lock.
+	flushMu sync.Mutex
+	rw      sync.RWMutex
+	fwd     map[ID]geom.Point
+	rev     map[geom.Point][]ID
+
+	flushes   atomic.Uint64
+	inserted  atomic.Uint64
+	moved     atomic.Uint64
+	removed   atomic.Uint64
+	cancelled atomic.Uint64
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// op is one logged mutation: Set (del=false) or Remove (del=true) of id.
+// seq is the global enqueue sequence number, used to purge overlay
+// entries once their window commits.
+type op[ID comparable] struct {
+	id  ID
+	p   geom.Point
+	del bool
+	seq uint64
+}
+
+// tailOp is the overlay value: the latest pending op for an ID.
+type tailOp struct {
+	p   geom.Point
+	del bool
+	seq uint64
+}
+
+// New wraps idx in a Collection. The Collection takes ownership of idx:
+// the caller must not touch it directly afterwards (in particular, the
+// index must start empty — every stored point must have an owning ID).
+// If opts.FlushInterval is positive the background flusher starts
+// immediately; pair New with Close to stop it.
+func New[ID comparable](idx core.Index, opts Options) *Collection[ID] {
+	c := &Collection[ID]{
+		opts: opts.withDefaults(),
+		idx:  idx,
+		dims: idx.Dims(),
+		fwd:  make(map[ID]geom.Point),
+		rev:  make(map[geom.Point][]ID),
+		stop: make(chan struct{}),
+	}
+	c.pend.overlay = make(map[ID]tailOp)
+	if c.opts.FlushInterval > 0 {
+		c.wg.Add(1)
+		go c.flushLoop()
+	}
+	return c
+}
+
+func (c *Collection[ID]) flushLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.Flush()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Close stops the background flusher (if any), applies all pending ops,
+// and closes the inner index when it has a Close method of its own (a
+// wrapped Store's background flusher, for example — the Collection owns
+// idx, so nobody else can stop it). The Collection remains usable after
+// Close — only the periodic flushing ends. Close is idempotent.
+func (c *Collection[ID]) Close() {
+	c.closeOnce.Do(func() {
+		close(c.stop)
+		c.wg.Wait()
+	})
+	c.Flush()
+	if cl, ok := c.idx.(interface{ Close() }); ok {
+		cl.Close()
+	}
+}
+
+// Name labels the Collection after its inner index.
+func (c *Collection[ID]) Name() string { return fmt.Sprintf("Collection(%s)", c.idx.Name()) }
+
+// Dims returns the dimensionality of the inner index.
+func (c *Collection[ID]) Dims() int { return c.dims }
+
+// Set enqueues a move: id is (re)located to p. The relocation becomes
+// visible to geometric queries at the flush that applies it, netted with
+// any other pending ops on the same ID; Get(id) sees it immediately.
+func (c *Collection[ID]) Set(id ID, p geom.Point) { c.enqueue(id, p, false) }
+
+// Remove enqueues the removal of id. Removing an absent ID is a no-op
+// when its window flushes.
+func (c *Collection[ID]) Remove(id ID) { c.enqueue(id, geom.Point{}, true) }
+
+func (c *Collection[ID]) enqueue(id ID, p geom.Point, del bool) {
+	c.pend.Lock()
+	c.pend.seq++
+	c.pend.ops = append(c.pend.ops, op[ID]{id: id, p: p, del: del, seq: c.pend.seq})
+	c.pend.overlay[id] = tailOp{p: p, del: del, seq: c.pend.seq}
+	full := len(c.pend.ops) >= c.opts.MaxBatch
+	c.pend.Unlock()
+	if full {
+		c.Flush()
+	}
+}
+
+// Get returns id's position. It observes the caller's latest enqueued op
+// for id even before a flush (read-your-writes): the pending overlay is
+// consulted first, the committed table second. The overlay is purged
+// only after its window commits (under the writer lock), so a Get that
+// misses the overlay is guaranteed to see a committed state at least as
+// new as every purged op.
+func (c *Collection[ID]) Get(id ID) (geom.Point, bool) {
+	c.pend.Lock()
+	tail, ok := c.pend.overlay[id]
+	c.pend.Unlock()
+	if ok {
+		if tail.del {
+			return geom.Point{}, false
+		}
+		return tail.p, true
+	}
+	c.rw.RLock()
+	p, live := c.fwd[id]
+	c.rw.RUnlock()
+	return p, live
+}
+
+// Len flushes pending ops and returns the number of live objects, so the
+// answer reflects every enqueue that happened before the call.
+func (c *Collection[ID]) Len() int {
+	c.Flush()
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return len(c.fwd)
+}
+
+// Flush nets every pending op by last-write-wins per ID, applies the
+// resulting diff to the index as one BatchDiff, and advances the
+// forward/reverse tables under the same writer lock. It returns the
+// number of index mutations applied (inserts + deletes). Flush is a
+// synchronization barrier: on return, every op enqueued before the call
+// is visible to geometric queries.
+func (c *Collection[ID]) Flush() int {
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+	c.pend.Lock()
+	ops := c.pend.ops
+	c.pend.ops = nil
+	c.pend.Unlock()
+	if len(ops) == 0 {
+		return 0
+	}
+
+	// Net the window: the last op per ID wins, every earlier op on that
+	// ID is superseded. Identity makes this exact — no order-aware
+	// matching needed.
+	final := make(map[ID]op[ID], len(ops))
+	for _, o := range ops {
+		final[o.id] = o
+	}
+	c.cancelled.Add(uint64(len(ops) - len(final)))
+
+	// Plan the diff against the committed forward table. Reading fwd
+	// without rw is safe here: only flushes write it and flushMu is held.
+	ins := make([]geom.Point, 0, len(final))
+	del := make([]geom.Point, 0, len(final))
+	var nIns, nMove, nDel uint64
+	for id, o := range final {
+		old, live := c.fwd[id]
+		switch {
+		case o.del && live:
+			del = append(del, old)
+			nDel++
+		case o.del:
+			// Remove of an absent ID: nothing to do.
+		case live && old == o.p:
+			// Same-position Set: the index is already right.
+		case live:
+			del = append(del, old)
+			ins = append(ins, o.p)
+			nMove++
+		default:
+			ins = append(ins, o.p)
+			nIns++
+		}
+	}
+
+	c.rw.Lock()
+	c.idx.BatchDiff(ins, del)
+	// An inner Store (or any other deferring layer) buffers BatchDiff;
+	// flush it inside our commit so the index and the tables below never
+	// disagree at a read-lock boundary.
+	if f, ok := c.idx.(interface{ Flush() int }); ok {
+		f.Flush()
+	}
+	for id, o := range final {
+		old, live := c.fwd[id]
+		if o.del {
+			if live {
+				delete(c.fwd, id)
+				c.revRemove(old, id)
+			}
+			continue
+		}
+		if live {
+			if old == o.p {
+				continue
+			}
+			c.revRemove(old, id)
+		}
+		c.fwd[id] = o.p
+		c.rev[o.p] = append(c.rev[o.p], id)
+	}
+	// Purge committed overlay entries while still holding the writer
+	// lock: after a Get misses the overlay, the committed state it then
+	// reads must already include every purged op. Ops enqueued after the
+	// tape swap carry higher sequence numbers and survive.
+	c.pend.Lock()
+	for id, o := range final {
+		if tail, ok := c.pend.overlay[id]; ok && tail.seq <= o.seq {
+			delete(c.pend.overlay, id)
+		}
+	}
+	c.pend.Unlock()
+	c.rw.Unlock()
+
+	c.flushes.Add(1)
+	c.inserted.Add(nIns)
+	c.moved.Add(nMove)
+	c.removed.Add(nDel)
+	return len(ins) + len(del)
+}
+
+// revRemove drops one occurrence of id from rev[p] (callers hold rw).
+func (c *Collection[ID]) revRemove(p geom.Point, id ID) {
+	ids := c.rev[p]
+	for i, got := range ids {
+		if got == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(c.rev, p)
+	} else {
+		c.rev[p] = ids
+	}
+}
+
+// NearbyIDs returns the k objects nearest q (nearest first), resolved to
+// their IDs. Ties at the k-th distance — including several objects
+// sharing one point — are broken arbitrarily, matching core.Index.KNN.
+// Only flushed ops are visible.
+func (c *Collection[ID]) NearbyIDs(q geom.Point, k int) []Entry[ID] {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.resolve(c.idx.KNN(q, k, nil))
+}
+
+// WithinIDs returns every object inside box (order unspecified),
+// resolved to IDs. Only flushed ops are visible.
+func (c *Collection[ID]) WithinIDs(box geom.Box) []Entry[ID] {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.resolve(c.idx.RangeList(box, nil))
+}
+
+// resolve maps a query's hit multiset to entries through the reverse
+// multimap (callers hold rw). A point stored once per object at it means
+// hits and rev lists have equal multiplicity; for the rare points owned
+// by several objects, a cursor walks the ID list so duplicate hits
+// resolve to distinct objects. Single-owner points — the common case —
+// never touch the cursor map.
+func (c *Collection[ID]) resolve(pts []geom.Point) []Entry[ID] {
+	out := make([]Entry[ID], 0, len(pts))
+	var cursor map[geom.Point]int
+	for _, p := range pts {
+		ids := c.rev[p]
+		switch {
+		case len(ids) == 0:
+			// Unreachable while the flush invariant holds (Validate
+			// checks it); skip rather than fabricate an entry.
+		case len(ids) == 1:
+			out = append(out, Entry[ID]{ID: ids[0], Point: p})
+		default:
+			if cursor == nil {
+				cursor = make(map[geom.Point]int)
+			}
+			i := cursor[p]
+			if i >= len(ids) {
+				continue // see the len(ids) == 0 case
+			}
+			cursor[p] = i + 1
+			out = append(out, Entry[ID]{ID: ids[i], Point: p})
+		}
+	}
+	return out
+}
+
+// Pending returns the number of enqueued, not-yet-flushed ops.
+func (c *Collection[ID]) Pending() int {
+	c.pend.Lock()
+	defer c.pend.Unlock()
+	return len(c.pend.ops)
+}
+
+// Stats returns a snapshot of the Collection's counters. Counters are
+// updated after each flush, so a snapshot racing a flush may lag by that
+// one batch.
+func (c *Collection[ID]) Stats() Stats {
+	return Stats{
+		Flushes:   c.flushes.Load(),
+		Inserted:  c.inserted.Load(),
+		Moved:     c.moved.Load(),
+		Removed:   c.removed.Load(),
+		Cancelled: c.cancelled.Load(),
+		Pending:   c.Pending(),
+	}
+}
+
+// Validate flushes, then checks the transactional-consistency invariant
+// between the three committed structures: the index holds exactly one
+// point per live object, and the forward and reverse tables are exact
+// inverses. Tests and the fuzz harness call it after every tape.
+func (c *Collection[ID]) Validate() error {
+	c.Flush()
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	if got, want := c.idx.Size(), len(c.fwd); got != want {
+		return fmt.Errorf("collection: index stores %d points, %d live objects", got, want)
+	}
+	nRev := 0
+	for p, ids := range c.rev {
+		if len(ids) == 0 {
+			return fmt.Errorf("collection: empty reverse entry for %v", p)
+		}
+		nRev += len(ids)
+		for _, id := range ids {
+			if got, live := c.fwd[id]; !live || got != p {
+				return fmt.Errorf("collection: rev[%v] lists %v but fwd says (%v, %t)", p, id, got, live)
+			}
+		}
+	}
+	if nRev != len(c.fwd) {
+		return fmt.Errorf("collection: reverse multimap holds %d entries, %d live objects", nRev, len(c.fwd))
+	}
+	return nil
+}

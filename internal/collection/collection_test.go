@@ -1,0 +1,473 @@
+package collection
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/sfc"
+	"repro/internal/shard"
+	"repro/internal/spactree"
+	"repro/internal/store"
+)
+
+const side = int64(1 << 20)
+
+func universe() geom.Box { return geom.UniverseBox(2, side) }
+
+func newSPaCH() core.Index { return spactree.NewSPaC(sfc.Hilbert, 2, universe()) }
+
+// innerStacks enumerates the index stacks a Collection is documented to
+// compose over: a raw tree, the brute-force oracle, a Sharded fan-out,
+// a Store front-end, and the full Store-over-Sharded serving stack.
+func innerStacks() map[string]func() core.Index {
+	mkSharded := func() core.Index {
+		return shard.New(shard.Options{
+			Dims:     2,
+			Universe: universe(),
+			Shards:   4,
+			Strategy: shard.HilbertRange,
+			New: func(dims int, u geom.Box) core.Index {
+				return spactree.NewSPaC(sfc.Hilbert, dims, u)
+			},
+		})
+	}
+	return map[string]func() core.Index{
+		"BruteForce":      func() core.Index { return core.NewBruteForce(2) },
+		"SPaC-H":          newSPaCH,
+		"Sharded(SPaC-H)": mkSharded,
+		"Store(SPaC-H)":   func() core.Index { return store.New(newSPaCH(), store.Options{}) },
+		"Store(Sharded)":  func() core.Index { return store.New(mkSharded(), store.Options{}) },
+	}
+}
+
+func TestGetReadsOwnWritesBeforeFlush(t *testing.T) {
+	c := New[string](core.NewBruteForce(2), Options{MaxBatch: 1 << 20})
+	defer c.Close()
+	p0, p1 := geom.Pt2(10, 10), geom.Pt2(20, 20)
+	c.Set("a", p0)
+	if got, ok := c.Get("a"); !ok || got != p0 {
+		t.Fatalf("Get before flush = (%v, %t), want (%v, true)", got, ok, p0)
+	}
+	// Geometric queries see only flushed state.
+	if got := c.WithinIDs(universe()); len(got) != 0 {
+		t.Fatalf("pending Set visible to WithinIDs before flush: %v", got)
+	}
+	c.Set("a", p1)
+	if got, _ := c.Get("a"); got != p1 {
+		t.Fatalf("Get after second pending Set = %v, want %v", got, p1)
+	}
+	c.Remove("a")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("Get after pending Remove still live")
+	}
+	c.Flush()
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("Get after flushed Remove still live")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveChainNetsToOneDiff(t *testing.T) {
+	c := New[int](core.NewBruteForce(2), Options{MaxBatch: 1 << 20})
+	defer c.Close()
+	c.Set(1, geom.Pt2(1, 1))
+	c.Flush()
+	// Five moves in one window must cost the index one delete + one
+	// insert and leave no stale position behind.
+	for i := int64(2); i <= 6; i++ {
+		c.Set(1, geom.Pt2(i, i))
+	}
+	if applied := c.Flush(); applied != 2 {
+		t.Fatalf("flush applied %d index mutations, want 2 (one del + one ins)", applied)
+	}
+	st := c.Stats()
+	if st.Moved != 1 || st.Cancelled != 4 {
+		t.Fatalf("stats after netted chain: %+v, want Moved=1 Cancelled=4", st)
+	}
+	if got := c.WithinIDs(geom.BoxOf(geom.Pt2(6, 6), geom.Pt2(6, 6))); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("final position lookup = %v", got)
+	}
+	for i := int64(1); i <= 5; i++ {
+		if got := c.WithinIDs(geom.BoxOf(geom.Pt2(i, i), geom.Pt2(i, i))); len(got) != 0 {
+			t.Fatalf("stale position (%d,%d) still indexed: %v", i, i, got)
+		}
+	}
+	// Set then Remove of a fresh ID in one window nets to nothing.
+	c.Set(2, geom.Pt2(9, 9))
+	c.Remove(2)
+	if applied := c.Flush(); applied != 0 {
+		t.Fatalf("set+remove window applied %d mutations, want 0", applied)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedPointResolvesDistinctIDs(t *testing.T) {
+	c := New[string](newSPaCH(), Options{})
+	defer c.Close()
+	p := geom.Pt2(100, 100)
+	c.Set("a", p)
+	c.Set("b", p)
+	c.Flush()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := c.NearbyIDs(p, 2)
+	if len(got) != 2 {
+		t.Fatalf("NearbyIDs returned %d entries, want 2", len(got))
+	}
+	if got[0].ID == got[1].ID {
+		t.Fatalf("duplicate hit resolved to the same ID twice: %v", got)
+	}
+	within := c.WithinIDs(geom.BoxOf(p, p))
+	if len(within) != 2 || within[0].ID == within[1].ID {
+		t.Fatalf("WithinIDs on shared point = %v", within)
+	}
+}
+
+// verifyAgainstOracle checks the full Collection read suite against a
+// plain map: Get and Len exactly, WithinIDs as (ID, point) sets, and
+// NearbyIDs as a squared-distance sequence (ties arbitrary, as for KNN).
+func verifyAgainstOracle(t *testing.T, c *Collection[int], oracle map[int]geom.Point, nIDs int) {
+	t.Helper()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != len(oracle) {
+		t.Fatalf("Len = %d, oracle has %d", got, len(oracle))
+	}
+	for id := 0; id < nIDs; id++ {
+		gotP, gotOK := c.Get(id)
+		wantP, wantOK := oracle[id]
+		if gotOK != wantOK || (gotOK && gotP != wantP) {
+			t.Fatalf("Get(%d) = (%v, %t), oracle (%v, %t)", id, gotP, gotOK, wantP, wantOK)
+		}
+	}
+	got := c.WithinIDs(universe())
+	if len(got) != len(oracle) {
+		t.Fatalf("WithinIDs(universe) returned %d, oracle has %d", len(got), len(oracle))
+	}
+	for _, e := range got {
+		if oracle[e.ID] != e.Point {
+			t.Fatalf("WithinIDs entry %v, oracle has %v", e, oracle[e.ID])
+		}
+	}
+	// NearbyIDs: compare the distance sequence against brute force over
+	// the oracle, and require each entry to be a live (ID, point) pair.
+	for _, q := range []geom.Point{geom.Pt2(0, 0), geom.Pt2(side/2, side/2), geom.Pt2(side, 1)} {
+		for _, k := range []int{1, 3, 17} {
+			nn := c.NearbyIDs(q, k)
+			dists := make([]int64, 0, len(oracle))
+			for _, p := range oracle {
+				dists = append(dists, geom.Dist2(p, q, 2))
+			}
+			sort.Slice(dists, func(i, j int) bool { return dists[i] < dists[j] })
+			wantLen := k
+			if len(dists) < k {
+				wantLen = len(dists)
+			}
+			if len(nn) != wantLen {
+				t.Fatalf("NearbyIDs(%v, %d) returned %d entries, want %d", q, k, len(nn), wantLen)
+			}
+			for i, e := range nn {
+				if oracle[e.ID] != e.Point {
+					t.Fatalf("NearbyIDs entry %v is not the oracle position %v", e, oracle[e.ID])
+				}
+				if got, want := geom.Dist2(e.Point, q, 2), dists[i]; got != want {
+					t.Fatalf("NearbyIDs(%v, %d) neighbor %d dist2 %d, oracle %d", q, k, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOracleAgreementAcrossStacks drives the same random Set/Remove tape
+// through a Collection over every documented inner stack and a map
+// oracle, flushing at random points, and verifies the full read suite
+// after every flush. This is the sequential-differential core the fuzz
+// target generalizes.
+func TestOracleAgreementAcrossStacks(t *testing.T) {
+	const nIDs = 64
+	for name, mk := range innerStacks() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			c := New[int](mk(), Options{MaxBatch: 1 << 20})
+			defer c.Close()
+			oracle := make(map[int]geom.Point)
+			for i := 0; i < 400; i++ {
+				id := rng.Intn(nIDs)
+				if rng.Intn(5) == 0 {
+					c.Remove(id)
+					delete(oracle, id)
+				} else {
+					// A small coordinate domain makes shared points and
+					// same-position Sets routine.
+					p := geom.Pt2(int64(rng.Intn(64))*(side/64), int64(rng.Intn(64))*(side/64))
+					c.Set(id, p)
+					oracle[id] = p
+				}
+				if rng.Intn(25) == 0 {
+					c.Flush()
+					verifyAgainstOracle(t, c, oracle, nIDs)
+				}
+			}
+			c.Flush()
+			verifyAgainstOracle(t, c, oracle, nIDs)
+		})
+	}
+}
+
+// TestConcurrentMoveChainsLastWriteWins is the identity extension of the
+// Store netting test (satellite: run under -race): many goroutines issue
+// interleaved Set chains on a *shared* ID space across flush windows
+// (tiny MaxBatch, a background flusher, and explicit Flush calls all
+// racing). Afterwards every written ID must hold some goroutine's last
+// write for it — enqueue order is consistent with each goroutine's
+// program order, so no intermediate position may survive — and the
+// index/fwd/rev triple must validate with no stale points.
+func TestConcurrentMoveChainsLastWriteWins(t *testing.T) {
+	const (
+		goroutines = 8
+		opsPerG    = 600
+		nIDs       = 32
+	)
+	c := New[int](newSPaCH(), Options{MaxBatch: 64, FlushInterval: 200 * time.Microsecond})
+	lastWrite := make([]map[int]geom.Point, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			last := make(map[int]geom.Point, nIDs)
+			for i := 0; i < opsPerG; i++ {
+				id := rng.Intn(nIDs)
+				// Tag the point with (goroutine, op) so every write is
+				// globally unique and stale survivors are attributable.
+				p := geom.Pt2(int64(g*opsPerG+i), int64(id))
+				c.Set(id, p)
+				last[id] = p
+				if i%97 == 0 {
+					c.Flush()
+				}
+			}
+			lastWrite[g] = last
+		}(g)
+	}
+	wg.Wait()
+	c.Close()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < nIDs; id++ {
+		candidates := make(map[geom.Point]bool)
+		for g := 0; g < goroutines; g++ {
+			if p, ok := lastWrite[g][id]; ok {
+				candidates[p] = true
+			}
+		}
+		got, ok := c.Get(id)
+		if len(candidates) == 0 {
+			if ok {
+				t.Fatalf("never-written ID %d is live at %v", id, got)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("written ID %d is not live", id)
+		}
+		if !candidates[got] {
+			t.Fatalf("ID %d rests at %v, which is no goroutine's last write (an intermediate position survived)", id, got)
+		}
+		// The committed position must be indexed exactly once.
+		if hits := c.WithinIDs(geom.BoxOf(got, got)); len(hits) != 1 || hits[0].ID != id {
+			t.Fatalf("ID %d at %v resolves to %v", id, got, hits)
+		}
+	}
+	if got := c.Len(); got > nIDs {
+		t.Fatalf("Len = %d, at most %d ids were ever written", got, nIDs)
+	}
+}
+
+// TestConcurrentDisjointWritersExact runs writers over disjoint ID
+// ranges (so the final state is fully deterministic) with query
+// goroutines hammering the read suite throughout, then checks the exact
+// final state. Also exercised by CI under -race.
+func TestConcurrentDisjointWritersExact(t *testing.T) {
+	const (
+		writers  = 4
+		queriers = 3
+		idsPerW  = 200
+		movesPer = 5 * idsPerW
+	)
+	c := New[int](newSPaCH(), Options{MaxBatch: 128})
+	final := make([]map[int]geom.Point, writers)
+	var wgW, wgQ sync.WaitGroup
+	stop := make(chan struct{})
+	for q := 0; q < queriers; q++ {
+		wgQ.Add(1)
+		go func(q int) {
+			defer wgQ.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch (q + i) % 3 {
+				case 0:
+					c.NearbyIDs(geom.Pt2(int64(i%int(side)), 500), 5)
+				case 1:
+					c.WithinIDs(geom.BoxOf(geom.Pt2(0, 0), geom.Pt2(side/4, side/4)))
+				case 2:
+					c.Get(i % (writers * idsPerW))
+				}
+			}
+		}(q)
+	}
+	for w := 0; w < writers; w++ {
+		wgW.Add(1)
+		go func(w int) {
+			defer wgW.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			last := make(map[int]geom.Point, idsPerW)
+			for i := 0; i < movesPer; i++ {
+				id := w*idsPerW + rng.Intn(idsPerW)
+				if rng.Intn(10) == 0 {
+					c.Remove(id)
+					delete(last, id)
+					continue
+				}
+				p := geom.Pt2(rng.Int63n(side), rng.Int63n(side))
+				c.Set(id, p)
+				last[id] = p
+			}
+			final[w] = last
+		}(w)
+	}
+	wgW.Wait()
+	close(stop)
+	wgQ.Wait()
+	c.Close()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for w := 0; w < writers; w++ {
+		want += len(final[w])
+		for id, p := range final[w] {
+			if got, ok := c.Get(id); !ok || got != p {
+				t.Fatalf("ID %d = (%v, %t), writer %d last wrote %v", id, got, ok, w, p)
+			}
+		}
+	}
+	if got := c.Len(); got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
+// TestCollectionOverStoreOverSharded pins the deep-stack composition the
+// README recommends against: the Collection's flush must propagate
+// through the Store's own coalescing log synchronously, so the reverse
+// multimap never runs ahead of what geometric queries can see.
+func TestCollectionOverStoreOverSharded(t *testing.T) {
+	inner := shard.New(shard.Options{
+		Dims:     2,
+		Universe: universe(),
+		Shards:   4,
+		Strategy: shard.HilbertRange,
+		New: func(dims int, u geom.Box) core.Index {
+			return spactree.NewSPaC(sfc.Hilbert, dims, u)
+		},
+	})
+	c := New[string](store.New(inner, store.Options{MaxBatch: 1 << 20}), Options{MaxBatch: 1 << 20})
+	defer c.Close()
+	rng := rand.New(rand.NewSource(23))
+	oracle := make(map[string]geom.Point)
+	for i := 0; i < 300; i++ {
+		id := fmt.Sprintf("veh-%03d", rng.Intn(80))
+		p := geom.Pt2(rng.Int63n(side), rng.Int63n(side))
+		c.Set(id, p)
+		oracle[id] = p
+		if i%50 == 49 {
+			c.Flush()
+			if err := c.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got := c.Len(); got != len(oracle) {
+				t.Fatalf("after flush %d: Len = %d, oracle %d", i, got, len(oracle))
+			}
+		}
+	}
+	c.Flush()
+	for id, p := range oracle {
+		hits := c.WithinIDs(geom.BoxOf(p, p))
+		found := false
+		for _, e := range hits {
+			if e.ID == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("object %s at %v not resolvable through the stack: %v", id, p, hits)
+		}
+	}
+}
+
+func TestLenFlushesAndStats(t *testing.T) {
+	c := New[int](core.NewBruteForce(2), Options{MaxBatch: 1 << 20})
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		c.Set(i, geom.Pt2(int64(i), int64(i)))
+	}
+	if c.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", c.Pending())
+	}
+	if got := c.Len(); got != 10 {
+		t.Fatalf("Len = %d, want 10 (Len must flush first)", got)
+	}
+	st := c.Stats()
+	if st.Flushes != 1 || st.Inserted != 10 || st.Pending != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if c.Name() != "Collection(BruteForce)" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if c.Dims() != 2 {
+		t.Fatalf("Dims = %d", c.Dims())
+	}
+}
+
+func TestMaxBatchTriggersFlush(t *testing.T) {
+	c := New[int](core.NewBruteForce(2), Options{MaxBatch: 8})
+	defer c.Close()
+	for i := 0; i < 8; i++ {
+		c.Set(i, geom.Pt2(int64(i), 0))
+	}
+	if st := c.Stats(); st.Flushes != 1 || st.Inserted != 8 || st.Pending != 0 {
+		t.Fatalf("after filling one batch: %+v", st)
+	}
+}
+
+func TestBackgroundFlusher(t *testing.T) {
+	c := New[int](core.NewBruteForce(2), Options{MaxBatch: 1 << 20, FlushInterval: time.Millisecond})
+	defer c.Close()
+	p := geom.Pt2(3, 4)
+	c.Set(7, p)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(c.WithinIDs(geom.BoxOf(p, p))) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never applied the pending Set")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

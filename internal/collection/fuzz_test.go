@@ -1,0 +1,117 @@
+package collection
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// FuzzCollectionMoves is the identity-layer differential fuzzer: the
+// input bytes pick an inner index stack and decode into a Set / Remove /
+// Flush tape over a small ID space, mirrored into a plain map oracle.
+// Get is checked after every op (the overlay gives read-your-writes, so
+// Get must equal the oracle at all times, flushed or not); at every
+// Flush checkpoint and at the end of the tape the full read suite —
+// Len, WithinIDs, NearbyIDs distance sequences — and the
+// index/fwd/rev consistency invariant (Validate) are verified. Seed
+// corpus lives in testdata/fuzz/FuzzCollectionMoves.
+func FuzzCollectionMoves(f *testing.F) {
+	for _, s := range collectionSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runCollectionTape(t, data)
+	})
+}
+
+var collectionSeeds = []string{
+	"",
+	"set a few ids then flush and read them back",
+	"move move move the same object 0000000000",
+	"\x00\x01\x02\x03\x04\x05\x06\x07remove and reinsert",
+	"interleave~!@#$%^&*()_+ flushes {[]} with everything",
+	"ZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZ",
+}
+
+const fuzzIDs = 16
+
+// fuzzStacks lists the inner stacks the first input byte selects from,
+// in a fixed order so corpus entries stay reproducible.
+var fuzzStacks = []func() core.Index{
+	func() core.Index { return core.NewBruteForce(2) },
+	newSPaCH,
+	innerStacks()["Sharded(SPaC-H)"],
+	innerStacks()["Store(Sharded)"],
+}
+
+func runCollectionTape(t *testing.T, data []byte) {
+	if len(data) < 2 {
+		return
+	}
+	mk := fuzzStacks[int(data[0])%len(fuzzStacks)]
+	// A tiny MaxBatch derived from the input lets the fuzzer also drive
+	// threshold-triggered flushes mid-tape, not only explicit ones.
+	maxBatch := 1 + int(data[1])%64
+	c := New[int](mk(), Options{MaxBatch: maxBatch})
+	defer c.Close()
+	oracle := make(map[int]geom.Point)
+
+	i := 2
+	next := func() (byte, bool) {
+		if i >= len(data) {
+			return 0, false
+		}
+		b := data[i]
+		i++
+		return b, true
+	}
+	for ops := 0; ops < 256; ops++ {
+		b, ok := next()
+		if !ok {
+			break
+		}
+		idb, ok := next()
+		if !ok {
+			break
+		}
+		id := int(idb) % fuzzIDs
+		switch b % 8 {
+		case 0:
+			c.Remove(id)
+			delete(oracle, id)
+		case 1:
+			c.Flush()
+			verifyAgainstOracle(t, c, oracle, fuzzIDs)
+		default:
+			xb, ok1 := next()
+			yb, ok2 := next()
+			if !ok1 || !ok2 {
+				return
+			}
+			// Scale byte coordinates across the universe; %32 keeps the
+			// domain coarse so distinct IDs routinely share a point.
+			p := geom.Pt2(int64(xb%32)*(side/32), int64(yb%32)*(side/32))
+			c.Set(id, p)
+			oracle[id] = p
+		}
+		// Read-your-writes: Get tracks the oracle exactly, even for ops
+		// still sitting in the pending log.
+		gotP, gotOK := c.Get(id)
+		wantP, wantOK := oracle[id]
+		if gotOK != wantOK || (gotOK && gotP != wantP) {
+			t.Fatalf("op %d: Get(%d) = (%v, %t), oracle (%v, %t)", ops, id, gotP, gotOK, wantP, wantOK)
+		}
+	}
+	c.Flush()
+	verifyAgainstOracle(t, c, oracle, fuzzIDs)
+}
+
+// TestCollectionMovesSeeds replays the in-code seed corpus as a plain
+// test, so `go test` exercises the differential harness even when
+// fuzzing is not invoked.
+func TestCollectionMovesSeeds(t *testing.T) {
+	for _, s := range collectionSeeds {
+		runCollectionTape(t, []byte(s))
+	}
+}

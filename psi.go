@@ -32,6 +32,7 @@
 package psi
 
 import (
+	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/logtree"
@@ -259,6 +260,37 @@ func NewSharded(newIndex func(dims int, universe Box) Index, dims int, universe 
 
 // NewShardedOpts builds a Sharded index with explicit options.
 func NewShardedOpts(opts ShardedOptions) *Sharded { return shard.New(opts) }
+
+// Collection is a concurrent ID-keyed moving-object layer over any Index
+// (including Sharded and Store-wrapped stacks): it tracks one point per
+// live ID, nets each window of Set/Remove calls by last-write-wins per ID
+// into a single BatchDiff, and keeps a point→ID reverse multimap
+// transactionally consistent with the index so geometric queries resolve
+// to object identities. Set/Remove/Get/NearbyIDs/WithinIDs are all safe
+// for fully concurrent use; see internal/collection for the visibility
+// contract and README "Tracking objects" for stack guidance.
+type Collection[ID comparable] = collection.Collection[ID]
+
+// CollectionEntry is one resolved Collection query hit: an object ID and
+// its indexed position.
+type CollectionEntry[ID comparable] = collection.Entry[ID]
+
+// CollectionOptions tunes a Collection: MaxBatch is the coalescing
+// threshold that triggers a synchronous flush, FlushInterval (optional)
+// runs a background flusher bounding query staleness. The zero value is
+// usable.
+type CollectionOptions = collection.Options
+
+// CollectionStats is a snapshot of a Collection's lifetime counters.
+type CollectionStats = collection.Stats
+
+// NewCollection wraps idx (which must start empty) in a Collection keyed
+// by ID. The Collection takes ownership of idx; do not touch it directly
+// afterwards. If opts.FlushInterval is set, pair with Close to stop the
+// background flusher.
+func NewCollection[ID comparable](idx Index, opts CollectionOptions) *Collection[ID] {
+	return collection.New[ID](idx, opts)
+}
 
 // Workload re-exports: the paper's synthetic distributions and query
 // generators, for examples and downstream benchmarking.
