@@ -1,6 +1,7 @@
 // Benchmarks regenerating the paper's tables and figures as testing.B
-// targets — one bench family per figure (see DESIGN.md §3 for the
-// mapping, and cmd/psibench for the full-protocol table runner).
+// targets — one bench family per figure (see the experiment mapping
+// table in README.md, and cmd/psibench for the full-protocol table
+// runner).
 //
 // Scale: benchmarks default to n = 50k points so the full suite runs in
 // minutes on a laptop; the shapes (who wins, by what factor) are the

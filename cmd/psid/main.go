@@ -1,0 +1,113 @@
+// Command psid is the Ψ-Lib geospatial server: it serves the
+// psi.Collection moving-object API — SET / DEL / GET / NEARBY / WITHIN /
+// STATS / FLUSH — over a newline-delimited JSON protocol on TCP, with
+// HTTP /healthz and /stats probe endpoints. The wire protocol is
+// documented in docs/protocol.md; drive it with nc for a quickstart:
+//
+//	psid -addr :7501 -http :7502 &
+//	printf '%s\n' '{"op":"SET","id":"veh-1","p":[3,4]}' '{"op":"FLUSH"}' \
+//	              '{"op":"NEARBY","p":[0,0],"k":1}' | nc 127.0.0.1 7501
+//	curl -s http://127.0.0.1:7502/stats
+//
+// The serving stack is chosen by flags: -index picks the per-shard index
+// family (any psibench table name), -shards wraps it in the sharded
+// fan-out layer so every coalesced flush applies across shards in
+// parallel. SIGINT/SIGTERM trigger a graceful shutdown: stop accepting,
+// drain in-flight commands, apply a final flush so every acknowledged
+// write is committed, and print the serving counters.
+//
+// Benchmark a running psid with cmd/psiload.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/service"
+
+	psi "repro"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"psid — Ψ-Lib geospatial server (protocol reference: docs/protocol.md)\n\nUsage: psid [flags]\n\n")
+		flag.PrintDefaults()
+	}
+	addr := flag.String("addr", ":7501", "TCP command listener address")
+	httpAddr := flag.String("http", ":7502", "HTTP probe listener address (/healthz, /stats); empty disables")
+	index := flag.String("index", "SPaC-H", "index family (a psibench table name, e.g. SPaC-H, P-Orth, Pkd-Tree)")
+	shards := flag.Int("shards", -1, "shard count: -1 = one per core, 0 = unsharded, N = N shards")
+	dims := flag.Int("dims", 2, "point dimensionality (2 or 3)")
+	side := flag.Int64("side", 1_000_000_000, "coordinate universe [0, side]^dims")
+	maxBatch := flag.Int("maxbatch", 4096, "coalescing threshold: pending ops that trigger a synchronous flush")
+	flushEvery := flag.Duration("flush-interval", service.DefaultFlushInterval, "background flush cadence bounding query staleness")
+	maxLine := flag.Int("maxline", service.DefaultMaxLineBytes, "reject request lines longer than this many bytes")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	flag.Parse()
+
+	if *dims != 2 && *dims != 3 {
+		fmt.Fprintf(os.Stderr, "psid: -dims must be 2 or 3, got %d\n", *dims)
+		os.Exit(2)
+	}
+	universe := geom.UniverseBox(*dims, *side)
+	mk := func(dims int, u geom.Box) core.Index { return psi.ByName(*index, dims, u) }
+	if mk(*dims, universe) == nil {
+		fmt.Fprintf(os.Stderr, "psid: unknown index %q (see psibench table names)\n", *index)
+		os.Exit(2)
+	}
+	var idx core.Index
+	stack := *index
+	if *shards != 0 {
+		idx = psi.NewSharded(mk, *dims, universe, *shards)
+		stack = fmt.Sprintf("Sharded(%s)", *index)
+	} else {
+		idx = mk(*dims, universe)
+	}
+
+	s := service.New(idx, service.Options{
+		MaxBatch:      *maxBatch,
+		FlushInterval: *flushEvery,
+		MaxLineBytes:  *maxLine,
+	})
+	if err := s.Start(*addr, *httpAddr); err != nil {
+		fmt.Fprintf(os.Stderr, "psid: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("psid: serving %s on %s", stack, s.Addr())
+	if h := s.HTTPAddr(); h != nil {
+		fmt.Printf(" (http %s)", h)
+	}
+	fmt.Printf(", %d cores\n", runtime.NumCPU())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("psid: %s — draining (timeout %s)\n", got, *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := s.Shutdown(ctx)
+	st := s.Stats()
+	var served, errs uint64
+	for _, op := range st.Ops {
+		served += op.Count
+		errs += op.Errors
+	}
+	fmt.Printf("psid: stopped — %d commands served (%d errors, %d bad lines), %d objects across %d flushes\n",
+		served, errs, st.BadLines, st.Objects, st.Flushes)
+	if shutdownErr != nil {
+		// The drain timed out and connections were force-closed: the
+		// final flush still ran, but exit non-zero so supervisors (and
+		// the CI smoke) can tell a forced stop from a graceful one.
+		fmt.Fprintf(os.Stderr, "psid: forced shutdown after drain timeout: %v\n", shutdownErr)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Command psiload benchmarks a running psid server: it opens N
+// concurrent client connections, drives a SET/NEARBY/WITHIN mover/query
+// mix through them (each connection owns a disjoint slice of the object
+// IDs and hops them around, like the in-process fleet benchmark), and
+// reports client-observed throughput and p50/p99 latency per command —
+// to stdout and, with -csv, as machine-readable rows that join the
+// psibench measurement logs.
+//
+//	psid -addr :7501 &
+//	psiload -addr 127.0.0.1:7501 -conns 16 -dur 10s -csv load.csv
+//
+// psiload exits non-zero on transport failures or when any request
+// returned a protocol error, so it doubles as a CI smoke check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"psiload — load generator for psid (protocol reference: docs/protocol.md)\n\nUsage: psiload [flags]\n\n")
+		flag.PrintDefaults()
+	}
+	addr := flag.String("addr", "127.0.0.1:7501", "psid command address")
+	conns := flag.Int("conns", 8, "concurrent client connections")
+	objects := flag.Int("objects", 10_000, "tracked object ID space, split across connections")
+	dur := flag.Duration("dur", 5*time.Second, "run duration (ignored when -ops > 0)")
+	ops := flag.Int("ops", 0, "stop after this many total requests instead of -dur")
+	dims := flag.Int("dims", 2, "point dimensionality (must match the server)")
+	side := flag.Int64("side", 1_000_000_000, "coordinate universe [0, side]^dims")
+	setFrac := flag.Float64("set", 0.6, "fraction of requests that are SET moves")
+	nearbyFrac := flag.Float64("nearby", 0.3, "fraction that are NEARBY (the rest are WITHIN)")
+	hop := flag.Float64("hop", 0.01, "SET move distance as a fraction of side")
+	boxFrac := flag.Float64("box", 0.005, "WITHIN box half-extent as a fraction of side")
+	k := flag.Int("k", 10, "NEARBY k")
+	seed := flag.Int64("seed", 42, "workload seed")
+	csvPath := flag.String("csv", "", "also write the per-op report to this CSV file")
+	flag.Parse()
+
+	rep, err := service.RunLoad(service.LoadOptions{
+		Addr:       *addr,
+		Conns:      *conns,
+		Objects:    *objects,
+		Dims:       *dims,
+		Side:       *side,
+		Duration:   *dur,
+		TotalOps:   *ops,
+		SetFrac:    *setFrac,
+		NearbyFrac: *nearbyFrac,
+		HopFrac:    *hop,
+		BoxFrac:    *boxFrac,
+		K:          *k,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psiload: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Format(os.Stdout)
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psiload: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "psiload: writing CSV: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "psiload: closing CSV: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "psiload: %d requests returned errors\n", rep.Errors)
+		os.Exit(1)
+	}
+}

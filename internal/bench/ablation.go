@@ -11,7 +11,7 @@ import (
 	"repro/internal/workload"
 )
 
-// Ablations benchmarks the design choices DESIGN.md calls out:
+// Ablations benchmarks the paper's design choices:
 //
 //	(a) P-Orth skeleton depth λ (how many tree levels one sieve round
 //	    builds; the paper fixes λ=3 in 2D, §C);

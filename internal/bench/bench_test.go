@@ -128,6 +128,24 @@ func TestConcurrentSmoke(t *testing.T) {
 	}
 }
 
+func TestServiceSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.N = 2000
+	Service(cfg)
+	out := buf.String()
+	for _, want := range []string{
+		"psid over loopback TCP", "SPaC-H", "Sharded", "kops/s", "p99-us",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Service output missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "service: ") {
+		t.Fatalf("Service run reported an error:\n%s", out)
+	}
+}
+
 func TestGeoMean(t *testing.T) {
 	if g := geoMean([]float64{1, 4}); g != 2 {
 		t.Fatalf("geoMean = %v", g)

@@ -202,7 +202,7 @@ func Fig6(cfg Config) {
 	cfg = cfg.withDefaults()
 	defer setThreads(cfg.Threads)()
 	cache := newCache()
-	fmt.Fprintf(cfg.Out, "Fig. 6 — real-world stand-ins (synthetic substitutes, see DESIGN.md), n=%d\n", cfg.N)
+	fmt.Fprintf(cfg.Out, "Fig. 6 — real-world stand-ins (synthetic substitutes, see internal/workload), n=%d\n", cfg.N)
 	for _, setup := range []struct {
 		dist workload.Dist
 		dims int

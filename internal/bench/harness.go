@@ -3,7 +3,10 @@
 // table), Fig. 4 (kNN vs k), Fig. 5 (range report vs output size), Fig. 6
 // (real-world stand-ins), Fig. 7 (scalability), Fig. 8 (update/query
 // trade-off), Fig. 9 (3D table), Fig. 10 (single-batch updates), plus the
-// ablations of the design choices called out in DESIGN.md.
+// ablations of the paper's design choices (§C tuning and the SPaC
+// leaf-order relaxation — see ARCHITECTURE.md for the layer-by-layer
+// mapping) and one experiment per serving layer this library adds
+// (concurrent, shard, fleet, service).
 //
 // The harness follows the paper's protocol: one warm-up run, then the
 // mean of Reps timed runs (§5 "We report numbers as the average of 3 runs

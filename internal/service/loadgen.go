@@ -1,0 +1,332 @@
+package service
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Load generation: drive a psid server with N concurrent client
+// connections through a mover/query mix and measure client-observed
+// latency and throughput. This is the serving-path analogue of the
+// psibench experiments — the same numbers (p50/p99 per op, ops/sec)
+// either printed by cmd/psiload with a CSV mirror, or folded into the
+// psibench tables by -exp service.
+
+// LoadOptions configures one load run. Zero fields take defaults.
+type LoadOptions struct {
+	Addr  string // psid command address (required)
+	Conns int    // concurrent connections; default 8
+
+	// Objects is the tracked-ID space, split evenly across connections
+	// (each connection owns ids congruent to its index, so SETs never
+	// race on one ID and the final position of every object is
+	// deterministic per seed). Default 10_000.
+	Objects int
+	Dims    int   // point dimensionality; default 2
+	Side    int64 // coordinate range [0, Side]; default 1e9
+
+	// Duration and TotalOps are alternative stop conditions: run for a
+	// wall-clock duration, or until TotalOps requests completed across
+	// all connections (whichever is set; TotalOps wins if both).
+	// Default: 5s.
+	Duration time.Duration
+	TotalOps int
+
+	// SetFrac and NearbyFrac split the request mix; the remainder is
+	// WITHIN. Leaving both zero selects the default 0.6/0.3 write-heavy
+	// tracker mix; setting either makes both literal (so SetFrac 0 with
+	// NearbyFrac 0.5 really issues no SETs). Negative values or a sum
+	// above 1 are rejected.
+	SetFrac, NearbyFrac float64
+	// HopFrac is the SET move distance as a fraction of Side (bounded
+	// random hops, like the fleet benchmark); default 0.01.
+	HopFrac float64
+	// BoxFrac is the WITHIN box half-extent as a fraction of Side;
+	// default 0.005.
+	BoxFrac float64
+	K       int   // NEARBY k; default 10
+	Seed    int64 // default 42
+}
+
+func (o LoadOptions) withDefaults() (LoadOptions, error) {
+	if o.Conns <= 0 {
+		o.Conns = 8
+	}
+	if o.Objects <= 0 {
+		o.Objects = 10_000
+	}
+	// Every connection needs at least one owned ID; extra connections
+	// would otherwise sit idle and silently drop their TotalOps share.
+	if o.Conns > o.Objects {
+		o.Conns = o.Objects
+	}
+	if o.Dims == 0 {
+		o.Dims = 2
+	}
+	if o.Side <= 0 {
+		o.Side = 1_000_000_000
+	}
+	if o.Duration <= 0 && o.TotalOps <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.SetFrac == 0 && o.NearbyFrac == 0 {
+		o.SetFrac, o.NearbyFrac = 0.6, 0.3
+	}
+	if o.SetFrac < 0 || o.NearbyFrac < 0 || o.SetFrac+o.NearbyFrac > 1 {
+		return o, fmt.Errorf("psiload: bad mix: set=%v nearby=%v (each must be >= 0, sum <= 1)",
+			o.SetFrac, o.NearbyFrac)
+	}
+	if o.HopFrac <= 0 {
+		o.HopFrac = 0.01
+	}
+	if o.BoxFrac <= 0 {
+		o.BoxFrac = 0.005
+	}
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o, nil
+}
+
+// OpLoad is the client-observed record for one command type.
+type OpLoad struct {
+	Op        string
+	Count     uint64
+	Errors    uint64
+	OpsPerSec float64
+	Mean      time.Duration
+	P50       time.Duration
+	P99       time.Duration
+}
+
+// LoadReport aggregates a load run.
+type LoadReport struct {
+	Elapsed   time.Duration
+	Conns     int
+	Ops       uint64
+	Errors    uint64
+	OpsPerSec float64
+	Total     OpLoad   // all ops merged
+	PerOp     []OpLoad // SET, NEARBY, WITHIN (ops actually issued)
+}
+
+// loadOps are the command classes the generator issues.
+var loadOps = [...]string{OpSet, OpNearby, OpWithin}
+
+// RunLoad drives the server at opts.Addr. It dials opts.Conns
+// connections, issues the SET/NEARBY/WITHIN mix from one goroutine per
+// connection (each timing every request round trip), and aggregates the
+// per-op histograms into a report. The run is deterministic in Seed up
+// to scheduling: connection i owns objects i, i+Conns, ... and replays
+// its own PRNG stream.
+func RunLoad(opts LoadOptions) (*LoadReport, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if o.Addr == "" {
+		return nil, fmt.Errorf("psiload: no server address")
+	}
+	clients := make([]*Client, o.Conns)
+	for i := range clients {
+		c, err := Dial(o.Addr)
+		if err != nil {
+			for _, open := range clients[:i] {
+				open.Close()
+			}
+			return nil, err
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	type connStats struct {
+		lat  [len(loadOps)]latHist
+		errs [len(loadOps)]uint64
+		err  error
+	}
+	stats := make([]connStats, o.Conns)
+	deadline := time.Time{}
+	if o.TotalOps <= 0 {
+		deadline = time.Now().Add(o.Duration)
+	}
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			st := &stats[i]
+			rng := rand.New(rand.NewSource(o.Seed + int64(i)))
+			// This connection's slice of the ID space and its private
+			// view of their positions (SETs are bounded hops from here,
+			// NEARBY/WITHIN probe around here — an in-distribution mix).
+			ids := make([]string, 0, o.Objects/o.Conns+1)
+			pos := make([][]int64, 0, o.Objects/o.Conns+1)
+			for id := i; id < o.Objects; id += o.Conns {
+				p := make([]int64, o.Dims)
+				for d := range p {
+					p[d] = rng.Int63n(o.Side + 1)
+				}
+				ids = append(ids, fmt.Sprintf("obj-%07d", id))
+				pos = append(pos, p)
+			}
+			if len(ids) == 0 {
+				return
+			}
+			step := int64(o.HopFrac * float64(o.Side))
+			if step < 1 {
+				step = 1
+			}
+			half := int64(o.BoxFrac * float64(o.Side))
+			if half < 1 {
+				half = 1
+			}
+			quota := -1
+			if o.TotalOps > 0 {
+				quota = o.TotalOps / o.Conns
+				if i < o.TotalOps%o.Conns {
+					quota++
+				}
+			}
+			for n := 0; quota < 0 || n < quota; n++ {
+				if quota < 0 && time.Now().After(deadline) {
+					return
+				}
+				j := rng.Intn(len(ids))
+				r := rng.Float64()
+				var op int
+				var err error
+				t0 := time.Now()
+				switch {
+				case r < o.SetFrac:
+					op = 0
+					p := pos[j]
+					for d := range p {
+						v := p[d] + rng.Int63n(2*step+1) - step
+						if v < 0 {
+							v = 0
+						} else if v > o.Side {
+							v = o.Side
+						}
+						p[d] = v
+					}
+					err = c.Set(ids[j], p)
+				case r < o.SetFrac+o.NearbyFrac:
+					op = 1
+					_, err = c.Nearby(pos[j], o.K)
+				default:
+					op = 2
+					lo := make([]int64, o.Dims)
+					hi := make([]int64, o.Dims)
+					for d := range lo {
+						lo[d] = max(0, pos[j][d]-half)
+						hi[d] = min(o.Side, pos[j][d]+half)
+					}
+					_, err = c.Within(lo, hi)
+				}
+				st.lat[op].record(time.Since(t0))
+				if err != nil {
+					st.errs[op]++
+					if _, proto := err.(*ServerError); !proto {
+						st.err = err // transport error: this connection is done
+						return
+					}
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	var merged [len(loadOps)]latHist
+	var errs [len(loadOps)]uint64
+	var firstErr error
+	for i := range stats {
+		for k := range loadOps {
+			merged[k].merge(&stats[i].lat[k])
+			errs[k] += stats[i].errs[k]
+		}
+		if firstErr == nil && stats[i].err != nil {
+			firstErr = fmt.Errorf("conn %d: %w", i, stats[i].err)
+		}
+	}
+	rep := &LoadReport{Elapsed: elapsed, Conns: o.Conns}
+	var total latHist
+	for k, name := range loadOps {
+		n := merged[k].count.Load()
+		if n == 0 && errs[k] == 0 {
+			continue
+		}
+		rep.PerOp = append(rep.PerOp, opLoad(name, &merged[k], errs[k], elapsed))
+		total.merge(&merged[k])
+		rep.Ops += n
+		rep.Errors += errs[k]
+	}
+	rep.OpsPerSec = float64(rep.Ops) / elapsed.Seconds()
+	rep.Total = opLoad("total", &total, rep.Errors, elapsed)
+	if rep.Ops == 0 && firstErr != nil {
+		return nil, firstErr // nothing succeeded: surface the transport error
+	}
+	return rep, firstErr
+}
+
+func opLoad(name string, h *latHist, errs uint64, elapsed time.Duration) OpLoad {
+	return OpLoad{
+		Op:        name,
+		Count:     h.count.Load(),
+		Errors:    errs,
+		OpsPerSec: float64(h.count.Load()) / elapsed.Seconds(),
+		Mean:      h.mean(),
+		P50:       h.quantile(0.50),
+		P99:       h.quantile(0.99),
+	}
+}
+
+// Format pretty-prints the report.
+func (r *LoadReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "psiload: %d conns, %d ops in %.2fs (%.0f ops/s, %d errors)\n",
+		r.Conns, r.Ops, r.Elapsed.Seconds(), r.OpsPerSec, r.Errors)
+	fmt.Fprintf(w, "%-8s %10s %10s %12s %10s %10s %10s\n",
+		"op", "count", "errors", "ops/s", "mean", "p50", "p99")
+	for _, o := range append(r.PerOp, r.Total) {
+		fmt.Fprintf(w, "%-8s %10d %10d %12.0f %10s %10s %10s\n",
+			o.Op, o.Count, o.Errors, o.OpsPerSec, o.Mean, o.P50, o.P99)
+	}
+}
+
+// WriteCSV emits the report as machine-readable rows, one per op class
+// plus a "total" row — the serving path's measurement log, mirroring
+// what psibench -csv does for the in-process experiments.
+func (r *LoadReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"op", "count", "errors", "ops_per_sec", "mean_us", "p50_us", "p99_us"}); err != nil {
+		return err
+	}
+	for _, o := range append(r.PerOp, r.Total) {
+		if err := cw.Write([]string{
+			o.Op,
+			fmt.Sprintf("%d", o.Count),
+			fmt.Sprintf("%d", o.Errors),
+			fmt.Sprintf("%.1f", o.OpsPerSec),
+			fmt.Sprintf("%.1f", float64(o.Mean)/1e3),
+			fmt.Sprintf("%.1f", float64(o.P50)/1e3),
+			fmt.Sprintf("%.1f", float64(o.P99)/1e3),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latHist is a lock-free latency histogram with power-of-two nanosecond
+// buckets: bucket i counts durations d with 2^i <= d < 2^(i+1) (bucket 0
+// also takes d <= 1ns, the last bucket takes everything >= ~8.6s). Both
+// the server's per-command counters and the load generator's client-side
+// recorder use it: recording is two atomic adds, so many goroutines can
+// record without contention, and quantiles are read off the bucket
+// counts with power-of-two resolution — plenty for p50/p99 reporting.
+type latHist struct {
+	buckets [34]atomic.Uint64
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+}
+
+// record adds one observation.
+func (h *latHist) record(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		ns = 1
+	}
+	i := bits.Len64(uint64(ns)) - 1
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(uint64(ns))
+}
+
+// merge folds other into h (used to combine per-connection recorders).
+func (h *latHist) merge(other *latHist) {
+	for i := range h.buckets {
+		h.buckets[i].Add(other.buckets[i].Load())
+	}
+	h.count.Add(other.count.Load())
+	h.sumNs.Add(other.sumNs.Load())
+}
+
+// quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket holding the q*count-th observation. Zero observations
+// report zero.
+func (h *latHist) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total))) // nearest-rank
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			return time.Duration(uint64(1) << (i + 1))
+		}
+	}
+	return time.Duration(uint64(1) << len(h.buckets))
+}
+
+// mean returns the exact mean latency (zero when empty).
+func (h *latHist) mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// numOps is the number of protocol commands (metrics are a fixed array
+// indexed by opIndex, so recording never allocates or locks).
+const numOps = 7
+
+// opOrder is the canonical command order for stats rendering.
+var opOrder = [numOps]string{OpSet, OpDel, OpGet, OpNearby, OpWithin, OpStats, OpFlush}
+
+// opIndex maps a canonical op name to its metrics slot (-1 if unknown).
+func opIndex(op string) int {
+	for i, name := range opOrder {
+		if name == op {
+			return i
+		}
+	}
+	return -1
+}
+
+// opMetrics is one command's serving record.
+type opMetrics struct {
+	errs atomic.Uint64
+	lat  latHist
+}
+
+// metrics is the server-wide counter set. Everything is atomic: handlers
+// record without locks, snapshots are taken concurrently with traffic.
+type metrics struct {
+	ops      [numOps]opMetrics // indexed by opIndex
+	badLines atomic.Uint64
+}
+
+// record logs one served command (op is an opIndex slot).
+func (m *metrics) record(op int, d time.Duration, ok bool) {
+	if op < 0 {
+		m.badLines.Add(1)
+		return
+	}
+	m.ops[op].lat.record(d)
+	if !ok {
+		m.ops[op].errs.Add(1)
+	}
+}
+
+// snapshot renders the per-op map for StatsPayload, skipping ops that
+// were never called.
+func (m *metrics) snapshot() map[string]OpCounters {
+	out := make(map[string]OpCounters, len(opOrder))
+	for i, name := range opOrder {
+		om := &m.ops[i]
+		n := om.lat.count.Load()
+		if n == 0 && om.errs.Load() == 0 {
+			continue
+		}
+		out[name] = OpCounters{
+			Count:  n,
+			Errors: om.errs.Load(),
+			MeanUs: float64(om.lat.mean()) / 1e3,
+			P50Us:  float64(om.lat.quantile(0.50)) / 1e3,
+			P99Us:  float64(om.lat.quantile(0.99)) / 1e3,
+		}
+	}
+	return out
+}

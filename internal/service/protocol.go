@@ -1,0 +1,182 @@
+// Package service implements psid, the network serving layer over
+// psi.Collection: a concurrent geospatial server that exposes the full
+// moving-object API — SET/DEL/GET/NEARBY/WITHIN/STATS/FLUSH — over a
+// newline-delimited JSON command protocol on TCP, plus HTTP /healthz and
+// /stats endpoints for probes and dashboards.
+//
+// The paper's stack ends at the process boundary: indexes (§3, §4) are
+// batch-synchronous, the Store/Sharded/Collection layers make them safe
+// for in-process concurrency, and this package is the front door that
+// turns the library into a system. The design follows the shape of
+// real-world moving-object services (Tile38 and friends): one goroutine
+// per connection feeding an ID-keyed coalescing log, so that N clients
+// streaming SETs become the paper's parallel BatchDiff at every flush —
+// socket concurrency is converted into exactly the batch parallelism the
+// indexes are built for.
+//
+// Concurrency and consistency: every connection handler calls straight
+// into one shared Collection, so the service inherits its visibility
+// contract — mutations become visible to NEARBY/WITHIN atomically at the
+// flush that applies them (MaxBatch, FlushInterval, or an explicit FLUSH
+// command), while GET is read-your-writes through the pending overlay.
+// A FLUSH issued by any client is a barrier for all of them.
+//
+// The wire protocol (one JSON object per line, one response line per
+// request line, in order) is documented command by command in
+// docs/protocol.md; this file defines the wire types.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Command names. Dispatch is case-insensitive; these are the canonical
+// uppercase spellings used in docs and STATS keys.
+const (
+	OpSet    = "SET"    // {"op":"SET","id":...,"p":[x,y]}       → {"ok":true}
+	OpDel    = "DEL"    // {"op":"DEL","id":...}                 → {"ok":true}
+	OpGet    = "GET"    // {"op":"GET","id":...}                 → {"ok":true,"found":true,"p":[x,y]}
+	OpNearby = "NEARBY" // {"op":"NEARBY","p":[x,y],"k":10}      → {"ok":true,"hits":[...]}
+	OpWithin = "WITHIN" // {"op":"WITHIN","lo":[..],"hi":[..]}   → {"ok":true,"hits":[...]}
+	OpStats  = "STATS"  // {"op":"STATS"}                        → {"ok":true,"stats":{...}}
+	OpFlush  = "FLUSH"  // {"op":"FLUSH"}                        → {"ok":true,"applied":n}
+)
+
+// Error codes carried in Response.Code when OK is false.
+const (
+	// CodeBadRequest covers malformed JSON, unknown ops, and invalid
+	// arguments (missing id, wrong point dimensionality, k <= 0, an
+	// inverted WITHIN box). The connection stays usable.
+	CodeBadRequest = "bad_request"
+	// CodeTooLarge means the request line exceeded the server's line
+	// limit. The oversized line is discarded to its newline and the
+	// connection stays usable.
+	CodeTooLarge = "too_large"
+	// CodeShutdown means the server is draining and no longer accepts
+	// commands on this connection.
+	CodeShutdown = "shutdown"
+)
+
+// Request is one command line. Unused fields are omitted per op; see the
+// Op* constants and docs/protocol.md for which fields each op reads.
+type Request struct {
+	Op string `json:"op"`
+	ID string `json:"id,omitempty"`
+	// P is a point: exactly Dims coordinates (2 or 3, fixed per server).
+	P []int64 `json:"p,omitempty"`
+	// Lo/Hi are the inclusive corners of a WITHIN box, Dims coordinates
+	// each with Lo[d] <= Hi[d].
+	Lo []int64 `json:"lo,omitempty"`
+	Hi []int64 `json:"hi,omitempty"`
+	K  int     `json:"k,omitempty"`
+}
+
+// Hit is one resolved query result: an object and its indexed position.
+type Hit struct {
+	ID string  `json:"id"`
+	P  []int64 `json:"p"`
+}
+
+// Response is one reply line. OK is always present; every other field is
+// op-specific and omitted when empty — in particular a GET miss is
+// {"ok":true} with "found" omitted, and a FLUSH that applied nothing
+// omits "applied".
+type Response struct {
+	OK    bool    `json:"ok"`
+	Code  string  `json:"code,omitempty"` // error code, set when !OK
+	Err   string  `json:"err,omitempty"`  // human-readable error, set when !OK
+	Found bool    `json:"found,omitempty"`
+	P     []int64 `json:"p,omitempty"`
+	Hits  []Hit   `json:"hits,omitempty"`
+	// Applied is the number of index mutations (inserts + deletes) a
+	// FLUSH committed.
+	Applied int           `json:"applied,omitempty"`
+	Stats   *StatsPayload `json:"stats,omitempty"`
+}
+
+// errResp builds an error response.
+func errResp(code, format string, args ...any) Response {
+	return Response{OK: false, Code: code, Err: fmt.Sprintf(format, args...)}
+}
+
+// AsError converts an error response into a *ServerError (nil when OK).
+func (r Response) AsError() error {
+	if r.OK {
+		return nil
+	}
+	return &ServerError{Code: r.Code, Msg: r.Err}
+}
+
+// ServerError is an error the server reported on the wire.
+type ServerError struct {
+	Code string
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return fmt.Sprintf("psid: %s: %s", e.Code, e.Msg) }
+
+// StatsPayload is the STATS response body, also served as JSON at the
+// HTTP /stats endpoint. Collection counters are defined in
+// internal/collection (Stats); per-op latency quantiles come from the
+// server's lock-free histograms and are estimates with power-of-two
+// bucket resolution.
+type StatsPayload struct {
+	Objects  int    `json:"objects"` // live tracked objects (after a flush)
+	Pending  int    `json:"pending"` // enqueued ops not yet flushed
+	Flushes  uint64 `json:"flushes"`
+	Inserted uint64 `json:"inserted"`
+	Moved    uint64 `json:"moved"`
+	Removed  uint64 `json:"removed"`
+	// Cancelled counts ops superseded in-window by the Collection's
+	// last-write-wins netting — the coalescing win of batching SETs.
+	Cancelled uint64  `json:"cancelled"`
+	Conns     int     `json:"conns"`    // currently open client connections
+	UptimeS   float64 `json:"uptime_s"` // seconds since Start
+	// BadLines counts protocol-level rejects (unparseable or oversized
+	// lines) that never reached a command handler.
+	BadLines uint64 `json:"bad_lines"`
+	// Ops maps canonical command names to their serving counters.
+	Ops map[string]OpCounters `json:"ops"`
+}
+
+// OpCounters is the per-command serving record.
+type OpCounters struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+}
+
+// coords flattens the first dims coordinates of p for the wire.
+func coords(p geom.Point, dims int) []int64 {
+	out := make([]int64, dims)
+	copy(out, p[:dims])
+	return out
+}
+
+// point parses exactly dims wire coordinates into a geom.Point (unused
+// slots zero, the library-wide convention that makes point equality value
+// equality).
+func point(cs []int64, dims int) (geom.Point, error) {
+	if len(cs) != dims {
+		return geom.Point{}, fmt.Errorf("want %d coordinates, got %d", dims, len(cs))
+	}
+	var p geom.Point
+	copy(p[:], cs)
+	return p, nil
+}
+
+// marshalLine renders v as one newline-terminated JSON line.
+func marshalLine(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Wire types marshal by construction; a failure is a programming
+		// error surfaced as a protocol error line rather than a panic.
+		b, _ = json.Marshal(errResp(CodeBadRequest, "marshal: %v", err))
+	}
+	return append(b, '\n')
+}

@@ -1,0 +1,431 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// DefaultMaxLineBytes caps one request line when Options.MaxLineBytes is
+// unset. Commands are tiny (a SET is under 100 bytes), so 1 MiB is a
+// pure abuse guard, not a tuning knob.
+const DefaultMaxLineBytes = 1 << 20
+
+// MaxNearbyK caps NEARBY's k: the KNN heap allocates O(k) before
+// searching, so the wire value must be bounded (a dashboard wanting
+// "everything near q" this badly should use WITHIN).
+const MaxNearbyK = 1 << 16
+
+// Options tunes a Server. The zero value is usable.
+type Options struct {
+	// MaxBatch and FlushInterval tune the underlying Collection's
+	// coalescing log: MaxBatch is the pending-op count that makes the
+	// enqueuing connection flush synchronously, FlushInterval bounds how
+	// long a SET can stay invisible to NEARBY/WITHIN under light write
+	// traffic. Defaults: collection.DefaultMaxBatch, and 2ms when zero —
+	// a server with no background flusher would leave a trickle of SETs
+	// invisible indefinitely, which is never what a network caller wants.
+	// Set FlushInterval negative to disable the background flusher (tests
+	// that want to observe pre-flush state do).
+	MaxBatch      int
+	FlushInterval time.Duration
+	// MaxLineBytes rejects request lines longer than this with a
+	// too_large error (the line is discarded, the connection survives).
+	// <= 0 selects DefaultMaxLineBytes.
+	MaxLineBytes int
+}
+
+// DefaultFlushInterval is the background flush cadence used when
+// Options.FlushInterval is zero.
+const DefaultFlushInterval = 2 * time.Millisecond
+
+func (o Options) withDefaults() Options {
+	if o.MaxLineBytes <= 0 {
+		o.MaxLineBytes = DefaultMaxLineBytes
+	}
+	if o.FlushInterval == 0 {
+		o.FlushInterval = DefaultFlushInterval
+	} else if o.FlushInterval < 0 {
+		o.FlushInterval = 0
+	}
+	return o
+}
+
+// Server serves the psid protocol over TCP (and probe endpoints over
+// HTTP) on top of one Collection[string]. Create one with New, bind it
+// with Start, stop it with Shutdown. All exported methods are safe for
+// concurrent use.
+type Server struct {
+	opts  Options
+	coll  *collection.Collection[string]
+	dims  int
+	met   metrics
+	start time.Time
+
+	ln     net.Listener
+	httpLn net.Listener
+	http   *http.Server
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closing atomic.Bool
+	wg      sync.WaitGroup // accept loop + one entry per live connection
+}
+
+// New wraps idx (which must start empty) in a Server. Like
+// collection.New, the Server takes ownership of idx — the recommended
+// serving stack is a Sharded over the per-workload index choice, so each
+// netted flush fans out across shards in parallel while connections keep
+// enqueueing.
+func New(idx core.Index, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts: opts,
+		dims: idx.Dims(),
+		coll: collection.New[string](idx, collection.Options{
+			MaxBatch:      opts.MaxBatch,
+			FlushInterval: opts.FlushInterval,
+		}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	return s
+}
+
+// Collection exposes the underlying Collection for in-process callers: a
+// binary embedding a Server can serve local traffic at function-call
+// speed and remote traffic over the socket against the same state.
+func (s *Server) Collection() *collection.Collection[string] { return s.coll }
+
+// Start binds the TCP command listener on addr and, when httpAddr is
+// non-empty, the HTTP probe listener (GET /healthz, GET /stats). It
+// returns once both listeners are bound — use Addr/HTTPAddr to discover
+// ":0" ports — and serves in background goroutines until Shutdown.
+func (s *Server) Start(addr, httpAddr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("psid: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.start = time.Now()
+	if httpAddr != "" {
+		hln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("psid: listen http %s: %w", httpAddr, err)
+		}
+		s.httpLn = hln
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", s.handleHealthz)
+		mux.HandleFunc("/stats", s.handleStats)
+		s.http = &http.Server{Handler: mux}
+		go s.http.Serve(hln)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound command listener address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// HTTPAddr returns the bound probe listener address (nil when disabled).
+func (s *Server) HTTPAddr() net.Addr {
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			// Listener closed by Shutdown (or fatally broken): stop.
+			return
+		}
+		// Register under the same lock Shutdown broadcasts deadlines
+		// under: either this conn is registered before the broadcast and
+		// gets its deadline, or the closing flag is already visible here
+		// and the conn is refused — a conn can never slip between the
+		// two and park in readLine unbounded.
+		s.mu.Lock()
+		if s.closing.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Shutdown drains and stops the server: it stops accepting, lets every
+// in-flight command finish and write its response, closes the
+// connections, stops the HTTP listener, and applies a final flush so no
+// acknowledged SET is lost (Collection.Close). If ctx expires before the
+// drain completes, remaining connections are closed forcibly; the final
+// flush still runs. Shutdown returns ctx.Err in that case, else nil.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Unblock every reader parked on the next request line (the mutex
+	// pairs with acceptLoop's registration, so a concurrently accepted
+	// conn either sees closing or gets the deadline). Handlers in the
+	// middle of a command are not interrupted: the deadline only fires
+	// on their next read, after the response is written.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	if s.http != nil {
+		s.http.Shutdown(ctx)
+	}
+	s.coll.Close() // stops the background flusher and applies the final flush
+	return err
+}
+
+// handleConn serves one client: read a line, dispatch, write the reply,
+// in order, until the client disconnects or the server drains.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		line, tooLong, err := readLine(br, s.opts.MaxLineBytes)
+		if err != nil {
+			// Client disconnect, mid-line EOF, or the Shutdown read
+			// deadline. A client that vanishes mid-batch leaves its
+			// already-enqueued ops in the coalescing log — they commit at
+			// the next flush like any acknowledged write.
+			return
+		}
+		if s.closing.Load() {
+			bw.Write(marshalLine(errResp(CodeShutdown, "server is shutting down")))
+			bw.Flush()
+			return
+		}
+		if tooLong {
+			s.met.badLines.Add(1)
+			bw.Write(marshalLine(errResp(CodeTooLarge, "line exceeds %d bytes", s.opts.MaxLineBytes)))
+			if bw.Flush() != nil {
+				return
+			}
+			continue
+		}
+		// Empty lines flow through dispatch and fail JSON parsing: the
+		// protocol promises exactly one response per request line, so a
+		// blank line gets its bad_request rather than silence.
+		t0 := time.Now()
+		op, resp := s.dispatch(line)
+		s.met.record(op, time.Since(t0), resp.OK)
+		bw.Write(marshalLine(resp))
+		if bw.Flush() != nil {
+			return
+		}
+	}
+}
+
+// readLine reads one \n-terminated line of at most max bytes. Oversized
+// lines are discarded through their newline and reported as tooLong so
+// the protocol stays line-synchronized. The trailing \n (and optional
+// \r) are stripped.
+func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			buf = append(buf, frag...)
+			if len(buf) > max {
+				return nil, true, discardLine(br)
+			}
+			continue
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		if len(buf)+len(frag) > max+1 { // +1: the newline itself is free
+			return nil, true, nil
+		}
+		buf = append(buf, frag...)
+		return bytes.TrimRight(buf, "\r\n"), false, nil
+	}
+}
+
+// discardLine consumes input through the next newline.
+func discardLine(br *bufio.Reader) error {
+	for {
+		_, err := br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		return err
+	}
+}
+
+// dispatch parses and executes one command line, returning the metrics
+// slot (-1 for protocol-level rejects) and the response.
+func (s *Server) dispatch(line []byte) (int, Response) {
+	var req Request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return -1, errResp(CodeBadRequest, "parse: %v", err)
+	}
+	op := strings.ToUpper(req.Op)
+	idx := opIndex(op)
+	if idx < 0 {
+		return -1, errResp(CodeBadRequest, "unknown op %q", req.Op)
+	}
+	switch op {
+	case OpSet:
+		if req.ID == "" {
+			return idx, errResp(CodeBadRequest, "SET: missing id")
+		}
+		p, err := point(req.P, s.dims)
+		if err != nil {
+			return idx, errResp(CodeBadRequest, "SET %q: %v", req.ID, err)
+		}
+		s.coll.Set(req.ID, p)
+		return idx, Response{OK: true}
+	case OpDel:
+		if req.ID == "" {
+			return idx, errResp(CodeBadRequest, "DEL: missing id")
+		}
+		s.coll.Remove(req.ID)
+		return idx, Response{OK: true}
+	case OpGet:
+		if req.ID == "" {
+			return idx, errResp(CodeBadRequest, "GET: missing id")
+		}
+		p, found := s.coll.Get(req.ID)
+		resp := Response{OK: true, Found: found}
+		if found {
+			resp.P = coords(p, s.dims)
+		}
+		return idx, resp
+	case OpNearby:
+		p, err := point(req.P, s.dims)
+		if err != nil {
+			return idx, errResp(CodeBadRequest, "NEARBY: %v", err)
+		}
+		if req.K <= 0 {
+			return idx, errResp(CodeBadRequest, "NEARBY: k must be positive, got %d", req.K)
+		}
+		// k comes off the wire and the KNN machinery allocates O(k)
+		// up front; an uncapped value is a one-line remote OOM/panic.
+		if req.K > MaxNearbyK {
+			return idx, errResp(CodeBadRequest, "NEARBY: k %d exceeds the maximum %d", req.K, MaxNearbyK)
+		}
+		return idx, Response{OK: true, Hits: s.hits(s.coll.NearbyIDs(p, req.K))}
+	case OpWithin:
+		lo, err := point(req.Lo, s.dims)
+		if err != nil {
+			return idx, errResp(CodeBadRequest, "WITHIN lo: %v", err)
+		}
+		hi, err := point(req.Hi, s.dims)
+		if err != nil {
+			return idx, errResp(CodeBadRequest, "WITHIN hi: %v", err)
+		}
+		for d := 0; d < s.dims; d++ {
+			if lo[d] > hi[d] {
+				return idx, errResp(CodeBadRequest, "WITHIN: inverted box on dim %d (%d > %d)", d, lo[d], hi[d])
+			}
+		}
+		return idx, Response{OK: true, Hits: s.hits(s.coll.WithinIDs(geom.BoxOf(lo, hi)))}
+	case OpStats:
+		st := s.Stats()
+		return idx, Response{OK: true, Stats: &st}
+	case OpFlush:
+		return idx, Response{OK: true, Applied: s.coll.Flush()}
+	}
+	return -1, errResp(CodeBadRequest, "unknown op %q", req.Op) // unreachable
+}
+
+// hits converts resolved Collection entries to wire hits.
+func (s *Server) hits(entries []collection.Entry[string]) []Hit {
+	out := make([]Hit, len(entries))
+	for i, e := range entries {
+		out[i] = Hit{ID: e.ID, P: coords(e.Point, s.dims)}
+	}
+	return out
+}
+
+// Stats snapshots the serving and collection counters (the STATS command
+// and HTTP /stats body). It does not flush: Objects counts committed
+// objects, Pending the enqueued tail.
+func (s *Server) Stats() StatsPayload {
+	cs := s.coll.Stats()
+	s.mu.Lock()
+	conns := len(s.conns)
+	s.mu.Unlock()
+	return StatsPayload{
+		Objects:   int(cs.Inserted) - int(cs.Removed),
+		Pending:   cs.Pending,
+		Flushes:   cs.Flushes,
+		Inserted:  cs.Inserted,
+		Moved:     cs.Moved,
+		Removed:   cs.Removed,
+		Cancelled: cs.Cancelled,
+		Conns:     conns,
+		UptimeS:   time.Since(s.start).Seconds(),
+		BadLines:  s.met.badLines.Load(),
+		Ops:       s.met.snapshot(),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.closing.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write(marshalLine(map[string]any{"ok": false, "state": "draining"}))
+		return
+	}
+	w.Write(marshalLine(map[string]any{"ok": true, "uptime_s": time.Since(s.start).Seconds()}))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(marshalLine(s.Stats()))
+}

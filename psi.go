@@ -28,7 +28,11 @@
 // throughput, shard the universe with NewSharded: S regions each own an
 // independent index behind their own lock, batch updates fan out across
 // shards in parallel, and queries prune to the shards that can
-// contribute.
+// contribute. To track identified moving objects, wrap any stack in a
+// Collection (NewCollection), which nets per-ID moves into batch diffs
+// and resolves geometric queries back to IDs. To put the whole stack
+// behind a socket, wrap it in a Server (NewServer) — the psid protocol
+// served by cmd/psid. ARCHITECTURE.md maps the layers.
 package psi
 
 import (
@@ -39,6 +43,7 @@ import (
 	"repro/internal/orthtree"
 	"repro/internal/pkdtree"
 	"repro/internal/rtree"
+	"repro/internal/service"
 	"repro/internal/sfc"
 	"repro/internal/shard"
 	"repro/internal/spactree"
@@ -291,6 +296,42 @@ type CollectionStats = collection.Stats
 func NewCollection[ID comparable](idx Index, opts CollectionOptions) *Collection[ID] {
 	return collection.New[ID](idx, opts)
 }
+
+// Server is psid, the network serving layer: it exposes a
+// Collection[string] over a newline-delimited JSON command protocol on
+// TCP (SET/DEL/GET/NEARBY/WITHIN/STATS/FLUSH, one goroutine per
+// connection) plus HTTP /healthz and /stats probes. See docs/protocol.md
+// for the wire protocol, cmd/psid for the standalone binary, and
+// ARCHITECTURE.md for where the layer sits in the stack.
+type Server = service.Server
+
+// ServerOptions tunes a Server: the Collection coalescing knobs
+// (MaxBatch, FlushInterval) plus the request line-length cap. The zero
+// value is usable and, unlike a bare Collection, defaults to a 2ms
+// background flush so acknowledged writes never stay invisible.
+type ServerOptions = service.Options
+
+// ServerStats is the STATS/GET-/stats payload: collection counters plus
+// per-command serving latency quantiles.
+type ServerStats = service.StatsPayload
+
+// NewServer wraps idx (which must start empty) in a psid Server. The
+// Server takes ownership of idx; bind it with Start, stop it with
+// Shutdown. The recommended serving stack wraps a Sharded index:
+//
+//	s := psi.NewServer(psi.NewSharded(psi.NewSPaCH, 2, u, 0), psi.ServerOptions{})
+//	s.Start(":7501", ":7502")
+func NewServer(idx Index, opts ServerOptions) *Server { return service.New(idx, opts) }
+
+// ServiceClient is a minimal psid protocol client: one connection, one
+// request in flight, concurrency-safe. Open one per serving goroutine.
+type ServiceClient = service.Client
+
+// ServiceHit is one resolved query result from a ServiceClient.
+type ServiceHit = service.Hit
+
+// DialService connects a ServiceClient to a psid server.
+func DialService(addr string) (*ServiceClient, error) { return service.Dial(addr) }
 
 // Workload re-exports: the paper's synthetic distributions and query
 // generators, for examples and downstream benchmarking.
