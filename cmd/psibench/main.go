@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig3", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|concurrent|shard|fleet|service|all")
+	exp := flag.String("exp", "fig3", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|concurrent|shard|fleet|service|alloc|all")
 	n := flag.Int("n", 1_000_000, "dataset size (paper: 1e9)")
 	knnq := flag.Int("knnq", 0, "number of kNN queries (default n/100)")
 	rangeq := flag.Int("rangeq", 200, "number of range queries")
@@ -32,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	threads := flag.Int("threads", 0, "GOMAXPROCS (0 = all cores)")
 	csvPath := flag.String("csv", "", "also write measurements to this CSV file")
+	jsonPath := flag.String("json", "", "also write a machine-readable results document (psibench/v1) to this JSON file")
 	flag.Parse()
 
 	var csvFile *os.File
@@ -74,9 +75,13 @@ func main() {
 		"shard":      bench.Shard,
 		"fleet":      bench.Fleet,
 		"service":    bench.Service,
+		"alloc":      bench.Alloc,
+	}
+	if *jsonPath != "" {
+		bench.StartJSON(*exp, cfg)
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "concurrent", "shard", "fleet", "service"} {
+		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "concurrent", "shard", "fleet", "service", "alloc"} {
 			run[name](cfg)
 		}
 	} else if f, ok := run[*exp]; ok {
@@ -85,6 +90,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psibench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psibench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "psibench: writing JSON: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "psibench: closing JSON: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	// The CSV writer buffers; surface flush/close failures as a non-zero
 	// exit instead of silently truncating the measurement log.

@@ -12,7 +12,10 @@
 // The serving stack is chosen by flags: -index picks the per-shard index
 // family (any psibench table name), -shards wraps it in the sharded
 // fan-out layer so every coalesced flush applies across shards in
-// parallel. SIGINT/SIGTERM trigger a graceful shutdown: stop accepting,
+// parallel. -pprof mounts net/http/pprof under /debug/pprof/ on the
+// -http listener and adds GC counters to /stats, so allocation and CPU
+// profiles can be captured from a live server (README "Performance").
+// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting,
 // drain in-flight commands, apply a final flush so every acknowledged
 // write is committed, and print the serving counters.
 //
@@ -51,6 +54,7 @@ func main() {
 	maxBatch := flag.Int("maxbatch", 4096, "coalescing threshold: pending ops that trigger a synchronous flush")
 	flushEvery := flag.Duration("flush-interval", service.DefaultFlushInterval, "background flush cadence bounding query staleness")
 	maxLine := flag.Int("maxline", service.DefaultMaxLineBytes, "reject request lines longer than this many bytes")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -http listener and add GC counters to /stats")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
@@ -73,10 +77,15 @@ func main() {
 		idx = mk(*dims, universe)
 	}
 
+	if *pprofOn && *httpAddr == "" {
+		fmt.Fprintln(os.Stderr, "psid: -pprof requires the -http listener")
+		os.Exit(2)
+	}
 	s := service.New(idx, service.Options{
 		MaxBatch:      *maxBatch,
 		FlushInterval: *flushEvery,
 		MaxLineBytes:  *maxLine,
+		EnablePprof:   *pprofOn,
 	})
 	if err := s.Start(*addr, *httpAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "psid: %v\n", err)

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/service"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/workload"
+
+	psi "repro"
+)
+
+// Alloc measures steady-state allocations per operation on the serving
+// hot path (-exp alloc) — the machine-readable counterpart of the
+// zero-allocation work: each layer's scratch reuse is compared against
+// the same layer with its own recycling disabled (the per-layer
+// DisableScratch options, preserved exactly for this measurement). The
+// "before" columns are an in-tree baseline — same code, same workload,
+// that layer's recycling off. They isolate per-layer wins: the shared
+// geom heap pool stays on for the serving rows (its own contribution is
+// the "KNN k=10" row, where SetHeapPooling toggles it), so the serving
+// before/after deltas understate the total recycling win slightly.
+//
+// Rows cover the full psid path from socket to batch apply:
+//
+//   - Store flush windows (single-kind and netted-mixed) over a warm
+//     SPaC-H — the internal/store double-buffering;
+//   - Collection move windows — ID netting, diff buffers and the
+//     reverse-multimap freelist;
+//   - Sharded move diffs — the sieve partitioner scratch;
+//   - KNN with a reused dst — the pooled geom.KNNHeap
+//     (before = pooling off);
+//   - the psid serving path, both as an in-process line
+//     (parse → dispatch → encode, server side only) and as a full
+//     loopback TCP round trip (client encode/decode included on both
+//     sides, which is why its floor is higher).
+//
+// The after columns are what CI's AllocsPerRun guards pin at zero for
+// the guarded layers.
+func Alloc(cfg Config) {
+	cfg = cfg.withDefaults()
+	defer setThreads(cfg.Threads)()
+	side := workload.Uniform.Side(2)
+	universe := geom.UniverseBox(2, side)
+	pts := workload.Generate(workload.Uniform, cfg.N, 2, side, cfg.Seed)
+
+	window := 1024
+	if window > cfg.N/4 && cfg.N >= 8 {
+		window = cfg.N / 4
+	}
+	iters := 50 * cfg.Reps
+	// Two disjoint batches objects shuttle between (plus query points).
+	batchA := workload.GenUniform(window, 2, side, cfg.Seed+101)
+	batchB := workload.GenUniform(window, 2, side, cfg.Seed+102)
+	queries := workload.GenUniform(256, 2, side, cfg.Seed+103)
+
+	fmt.Fprintf(cfg.Out, "Alloc — steady-state allocations per op/window, window=%d, iters=%d\n", window, iters)
+	fmt.Fprintf(cfg.Out, "(before = scratch reuse disabled, i.e. the allocate-per-window behavior; after = default)\n")
+	tb := newTable("alloc: scratch reuse before/after",
+		"before", "after", "before-B", "after-B", "after-ns").
+		setUnits("allocs/op", "allocs/op", "B/op", "B/op", "ns/op")
+
+	var cleanups []func()
+	cleanup := func(f func()) { cleanups = append(cleanups, f) }
+	measure := func(label string, mk func(reuse bool) func()) {
+		bAllocs, bBytes, _ := allocsPerOp(iters, mk(false))
+		aAllocs, aBytes, aNs := allocsPerOp(iters, mk(true))
+		tb.add(label, bAllocs, aAllocs, bBytes, aBytes, aNs)
+		for _, f := range cleanups {
+			f()
+		}
+		cleanups = nil
+	}
+
+	// The paired rows isolate each serving layer over a null inner index
+	// (its batch ops cost nothing, so the row is purely the layer's own
+	// machinery — what the AllocsPerRun guards pin at zero), then show
+	// the same window over a real SPaC-H stack for end-to-end context
+	// (tree update allocations — node churn, encode-and-sort — dominate
+	// there and are untouched by this work).
+
+	// Store: one op = a window of inserts flushed, then the matching
+	// delete window flushed — both single-kind netting paths.
+	storeWindow := func(inner func() core.Index) func(reuse bool) func() {
+		return func(reuse bool) func() {
+			st := store.New(inner(), store.Options{MaxBatch: 4 * window, DisableScratch: !reuse})
+			return func() {
+				st.BatchInsert(batchA)
+				st.Flush()
+				st.BatchDelete(batchA)
+				st.Flush()
+			}
+		}
+	}
+	measure("Store.Flush warm window", storeWindow(func() core.Index { return core.NewNull(2) }))
+	measure("Store+SPaC-H ins+del", storeWindow(func() core.Index {
+		idx := psi.NewSPaCH(2, universe)
+		idx.Build(pts)
+		return idx
+	}))
+
+	// Mixed window: interleaved insert/delete pairs of the same points
+	// net to nothing — the order-aware matching pass with its maps.
+	measure("Store.Flush netted-mix", func(reuse bool) func() {
+		idx := psi.NewSPaCH(2, universe)
+		idx.Build(pts)
+		st := store.New(idx, store.Options{MaxBatch: 4 * window, DisableScratch: !reuse})
+		return func() {
+			for _, p := range batchA {
+				st.Insert(p)
+				st.Delete(p)
+			}
+			st.Flush()
+		}
+	})
+
+	// Collection: one op = every tracked object moves once, flushed as
+	// one netted window (the fleet-serving steady state).
+	collWindow := func(inner func() core.Index) func(reuse bool) func() {
+		return func(reuse bool) func() {
+			coll := collection.New[int](inner(), collection.Options{MaxBatch: 4 * window, DisableScratch: !reuse})
+			for i, p := range batchA {
+				coll.Set(i, p)
+			}
+			coll.Flush()
+			cur := batchA
+			next := batchB
+			return func() {
+				for i, p := range next {
+					coll.Set(i, p)
+				}
+				coll.Flush()
+				cur, next = next, cur
+			}
+		}
+	}
+	measure("Collection move-window", collWindow(func() core.Index { return core.NewNull(2) }))
+	measure("Collection+SPaC-H moves", collWindow(func() core.Index { return psi.NewSPaCH(2, universe) }))
+
+	// Sharded: one op = a move diff (delete one batch, insert the other)
+	// partitioned by shard and applied concurrently.
+	shardMove := func(inner func(dims int, u geom.Box) core.Index, build bool) func(reuse bool) func() {
+		return func(reuse bool) func() {
+			sh := shard.New(shard.Options{
+				Dims: 2, Universe: universe, Strategy: shard.HilbertRange,
+				New:            inner,
+				DisableScratch: !reuse,
+			})
+			if build {
+				sh.Build(pts)
+			}
+			sh.BatchInsert(batchA)
+			cur := batchA
+			next := batchB
+			return func() {
+				sh.BatchDiff(next, cur)
+				cur, next = next, cur
+			}
+		}
+	}
+	measure("Sharded.BatchDiff move", shardMove(func(dims int, u geom.Box) core.Index { return core.NewNull(dims) }, false))
+	measure("Sharded+SPaC-H moves", shardMove(func(dims int, u geom.Box) core.Index { return psi.NewSPaCH(dims, u) }, true))
+
+	// Query path: KNN with a reused dst; before = the heap pool off, so
+	// every query allocates its KNNHeap (the pre-pooling behavior).
+	measure("KNN k=10 (SPaC-H)", func(reuse bool) func() {
+		idx := psi.NewSPaCH(2, universe)
+		idx.Build(pts)
+		dst := make([]geom.Point, 0, 16)
+		qi := 0
+		return func() {
+			geom.SetHeapPooling(reuse)
+			dst = idx.KNN(queries[qi%len(queries)], 10, dst[:0])
+			qi++
+			geom.SetHeapPooling(true)
+		}
+	})
+
+	// The serving path without the socket: parse one NEARBY line,
+	// dispatch through the Collection, encode the response — exactly a
+	// connection goroutine's per-line work.
+	measure("psid serve NEARBY(10)", func(reuse bool) func() {
+		srv := service.New(psi.NewSPaCH(2, universe), service.Options{
+			FlushInterval:  -1,
+			DisableScratch: !reuse,
+		})
+		lc := srv.NewLineConn()
+		set := srv.NewLineConn()
+		line := []byte(`{"op":"NEARBY","p":[500000,500000],"k":10}`)
+		for i, p := range pts[:min(len(pts), 4096)] {
+			set.Serve(fmt.Appendf(nil, `{"op":"SET","id":"o%d","p":[%d,%d]}`, i, p[0], p[1]))
+		}
+		set.Serve([]byte(`{"op":"FLUSH"}`))
+		return func() { lc.Serve(line) }
+	})
+
+	// Full loopback round trip: client-side encode/decode allocations
+	// are included on both rows, so the floor is the client's, not the
+	// server's.
+	measure("psid NEARBY round trip", func(reuse bool) func() {
+		srv := service.New(psi.NewSPaCH(2, universe), service.Options{
+			FlushInterval:  -1,
+			DisableScratch: !reuse,
+		})
+		if err := srv.Start("127.0.0.1:0", ""); err != nil {
+			fmt.Fprintf(cfg.Out, "alloc: %v\n", err)
+			return func() {}
+		}
+		cleanup(func() {
+			srv.Shutdown(context.Background())
+		})
+		cl, err := service.Dial(srv.Addr().String())
+		if err != nil {
+			fmt.Fprintf(cfg.Out, "alloc: %v\n", err)
+			return func() {}
+		}
+		cleanup(func() { cl.Close() })
+		cl.SetReuse(reuse)
+		for i, p := range pts[:min(len(pts), 4096)] {
+			cl.Set(fmt.Sprintf("o%d", i), []int64{p[0], p[1]})
+		}
+		cl.Flush()
+		q := []int64{500000, 500000}
+		return func() {
+			if _, err := cl.Nearby(q, 10); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	tb.write(cfg.Out)
+}

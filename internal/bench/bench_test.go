@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -146,6 +147,52 @@ func TestServiceSmoke(t *testing.T) {
 	}
 }
 
+func TestAllocSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.N = 2000
+	StartJSON("alloc", cfg)
+	Alloc(cfg)
+	var jsonBuf bytes.Buffer
+	if err := WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"scratch reuse before/after", "Store.Flush warm window",
+		"Collection move-window", "Sharded.BatchDiff move",
+		"psid serve NEARBY(10)", "psid NEARBY round trip",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Alloc output missing %q\n%s", want, out)
+		}
+	}
+	var doc JSONDoc
+	if err := json.Unmarshal(jsonBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("psibench JSON does not parse: %v", err)
+	}
+	if doc.Schema != "psibench/v1" || doc.Experiment != "alloc" || len(doc.Results) == 0 {
+		t.Fatalf("JSON doc malformed: %+v", doc)
+	}
+	// The headline wins must hold even at smoke scale: the isolated warm
+	// Store flush drops to (near) zero, and the serving round trip halves.
+	val := func(index, column string) float64 {
+		for _, r := range doc.Results {
+			if r.Index == index && r.Column == column {
+				return r.Value
+			}
+		}
+		t.Fatalf("JSON missing cell %s/%s", index, column)
+		return 0
+	}
+	if before, after := val("Store.Flush warm window", "before"), val("Store.Flush warm window", "after"); after > before/2 {
+		t.Fatalf("warm Store flush allocs: before %.2f after %.2f (want >= 50%% reduction)", before, after)
+	}
+	if before, after := val("psid NEARBY round trip", "before"), val("psid NEARBY round trip", "after"); after > before/2 {
+		t.Fatalf("NEARBY round trip allocs: before %.2f after %.2f (want >= 50%% reduction)", before, after)
+	}
+}
+
 func TestGeoMean(t *testing.T) {
 	if g := geoMean([]float64{1, 4}); g != 2 {
 		t.Fatalf("geoMean = %v", g)
@@ -182,7 +229,7 @@ func TestCSVMirror(t *testing.T) {
 	tb.write(&out)
 	SetCSV(nil)
 	got := csvBuf.String()
-	for _, want := range []string{"table,index,column,seconds", "csv-demo,idx1,colA,1.5", "csv-demo,idx2,colB,3"} {
+	for _, want := range []string{"table,index,column,value,unit", "csv-demo,idx1,colA,1.5,s", "csv-demo,idx2,colB,3,s"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("CSV missing %q:\n%s", want, got)
 		}

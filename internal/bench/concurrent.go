@@ -49,18 +49,26 @@ func Concurrent(cfg Config) {
 	fmt.Fprintf(cfg.Out, "(columns are Mops/s; higher is better; '*' marks are not meaningful here)\n")
 
 	tb := newTable(fmt.Sprintf("(a) throughput by index (MaxBatch=%d)", store.DefaultMaxBatch),
-		"mut-Mops/s", "qry-Mops/s")
+		"mut-Mops/s", "qry-Mops/s", "allocs/mut", "KB/mut").
+		setUnits("Mops/s", "Mops/s", "allocs/op", "KB/op")
 	for _, name := range parallelIndexes {
 		idx := mkIndex(name, 2, side)
 		idx.Build(pts)
-		mut, qry := runStoreWorkload(idx, pts[:nMut], fresh, queries, boxes,
-			writers, readers, store.Options{})
-		tb.add(name, mut, qry)
+		var mut, qry float64
+		// Allocation pressure of the whole mixed workload (readers
+		// included — they share the process), amortized per mutation.
+		md := measureMem(func() {
+			mut, qry = runStoreWorkload(idx, pts[:nMut], fresh, queries, boxes,
+				writers, readers, store.Options{})
+		})
+		totalMut := float64(2 * nMut)
+		tb.add(name, mut, qry, float64(md.allocs)/totalMut, float64(md.bytes)/totalMut/1024)
 	}
 	tb.write(cfg.Out)
 
 	tb = newTable("(b) coalescing ablation (SPaC-H): flush threshold sweep",
-		"mut-Mops/s", "qry-Mops/s")
+		"mut-Mops/s", "qry-Mops/s").
+		setUnits("Mops/s", "Mops/s")
 	for _, maxBatch := range []int{1, 16, 256, 4096, 65536} {
 		idx := mkIndex("SPaC-H", 2, side)
 		idx.Build(pts)

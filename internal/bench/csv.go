@@ -10,7 +10,9 @@ import (
 // CSV capture: the paper's artifact saves every measurement to logs for
 // its plotting scripts (§F.7); psibench -csv does the same in one
 // machine-readable file. Rows are (experiment table, index, column,
-// seconds); N/A cells are skipped.
+// value, unit) — unit is "s" for timing cells; throughput, latency and
+// allocation tables carry their own units (Mops/s, us, allocs/op, B/op).
+// N/A cells are skipped.
 
 var csvSink struct {
 	mu sync.Mutex
@@ -30,7 +32,7 @@ func SetCSV(w io.Writer) error {
 		return nil
 	}
 	csvSink.w = csv.NewWriter(w)
-	return csvSink.w.Write([]string{"table", "index", "column", "seconds"})
+	return csvSink.w.Write([]string{"table", "index", "column", "value", "unit"})
 }
 
 // FlushCSV flushes pending CSV output and reports any write error the
@@ -61,6 +63,7 @@ func (tb *table) emitCSV() {
 			_ = csvSink.w.Write([]string{
 				tb.title, r.label, tb.columns[i],
 				strconv.FormatFloat(v, 'g', 6, 64),
+				tb.units[i],
 			})
 		}
 	}

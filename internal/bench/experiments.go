@@ -266,6 +266,9 @@ func Fig7(cfg Config) {
 				cols[i] = fmt.Sprintf("p=%d", p)
 			}
 			tb := newTable(fmt.Sprintf("%s %s speedup", dist, phase), cols...)
+			for i := range tb.units {
+				tb.units[i] = "x"
+			}
 			// Baseline: SPaC-H at 1 thread.
 			base := measurePhase(cfg, "SPaC-H", phase, pts, extra, side, 1)
 			for _, name := range parallelIndexes {
@@ -350,7 +353,8 @@ func Fig8(cfg Config) {
 				bestQ = r.query
 			}
 		}
-		tb := newTable(fmt.Sprintf("%s: relative throughput (update, query)", dist), "update", "query")
+		tb := newTable(fmt.Sprintf("%s: relative throughput (update, query)", dist), "update", "query").
+			setUnits("x", "x")
 		for _, r := range res {
 			tb.add(r.name, bestU/r.update, bestQ/r.query)
 		}

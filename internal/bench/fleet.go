@@ -63,7 +63,8 @@ func Fleet(cfg Config) {
 	fmt.Fprintf(cfg.Out, "(columns are Mops/s; higher is better; '*' marks are not meaningful here)\n")
 	for _, d := range dists {
 		tb := newTable(fmt.Sprintf("move distance %s: Collection over unsharded vs sharded SPaC-H", d.name),
-			"set-Mops/s", "qry-Mops/s")
+			"set-Mops/s", "qry-Mops/s").
+			setUnits("Mops/s", "Mops/s")
 		for _, st := range stacks {
 			set, qry := runFleetWorkload(st.mk, start, queries, boxes, d.frac, movers, clients, cfg.Seed)
 			tb.add(st.name, set, qry)

@@ -120,6 +120,7 @@ func (dc *dataCache) points(d workload.Dist, n, dims int, seed int64) []geom.Poi
 type table struct {
 	title   string
 	columns []string
+	units   []string // per-column measurement unit; "s" unless setUnits overrides
 	rows    []tableRow
 }
 
@@ -129,7 +130,20 @@ type tableRow struct {
 }
 
 func newTable(title string, columns ...string) *table {
-	return &table{title: title, columns: columns}
+	units := make([]string, len(columns))
+	for i := range units {
+		units[i] = "s"
+	}
+	return &table{title: title, columns: columns, units: units}
+}
+
+// setUnits overrides the per-column units recorded in the CSV/JSON sinks
+// (one per column; the experiment tables that report throughput, latency
+// quantiles, or allocation counts use it so machine-readable output is
+// self-describing).
+func (tb *table) setUnits(units ...string) *table {
+	copy(tb.units, units)
+	return tb
 }
 
 func (tb *table) add(label string, vals ...float64) {
@@ -138,9 +152,10 @@ func (tb *table) add(label string, vals ...float64) {
 
 // write renders the table. NaN cells print as "N/A" (the paper uses N/A
 // for unsupported operations, e.g. Boost-R batch updates). Tables are
-// also mirrored to the CSV sink when one is configured.
+// also mirrored to the CSV and JSON sinks when configured.
 func (tb *table) write(w io.Writer) {
 	tb.emitCSV()
+	tb.emitJSON()
 	fmt.Fprintf(w, "\n== %s ==\n", tb.title)
 	fmt.Fprintf(w, "%-10s", "index")
 	for _, c := range tb.columns {
@@ -275,4 +290,49 @@ func setThreads(p int) func() {
 	}
 	old := runtime.GOMAXPROCS(p)
 	return func() { runtime.GOMAXPROCS(old) }
+}
+
+// memDelta is the allocation cost of a measured region: total heap
+// allocations and bytes, from runtime.MemStats deltas. Counters are
+// process-wide, so concurrent experiment phases attribute helper-
+// goroutine allocations to the region too — which is exactly what a
+// GC-pressure measurement wants.
+type memDelta struct {
+	allocs uint64
+	bytes  uint64
+}
+
+// measureMem runs f and returns its allocation cost alongside anything f
+// computes itself. A GC cycle runs first so the deltas are not polluted
+// by garbage from previous phases.
+func measureMem(f func()) memDelta {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	f()
+	runtime.ReadMemStats(&m1)
+	return memDelta{allocs: m1.Mallocs - m0.Mallocs, bytes: m1.TotalAlloc - m0.TotalAlloc}
+}
+
+// allocsPerOp measures the steady-state allocation and time cost of f:
+// one untimed warm-up call (pools fill, buffers grow to their high-water
+// mark), then iters measured calls on a single P so no concurrent
+// bookkeeping pollutes the counters. Returns allocations/op, bytes/op
+// and ns/op.
+func allocsPerOp(iters int, f func()) (allocs, bytes, ns float64) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := float64(iters)
+	return float64(m1.Mallocs-m0.Mallocs) / n,
+		float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+		float64(elapsed.Nanoseconds()) / n
 }

@@ -52,7 +52,8 @@ func Service(cfg Config) {
 		conns, objects, cfg.N, runtime.NumCPU())
 	fmt.Fprintf(cfg.Out, "(kops/s higher is better, latency lower; '*' marks the column minimum and is only meaningful for latency)\n")
 	tb := newTable("serving: Collection over unsharded vs sharded SPaC-H",
-		"kops/s", "p50-us", "p99-us", "set-p99-us", "qry-p99-us")
+		"kops/s", "p50-us", "p99-us", "set-p99-us", "qry-p99-us").
+		setUnits("kops/s", "us", "us", "us", "us")
 	for _, st := range stacks {
 		srv := service.New(st.mk(), service.Options{MaxBatch: 4096})
 		if err := srv.Start("127.0.0.1:0", ""); err != nil {

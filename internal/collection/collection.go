@@ -61,6 +61,13 @@ type Options struct {
 	// flushes every interval, bounding how far geometric queries lag
 	// behind Set calls under light write traffic. Stop it with Close.
 	FlushInterval time.Duration
+	// DisableScratch turns off the flush- and query-path buffer recycling
+	// (op tape, netting map, diff buffers, reverse-multimap freelist,
+	// query scratch), so every window and query allocates fresh — the
+	// pre-reuse behavior. It exists so -exp alloc can measure the
+	// before/after of scratch reuse; production configurations leave it
+	// false.
+	DisableScratch bool
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +122,16 @@ type Collection[ID comparable] struct {
 	fwd     map[ID]geom.Point
 	rev     map[geom.Point][]ID
 
+	// scratch is the flush-path buffer set (guarded by flushMu): the
+	// recycled op tape, the last-write-wins netting map, and the diff
+	// buffers handed to BatchDiff. revFree (guarded by rw's write side)
+	// recycles the reverse multimap's small per-point ID slices, so a
+	// steady stream of moves churns no fresh slices. queryPool recycles
+	// per-query hit-resolution scratch across concurrent readers.
+	scratch   collScratch[ID]
+	revFree   [][]ID
+	queryPool sync.Pool
+
 	flushes   atomic.Uint64
 	inserted  atomic.Uint64
 	moved     atomic.Uint64
@@ -143,6 +160,25 @@ type tailOp struct {
 	seq uint64
 }
 
+// collScratch is the recycled flush state. Everything grows to the window
+// high-water mark and is then reused.
+type collScratch[ID comparable] struct {
+	spare    []op[ID]
+	final    map[ID]op[ID]
+	ins, del []geom.Point
+}
+
+// queryScratch is one query's resolution state: the raw geometric hits
+// and the duplicate-point cursor (only touched for multi-owner points).
+type queryScratch struct {
+	pts    []geom.Point
+	cursor map[geom.Point]int
+}
+
+// maxRevFree caps the reverse-multimap slice freelist so a collection
+// that shrinks dramatically does not hold spare slices forever.
+const maxRevFree = 1 << 16
+
 // New wraps idx in a Collection. The Collection takes ownership of idx:
 // the caller must not touch it directly afterwards (in particular, the
 // index must start empty — every stored point must have an owning ID).
@@ -158,6 +194,7 @@ func New[ID comparable](idx core.Index, opts Options) *Collection[ID] {
 		stop: make(chan struct{}),
 	}
 	c.pend.overlay = make(map[ID]tailOp)
+	c.queryPool.New = func() any { return new(queryScratch) }
 	if c.opts.FlushInterval > 0 {
 		c.wg.Add(1)
 		go c.flushLoop()
@@ -262,18 +299,31 @@ func (c *Collection[ID]) Len() int {
 func (c *Collection[ID]) Flush() int {
 	c.flushMu.Lock()
 	defer c.flushMu.Unlock()
+	sc := &c.scratch
+	if c.opts.DisableScratch {
+		sc = new(collScratch[ID])
+	}
 	c.pend.Lock()
-	ops := c.pend.ops
-	c.pend.ops = nil
-	c.pend.Unlock()
-	if len(ops) == 0 {
+	if len(c.pend.ops) == 0 {
+		c.pend.Unlock()
 		return 0
 	}
+	ops := c.pend.ops
+	// Hand the previous window's emptied tape to the enqueuers: the op
+	// log double-buffers instead of re-growing from nil every window.
+	c.pend.ops = sc.spare
+	sc.spare = nil
+	c.pend.Unlock()
 
 	// Net the window: the last op per ID wins, every earlier op on that
 	// ID is superseded. Identity makes this exact — no order-aware
 	// matching needed.
-	final := make(map[ID]op[ID], len(ops))
+	// sc.final is empty here: every completed flush clears it on the way
+	// out (so retained capacity never pins ID values while idle).
+	if sc.final == nil {
+		sc.final = make(map[ID]op[ID], len(ops))
+	}
+	final := sc.final
 	for _, o := range ops {
 		final[o.id] = o
 	}
@@ -281,8 +331,8 @@ func (c *Collection[ID]) Flush() int {
 
 	// Plan the diff against the committed forward table. Reading fwd
 	// without rw is safe here: only flushes write it and flushMu is held.
-	ins := make([]geom.Point, 0, len(final))
-	del := make([]geom.Point, 0, len(final))
+	ins := sc.ins[:0]
+	del := sc.del[:0]
 	var nIns, nMove, nDel uint64
 	for id, o := range final {
 		old, live := c.fwd[id]
@@ -328,7 +378,7 @@ func (c *Collection[ID]) Flush() int {
 			c.revRemove(old, id)
 		}
 		c.fwd[id] = o.p
-		c.rev[o.p] = append(c.rev[o.p], id)
+		c.revAdd(o.p, id)
 	}
 	// Purge committed overlay entries while still holding the writer
 	// lock: after a Get misses the overlay, the committed state it then
@@ -343,6 +393,16 @@ func (c *Collection[ID]) Flush() int {
 	c.pend.Unlock()
 	c.rw.Unlock()
 
+	// The netted tape and the ins/del buffers are dead: the index must
+	// not have retained the batch slices (the core.Index contract), so
+	// everything is reusable next window. Clear the tape and the netting
+	// map before retiring them so recycled capacity never pins the
+	// window's ID values (strings, typically) while the collection idles.
+	clear(ops)
+	clear(final)
+	sc.spare = ops[:0]
+	sc.ins, sc.del = ins[:0], del[:0]
+
 	c.flushes.Add(1)
 	c.inserted.Add(nIns)
 	c.moved.Add(nMove)
@@ -351,6 +411,8 @@ func (c *Collection[ID]) Flush() int {
 }
 
 // revRemove drops one occurrence of id from rev[p] (callers hold rw).
+// Emptied ID slices go to the freelist so the next revAdd of a fresh
+// point reuses them instead of allocating.
 func (c *Collection[ID]) revRemove(p geom.Point, id ID) {
 	ids := c.rev[p]
 	for i, got := range ids {
@@ -362,9 +424,24 @@ func (c *Collection[ID]) revRemove(p geom.Point, id ID) {
 	}
 	if len(ids) == 0 {
 		delete(c.rev, p)
+		if cap(ids) > 0 && len(c.revFree) < maxRevFree && !c.opts.DisableScratch {
+			clear(ids[:cap(ids)]) // drop stale ID values so nothing is pinned
+			c.revFree = append(c.revFree, ids)
+		}
 	} else {
 		c.rev[p] = ids
 	}
+}
+
+// revAdd appends id to rev[p] (callers hold rw), drawing the backing
+// slice from the freelist when the point is new to the map.
+func (c *Collection[ID]) revAdd(p geom.Point, id ID) {
+	ids, ok := c.rev[p]
+	if !ok && len(c.revFree) > 0 {
+		ids = c.revFree[len(c.revFree)-1]
+		c.revFree = c.revFree[:len(c.revFree)-1]
+	}
+	c.rev[p] = append(ids, id)
 }
 
 // NearbyIDs returns the k objects nearest q (nearest first), resolved to
@@ -372,49 +449,88 @@ func (c *Collection[ID]) revRemove(p geom.Point, id ID) {
 // sharing one point — are broken arbitrarily, matching core.Index.KNN.
 // Only flushed ops are visible.
 func (c *Collection[ID]) NearbyIDs(q geom.Point, k int) []Entry[ID] {
+	return c.NearbyIDsAppend(q, k, nil)
+}
+
+// NearbyIDsAppend is NearbyIDs with a caller-provided destination: the
+// resolved entries are appended to dst and the extended slice returned,
+// following the same dst-append contract as core.Index queries (the
+// collection keeps no alias to dst). Serving loops reuse one dst across
+// requests so warm queries allocate nothing here.
+func (c *Collection[ID]) NearbyIDsAppend(q geom.Point, k int, dst []Entry[ID]) []Entry[ID] {
+	sc := c.getQueryScratch()
 	c.rw.RLock()
-	defer c.rw.RUnlock()
-	return c.resolve(c.idx.KNN(q, k, nil))
+	defer c.rw.RUnlock() // deferred so a panicking inner index never wedges writers
+	sc.pts = c.idx.KNN(q, k, sc.pts[:0])
+	dst = c.resolveAppend(sc, dst)
+	c.putQueryScratch(sc)
+	return dst
 }
 
 // WithinIDs returns every object inside box (order unspecified),
 // resolved to IDs. Only flushed ops are visible.
 func (c *Collection[ID]) WithinIDs(box geom.Box) []Entry[ID] {
-	c.rw.RLock()
-	defer c.rw.RUnlock()
-	return c.resolve(c.idx.RangeList(box, nil))
+	return c.WithinIDsAppend(box, nil)
 }
 
-// resolve maps a query's hit multiset to entries through the reverse
-// multimap (callers hold rw). A point stored once per object at it means
-// hits and rev lists have equal multiplicity; for the rare points owned
-// by several objects, a cursor walks the ID list so duplicate hits
-// resolve to distinct objects. Single-owner points — the common case —
-// never touch the cursor map.
-func (c *Collection[ID]) resolve(pts []geom.Point) []Entry[ID] {
-	out := make([]Entry[ID], 0, len(pts))
-	var cursor map[geom.Point]int
-	for _, p := range pts {
+// WithinIDsAppend is WithinIDs with a caller-provided destination (see
+// NearbyIDsAppend for the contract).
+func (c *Collection[ID]) WithinIDsAppend(box geom.Box, dst []Entry[ID]) []Entry[ID] {
+	sc := c.getQueryScratch()
+	c.rw.RLock()
+	defer c.rw.RUnlock() // deferred so a panicking inner index never wedges writers
+	sc.pts = c.idx.RangeList(box, sc.pts[:0])
+	dst = c.resolveAppend(sc, dst)
+	c.putQueryScratch(sc)
+	return dst
+}
+
+func (c *Collection[ID]) getQueryScratch() *queryScratch {
+	if c.opts.DisableScratch {
+		return new(queryScratch)
+	}
+	return c.queryPool.Get().(*queryScratch)
+}
+
+func (c *Collection[ID]) putQueryScratch(sc *queryScratch) {
+	if !c.opts.DisableScratch {
+		c.queryPool.Put(sc)
+	}
+}
+
+// resolveAppend maps the scratch's hit multiset to entries through the
+// reverse multimap, appending to dst (callers hold rw). A point stored
+// once per object at it means hits and rev lists have equal multiplicity;
+// for the rare points owned by several objects, a cursor walks the ID
+// list so duplicate hits resolve to distinct objects. Single-owner points
+// — the common case — never touch the cursor map.
+func (c *Collection[ID]) resolveAppend(sc *queryScratch, dst []Entry[ID]) []Entry[ID] {
+	cursorUsed := false
+	for _, p := range sc.pts {
 		ids := c.rev[p]
 		switch {
 		case len(ids) == 0:
 			// Unreachable while the flush invariant holds (Validate
 			// checks it); skip rather than fabricate an entry.
 		case len(ids) == 1:
-			out = append(out, Entry[ID]{ID: ids[0], Point: p})
+			dst = append(dst, Entry[ID]{ID: ids[0], Point: p})
 		default:
-			if cursor == nil {
-				cursor = make(map[geom.Point]int)
+			if sc.cursor == nil {
+				sc.cursor = make(map[geom.Point]int)
 			}
-			i := cursor[p]
+			cursorUsed = true
+			i := sc.cursor[p]
 			if i >= len(ids) {
 				continue // see the len(ids) == 0 case
 			}
-			cursor[p] = i + 1
-			out = append(out, Entry[ID]{ID: ids[i], Point: p})
+			sc.cursor[p] = i + 1
+			dst = append(dst, Entry[ID]{ID: ids[i], Point: p})
 		}
 	}
-	return out
+	if cursorUsed {
+		clear(sc.cursor)
+	}
+	return dst
 }
 
 // Pending returns the number of enqueued, not-yet-flushed ops.

@@ -471,3 +471,58 @@ func TestBackgroundFlusher(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestSetFlushZeroAllocWarm is the allocation-regression guard for the
+// scratch-reuse tentpole: warm Set→Flush cycles run with zero
+// steady-state allocations in the Collection layer — the op tape
+// double-buffers, the last-write-wins map and diff buffers are recycled,
+// and the reverse multimap draws its per-point ID slices from a
+// freelist. Same-position windows must be exactly zero; real moves are
+// allowed a sub-one amortized residual, which is Go map bucket churn
+// from cycling the reverse multimap's point keys (buckets are
+// occasionally regrown by the runtime; there is no per-move allocation).
+func TestSetFlushZeroAllocWarm(t *testing.T) {
+	const n = 512
+	posA := make([]geom.Point, n)
+	posB := make([]geom.Point, n)
+	for i := range posA {
+		posA[i] = geom.Pt2(int64(i)*17, int64(i)*29)
+		posB[i] = geom.Pt2(int64(i)*17+5, int64(i)*29+3)
+	}
+	t.Run("same-position windows", func(t *testing.T) {
+		c := New[int](core.NewNull(2), Options{MaxBatch: 1 << 20})
+		for i, p := range posA {
+			c.Set(i, p)
+		}
+		c.Flush()
+		window := func() {
+			for i, p := range posA {
+				c.Set(i, p)
+			}
+			c.Flush()
+		}
+		window()
+		if allocs := testing.AllocsPerRun(50, window); allocs != 0 {
+			t.Fatalf("warm same-position window allocates %.2f/op, want 0", allocs)
+		}
+	})
+	t.Run("move windows", func(t *testing.T) {
+		c := New[int](core.NewNull(2), Options{MaxBatch: 1 << 20})
+		for i, p := range posA {
+			c.Set(i, p)
+		}
+		c.Flush()
+		cur, next := posA, posB
+		window := func() {
+			for i, p := range next {
+				c.Set(i, p)
+			}
+			c.Flush()
+			cur, next = next, cur
+		}
+		window()
+		if allocs := testing.AllocsPerRun(50, window); allocs >= 1 {
+			t.Fatalf("warm move window allocates %.2f/op, want amortized < 1", allocs)
+		}
+	})
+}

@@ -62,11 +62,13 @@ func (b *BruteForce) BatchDelete(pts []geom.Point) {
 
 // KNN implements Index.
 func (b *BruteForce) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
-	h := geom.NewKNNHeap(k)
+	h := geom.GetKNNHeap(k)
 	for _, p := range b.pts {
 		h.Push(p, geom.Dist2(p, q, b.dims))
 	}
-	return h.Append(dst)
+	dst = h.Append(dst)
+	geom.PutKNNHeap(h)
+	return dst
 }
 
 // RangeCount implements Index.

@@ -18,6 +18,16 @@ import (
 // is NOT safe for concurrent mutation, matching the paper's model of
 // batch-synchronous updates. Queries never mutate and the Parallel*
 // helpers in this package run them concurrently.
+//
+// Buffer ownership (normative; ARCHITECTURE.md "Buffer ownership" has the
+// full rules): an implementation must NOT retain the slices passed to
+// Build/BatchInsert/BatchDelete/BatchDiff after the call returns — the
+// caller may reuse them immediately, which is what lets the Store,
+// Collection and Sharded layers recycle their flush scratch. Symmetrically,
+// KNN and RangeList append to the caller's dst (preserving its prefix,
+// reusing its backing array when capacity suffices) and must not keep any
+// alias to it after returning; the result is the caller's to keep or
+// mutate. TestDstAppendContract enforces this for every index.
 type Index interface {
 	// Name returns the display name used in the experiment tables.
 	Name() string

@@ -291,3 +291,42 @@ func max64(a, b int64) int64 {
 	}
 	return b
 }
+
+func TestKNNHeapPoolReuse(t *testing.T) {
+	// A pooled heap re-armed for a different k must behave like a fresh
+	// heap: grow when k exceeds capacity, truncate cleanly when smaller.
+	h := GetKNNHeap(2)
+	h.Push(Pt2(0, 0), 4)
+	h.Push(Pt2(1, 0), 1)
+	h.Push(Pt2(2, 0), 9) // rejected: worse than bound with heap full
+	if got := h.Append(nil); len(got) != 2 || got[0] != Pt2(1, 0) {
+		t.Fatalf("pooled heap k=2: got %v", got)
+	}
+	PutKNNHeap(h)
+
+	h = GetKNNHeap(5)
+	if h.Len() != 0 || h.Full() {
+		t.Fatal("reused heap not reset")
+	}
+	for i := 0; i < 7; i++ {
+		h.Push(Pt2(int64(i), 0), int64(10-i))
+	}
+	if got := h.Append(nil); len(got) != 5 {
+		t.Fatalf("re-armed heap k=5 returned %d", len(got))
+	} else if got[0] != Pt2(6, 0) {
+		t.Fatalf("nearest after re-arm: %v", got[0])
+	}
+	PutKNNHeap(h)
+
+	// ResetK down then up again reuses capacity.
+	h = NewKNNHeap(8)
+	h.ResetK(3)
+	h.Push(Pt2(1, 1), 1)
+	if h.Bound() != int64(1<<63-1) {
+		t.Fatal("bound should be unbounded below k candidates")
+	}
+	h.ResetK(8)
+	if h.Len() != 0 {
+		t.Fatal("ResetK did not clear")
+	}
+}

@@ -1,11 +1,15 @@
 package geom
 
+import "sync"
+
 // KNNHeap is a bounded max-heap of the k best (smallest squared distance)
 // candidates seen so far during a k-nearest-neighbor search. Every index in
 // the library threads one KNNHeap through its traversal; the current worst
 // distance (Bound) is the pruning radius.
 //
-// The zero value is not usable; call NewKNNHeap. The heap is intentionally
+// The zero value is not usable; call NewKNNHeap — or, on a query hot path,
+// borrow one from the shared pool with GetKNNHeap/PutKNNHeap so that warm
+// steady-state queries allocate nothing. The heap is intentionally
 // allocation-free after construction so that query benchmarks measure tree
 // traversal, not GC.
 type KNNHeap struct {
@@ -22,6 +26,69 @@ func NewKNNHeap(k int) *KNNHeap {
 
 // Reset clears the heap for reuse with the same k.
 func (h *KNNHeap) Reset() { h.n = 0 }
+
+// ResetK clears the heap and re-arms it for a (possibly different) k,
+// growing the candidate arrays only when k exceeds their capacity.
+func (h *KNNHeap) ResetK(k int) {
+	h.n = 0
+	h.k = k
+	if cap(h.dist) < k {
+		h.dist = make([]int64, k)
+		h.pts = make([]Point, k)
+	}
+	h.dist = h.dist[:k]
+	h.pts = h.pts[:k]
+}
+
+// knnHeapPool recycles heaps across queries. Heaps hold only value slices
+// (no pointers into any index), so recycling one can never pin tree data.
+var knnHeapPool = sync.Pool{New: func() any { return new(KNNHeap) }}
+
+// heapPooling can be switched off so benchmarks can measure the
+// pre-pooling allocation behavior (see SetHeapPooling).
+var heapPooling = true
+
+// SetHeapPooling enables or disables the shared heap pool. It exists for
+// the allocation benchmarks (-exp alloc measures the before/after of
+// query-path scratch reuse) and is not safe to flip while queries are in
+// flight; production code never calls it.
+func SetHeapPooling(on bool) { heapPooling = on }
+
+// GetKNNHeap returns an empty heap armed for k, reusing a pooled one when
+// available. Pair with PutKNNHeap once the result has been consumed
+// (typically right after Append). In the steady state this allocates
+// nothing.
+func GetKNNHeap(k int) *KNNHeap {
+	if !heapPooling {
+		return NewKNNHeap(k)
+	}
+	h := knnHeapPool.Get().(*KNNHeap)
+	h.ResetK(k)
+	return h
+}
+
+// PutKNNHeap returns a heap to the pool. The caller must not use h after
+// the call.
+func PutKNNHeap(h *KNNHeap) {
+	if heapPooling && h != nil {
+		knnHeapPool.Put(h)
+	}
+}
+
+// pointBufPool recycles []Point scratch buffers for query paths that need
+// a temporary candidate list (the log-tree's multi-level KNN merge; the
+// sharded fan-out keeps its own per-query scratch instead).
+var pointBufPool = sync.Pool{New: func() any { return new([]Point) }}
+
+// GetPointBuf returns an empty point buffer from the shared pool.
+func GetPointBuf() *[]Point {
+	b := pointBufPool.Get().(*[]Point)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutPointBuf returns a buffer to the pool (the caller keeps no alias).
+func PutPointBuf(b *[]Point) { pointBufPool.Put(b) }
 
 // Len returns the number of candidates currently held.
 func (h *KNNHeap) Len() int { return h.n }

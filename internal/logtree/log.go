@@ -184,8 +184,9 @@ func (t *LogTree) compact() {
 // results merged — the O(log n) multiplier on queries that the paper
 // holds against the logarithmic method.
 func (t *LogTree) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
-	h := geom.NewKNNHeap(k)
-	var buf []geom.Point
+	h := geom.GetKNNHeap(k)
+	bufp := geom.GetPointBuf()
+	buf := *bufp
 	for _, lv := range t.levels {
 		if lv == nil {
 			continue
@@ -195,7 +196,11 @@ func (t *LogTree) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
 			h.Push(p, geom.Dist2(p, q, t.dims))
 		}
 	}
-	return h.Append(dst)
+	*bufp = buf
+	geom.PutPointBuf(bufp)
+	dst = h.Append(dst)
+	geom.PutKNNHeap(h)
+	return dst
 }
 
 // RangeCount implements core.Index.

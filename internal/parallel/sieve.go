@@ -14,9 +14,51 @@ package parallel
 // src and dst must have equal length and must not alias. bucketOf must
 // return a value in [0, buckets).
 func Sieve[T any](src, dst []T, buckets int, bucketOf func(T) int) []int {
+	return SieveWith(nil, src, dst, buckets, bucketOf)
+}
+
+// SieveScratch holds the internal buffers of one sieve invocation so
+// steady-state callers (the sharded batch partitioner, most prominently)
+// can re-run Sieve every flush without allocating. The zero value is
+// ready; buffers grow to the high-water mark and are then reused.
+//
+// Ownership: the offsets slice returned by SieveWith aliases the scratch
+// and is valid only until the next SieveWith call with the same scratch.
+// A scratch must not be shared by concurrent sieves.
+type SieveScratch struct {
+	offsets []int
+	ids     []uint16
+	counts  []int
+}
+
+// grab returns scratch slices of the requested lengths, reusing capacity.
+func (sc *SieveScratch) grab(nOffsets, nIDs, nCounts int) (offsets []int, ids []uint16, counts []int) {
+	if cap(sc.offsets) < nOffsets {
+		sc.offsets = make([]int, nOffsets)
+	}
+	sc.offsets = sc.offsets[:nOffsets]
+	clear(sc.offsets)
+	if cap(sc.ids) < nIDs {
+		sc.ids = make([]uint16, nIDs)
+	}
+	sc.ids = sc.ids[:nIDs]
+	if cap(sc.counts) < nCounts {
+		sc.counts = make([]int, nCounts)
+	}
+	sc.counts = sc.counts[:nCounts]
+	clear(sc.counts)
+	return sc.offsets, sc.ids, sc.counts
+}
+
+// SieveWith is Sieve with caller-provided scratch buffers. A nil scratch
+// allocates fresh buffers (equivalent to Sieve).
+func SieveWith[T any](sc *SieveScratch, src, dst []T, buckets int, bucketOf func(T) int) []int {
+	if sc == nil {
+		sc = new(SieveScratch)
+	}
 	n := len(src)
-	offsets := make([]int, buckets+1)
 	if n == 0 {
+		offsets, _, _ := sc.grab(buckets+1, 0, 0)
 		return offsets
 	}
 	// Choose a block size that keeps the count matrix small but gives
@@ -25,15 +67,14 @@ func Sieve[T any](src, dst []T, buckets int, bucketOf func(T) int) []int {
 	nb := NumBlocks(n, grain)
 
 	if nb == 1 {
-		// Sequential fast path.
-		ids := make([]uint16, n)
+		// Sequential fast path: counts doubles as the running positions.
+		offsets, ids, pos := sc.grab(buckets+1, n, buckets)
 		counts := offsets[:buckets]
 		for i, v := range src {
 			b := bucketOf(v)
 			ids[i] = uint16(b)
 			counts[b]++
 		}
-		pos := make([]int, buckets)
 		sum := 0
 		for b := 0; b < buckets; b++ {
 			c := counts[b]
@@ -50,8 +91,8 @@ func Sieve[T any](src, dst []T, buckets int, bucketOf func(T) int) []int {
 		return offsets
 	}
 
-	ids := make([]uint16, n)
-	counts := make([]int, nb*buckets) // row-major: counts[block*buckets+bucket]
+	// counts is row-major: counts[block*buckets+bucket].
+	offsets, ids, counts := sc.grab(buckets+1, n, nb*buckets)
 	Blocks(n, grain, func(lo, hi int) {
 		row := counts[(lo/grain)*buckets : (lo/grain+1)*buckets]
 		for i := lo; i < hi; i++ {

@@ -1,24 +1,30 @@
 package rtree
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 
 	"repro/internal/geom"
 )
 
 // KNN implements core.Index with best-first search: a priority queue over
 // nodes and points ordered by minimum distance — the standard R-tree kNN,
-// which copes best with overlapping MBRs.
+// which copes best with overlapping MBRs. The queue is a concrete min-heap
+// (container/heap would box every entry in an interface, allocating per
+// push) recycled across queries, so warm queries only allocate when dst
+// must grow.
 func (t *Tree) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
 	if t.root == nil || k <= 0 {
 		return dst
 	}
-	pq := &distQueue{}
-	heap.Push(pq, distEntry{d: t.root.mbr.Dist2(q, t.dims), nd: t.root})
+	pqp := queuePool.Get().(*distQueue)
+	pq := (*pqp)[:0]
+	pq = pq.push(distEntry{d: t.root.mbr.Dist2(q, t.dims), nd: t.root})
+	hi := 1 // high-water length: the only entries this query dirtied
 	found := 0
-	for pq.Len() > 0 && found < k {
-		e := heap.Pop(pq).(distEntry)
+	for len(pq) > 0 && found < k {
+		var e distEntry
+		pq, e = pq.pop()
 		if e.nd == nil {
 			dst = append(dst, e.pt)
 			found++
@@ -26,14 +32,23 @@ func (t *Tree) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
 		}
 		if e.nd.isLeaf() {
 			for _, p := range e.nd.pts {
-				heap.Push(pq, distEntry{d: geom.Dist2(p, q, t.dims), pt: p})
+				pq = pq.push(distEntry{d: geom.Dist2(p, q, t.dims), pt: p})
 			}
-			continue
+		} else {
+			for _, c := range e.nd.kids {
+				pq = pq.push(distEntry{d: c.mbr.Dist2(q, t.dims), nd: c})
+			}
 		}
-		for _, c := range e.nd.kids {
-			heap.Push(pq, distEntry{d: c.mbr.Dist2(q, t.dims), nd: c})
+		if len(pq) > hi {
+			hi = len(pq)
 		}
 	}
+	// Entries up to the high-water mark hold dead node pointers; clear
+	// them so a pooled queue never pins a detached subtree. Slots beyond
+	// hi were cleared the same way by whichever query grew the buffer.
+	clear(pq[:hi])
+	*pqp = pq
+	queuePool.Put(pqp)
 	return dst
 }
 
@@ -44,18 +59,47 @@ type distEntry struct {
 	pt geom.Point
 }
 
+// distQueue is a binary min-heap on d.
 type distQueue []distEntry
 
-func (q distQueue) Len() int            { return len(q) }
-func (q distQueue) Less(i, j int) bool  { return q[i].d < q[j].d }
-func (q distQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *distQueue) Push(x interface{}) { *q = append(*q, x.(distEntry)) }
-func (q *distQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+var queuePool = sync.Pool{New: func() any { return new(distQueue) }}
+
+func (q distQueue) push(e distEntry) distQueue {
+	q = append(q, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].d <= q[i].d {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+	return q
+}
+
+func (q distQueue) pop() (distQueue, distEntry) {
+	e := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q[l].d < q[small].d {
+			small = l
+		}
+		if r < n && q[r].d < q[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[small], q[i] = q[i], q[small]
+		i = small
+	}
+	return q, e
 }
 
 // RangeCount implements core.Index.

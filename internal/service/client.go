@@ -12,11 +12,34 @@ import (
 // request/response in flight at a time. Methods are safe for concurrent
 // use (a mutex serializes the wire exchange); open several Clients for
 // parallelism — the server is one goroutine per connection, so
-// connections are the unit of serving concurrency.
+// connections are the unit of serving concurrency. Exception: a client
+// switched into buffer-reuse mode (SetReuse) must be owned by a single
+// goroutine, because returned data is only valid until its next call.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	lineBuf []byte // long-line accumulation scratch, guarded by mu
+
+	// reuse-mode state (SetReuse): the request encode buffer and the
+	// response struct whose slice fields are recycled across calls.
+	reuse bool
+	wbuf  []byte
+	resp  Response
+}
+
+// SetReuse switches the client into buffer-reuse mode: requests are
+// encoded append-style into a retained buffer and responses are decoded
+// into a retained Response whose Hits/P backing arrays are recycled, so
+// a warm request loop allocates only the decoded strings. The trade-off:
+// in reuse mode the data returned by Do (and the helpers built on it —
+// Nearby/Within hit slices, Get coordinates) is valid only until the
+// next call on this client; callers that retain results must copy them
+// first. Off by default.
+func (c *Client) SetReuse(on bool) {
+	c.mu.Lock()
+	c.reuse = on
+	c.mu.Unlock()
 }
 
 // clientMaxLine bounds one response line client-side. WITHIN over a huge
@@ -42,15 +65,44 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) Do(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := c.conn.Write(marshalLine(req)); err != nil {
+	var payload []byte
+	if c.reuse {
+		c.wbuf = appendRequest(c.wbuf[:0], &req)
+		payload = c.wbuf
+	} else {
+		payload = marshalLine(req)
+	}
+	if _, err := c.conn.Write(payload); err != nil {
 		return Response{}, fmt.Errorf("psid: write: %w", err)
 	}
-	line, tooLong, err := readLine(c.br, clientMaxLine)
+	line, tooLong, err := readLine(c.br, clientMaxLine, &c.lineBuf)
+	// One huge WITHIN response must not pin its accumulation buffer for
+	// the connection's lifetime: drop oversized scratch once the line has
+	// been decoded (the capacity cap keeps steady-state reads recycling).
+	defer func() {
+		if cap(c.lineBuf) > 1<<20 {
+			c.lineBuf = nil
+		}
+	}()
 	if err != nil {
 		return Response{}, fmt.Errorf("psid: read: %w", err)
 	}
 	if tooLong {
 		return Response{}, fmt.Errorf("psid: response line exceeds %d bytes", clientMaxLine)
+	}
+	if c.reuse {
+		// Reset scalar fields but keep the slice capacity: absent JSON
+		// fields are left untouched by Unmarshal, so stale data must be
+		// cleared here, while present array fields decode into the
+		// recycled backing arrays.
+		c.resp.OK, c.resp.Code, c.resp.Err = false, "", ""
+		c.resp.Found, c.resp.Applied, c.resp.Stats = false, 0, nil
+		c.resp.P = c.resp.P[:0]
+		c.resp.Hits = c.resp.Hits[:0]
+		if err := json.Unmarshal(line, &c.resp); err != nil {
+			return Response{}, fmt.Errorf("psid: decode response: %w", err)
+		}
+		return c.resp, nil
 	}
 	var resp Response
 	if err := json.Unmarshal(line, &resp); err != nil {

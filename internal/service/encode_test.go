@@ -1,0 +1,211 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/geom"
+)
+
+// encodeCases covers every response shape the hot path renders: plain
+// acks, errors (including strings needing JSON escaping), GET hit/miss,
+// NEARBY/WITHIN hit lists (empty and multi), and FLUSH applied counts
+// (zero is omitted by omitempty).
+func encodeCases() []result {
+	return []result{
+		{ok: true},
+		{ok: false, code: CodeBadRequest, err: `parse: quote " backslash \ and control` + "\n\t\x01 done`"},
+		{ok: false, code: CodeTooLarge, err: "line exceeds 1024 bytes"},
+		{ok: false, code: CodeBadRequest, err: "js line separators \u2028 and \u2029 escape like json.Marshal"},
+		{ok: true, found: true, p: geom.Pt2(-7, 42), hasP: true},
+		{ok: true, found: false},
+		{ok: true, hasHits: true, entries: nil},
+		{ok: true, hasHits: true, entries: []collection.Entry[string]{
+			{ID: "veh-1", Point: geom.Pt2(3, 4)},
+			{ID: `we"ird\id`, Point: geom.Pt2(-1, -2)},
+			{ID: "üñïçødé", Point: geom.Pt2(0, 9)},
+		}},
+		{ok: true, hasApplied: true, applied: 0},
+		{ok: true, hasApplied: true, applied: 123},
+	}
+}
+
+// TestEncodeMatchesJSON pins the hand-rolled encoder to what
+// json.Marshal produces for the equivalent Response: byte-identical
+// lines for strings without HTML-escaped characters, and semantically
+// identical JSON otherwise (json.Marshal additionally escapes <, >, &,
+// which the protocol never relied on).
+func TestEncodeMatchesJSON(t *testing.T) {
+	const dims = 2
+	for i, res := range encodeCases() {
+		got := appendResult(nil, &res, dims)
+		want := marshalLine(res.response(dims))
+		if !bytes.Equal(got, want) {
+			t.Errorf("case %d: encoder diverged\n got: %s\nwant: %s", i, got, want)
+		}
+	}
+	// HTML-escaped characters: semantic equality.
+	res := result{ok: false, code: CodeBadRequest, err: `html <&> chars`}
+	var got, want Response
+	if err := json.Unmarshal(appendResult(nil, &res, dims), &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(marshalLine(res.response(dims)), &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("html-escape case diverged: got %+v want %+v", got, want)
+	}
+}
+
+// TestAppendRequestMatchesJSON pins the reuse-mode client's request
+// encoder to json.Marshal of the same Request.
+func TestAppendRequestMatchesJSON(t *testing.T) {
+	cases := []Request{
+		{Op: OpSet, ID: "veh-1", P: []int64{3, 4}},
+		{Op: OpDel, ID: `q"\id`},
+		{Op: OpGet, ID: "x"},
+		{Op: OpNearby, P: []int64{-5, 7}, K: 10},
+		{Op: OpWithin, Lo: []int64{0, 0}, Hi: []int64{9, 9}},
+		{Op: OpStats},
+		{Op: OpFlush},
+	}
+	for i, req := range cases {
+		got := appendRequest(nil, &req)
+		want := marshalLine(req)
+		if !bytes.Equal(got, want) {
+			t.Errorf("case %d: request encoder diverged\n got: %s\nwant: %s", i, got, want)
+		}
+	}
+}
+
+// TestEncodeZeroAlloc is the allocation guard for the service encode
+// path: rendering any steady-state response shape into a warm buffer
+// allocates nothing.
+func TestEncodeZeroAlloc(t *testing.T) {
+	const dims = 2
+	cases := encodeCases()
+	buf := make([]byte, 0, 1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range cases {
+			buf = appendResult(buf[:0], &cases[i], dims)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm encode path allocates %.2f/op, want 0", allocs)
+	}
+}
+
+// TestLineConnMatchesScratchModes drives identical command sequences
+// through a scratch-reuse server and a DisableScratch (legacy
+// json.Marshal) server via LineConn, asserting byte-identical response
+// lines — the wire format must not depend on the encoding path.
+func TestLineConnMatchesScratchModes(t *testing.T) {
+	mk := func(disable bool) *LineConn {
+		srv := New(newTestIndex(), Options{
+			FlushInterval:  -1,
+			DisableScratch: disable,
+		})
+		return srv.NewLineConn()
+	}
+	fast, legacy := mk(false), mk(true)
+	lines := []string{
+		`{"op":"SET","id":"a","p":[10,10]}`,
+		`{"op":"SET","id":"b","p":[20,20]}`,
+		`{"op":"SET","id":"we\"ird\\id","p":[30,30]}`,
+		`{"op":"FLUSH"}`,
+		`{"op":"GET","id":"a"}`,
+		`{"op":"GET","id":"missing"}`,
+		`{"op":"NEARBY","p":[0,0],"k":2}`,
+		`{"op":"NEARBY","p":[0,0],"k":10}`,
+		`{"op":"WITHIN","lo":[0,0],"hi":[25,25]}`,
+		`{"op":"WITHIN","lo":[100,100],"hi":[200,200]}`,
+		`{"op":"DEL","id":"a"}`,
+		`{"op":"FLUSH"}`,
+		`{"op":"NEARBY","p":[0,0],"k":1}`,
+		`{"op":"nope"}`,
+		`not json`,
+		`{"op":"SET","id":"","p":[1,1]}`,
+		`{"op":"NEARBY","p":[1],"k":3}`,
+	}
+	for i, line := range lines {
+		got := append([]byte(nil), fast.Serve([]byte(line))...)
+		want := legacy.Serve([]byte(line))
+		if !bytes.Equal(got, want) {
+			t.Errorf("line %d (%s):\n fast:   %s legacy: %s", i, line, got, want)
+		}
+	}
+}
+
+// TestClientReuse runs the full client API in reuse mode against a live
+// server and cross-checks every answer against a fresh-buffer client on
+// a second connection.
+func TestClientReuse(t *testing.T) {
+	srv := startServer(t, newTestIndex(), Options{})
+	reuse := dialT(t, srv)
+	plain := dialT(t, srv)
+	reuse.SetReuse(true)
+
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("veh-%d", i)
+		if err := reuse.Set(id, []int64{int64(i * 10), int64(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reuse.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("veh-%d", i)
+		gp, gok, err := reuse.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp, wok, err := plain.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Copy before the next reuse-mode call invalidates gp.
+		gpCopy := append([]int64(nil), gp...)
+		if gok != wok || !reflect.DeepEqual(gpCopy, wp) {
+			t.Fatalf("GET %s: reuse (%v,%v) vs plain (%v,%v)", id, gpCopy, gok, wp, wok)
+		}
+	}
+	for _, k := range []int{1, 5, 20, 50} {
+		gh, err := reuse.Nearby([]int64{42, 42}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ghCopy := append([]Hit(nil), gh...)
+		for i := range ghCopy {
+			ghCopy[i].P = append([]int64(nil), ghCopy[i].P...)
+		}
+		wh, err := plain.Nearby([]int64{42, 42}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ghCopy) != len(wh) {
+			t.Fatalf("NEARBY k=%d: reuse %d hits, plain %d", k, len(ghCopy), len(wh))
+		}
+		for i := range wh {
+			if ghCopy[i].ID != wh[i].ID || !reflect.DeepEqual(ghCopy[i].P, wh[i].P) {
+				t.Fatalf("NEARBY k=%d hit %d: reuse %+v plain %+v", k, i, ghCopy[i], wh[i])
+			}
+		}
+	}
+	gw, err := reuse.Within([]int64{0, 0}, []int64{1000, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ww, err := plain.Within([]int64{0, 0}, []int64{1000, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gw) != len(ww) {
+		t.Fatalf("WITHIN: reuse %d hits, plain %d", len(gw), len(ww))
+	}
+}

@@ -140,6 +140,25 @@ type StatsPayload struct {
 	BadLines uint64 `json:"bad_lines"`
 	// Ops maps canonical command names to their serving counters.
 	Ops map[string]OpCounters `json:"ops"`
+	// GC carries runtime allocation/GC counters when the server runs
+	// with EnablePprof (psid -pprof); omitted otherwise — reading them
+	// briefly stops the world, so they are opt-in like the profile
+	// endpoints.
+	GC *GCStats `json:"gc,omitempty"`
+}
+
+// GCStats is the runtime memory/GC snapshot served in /stats under
+// -pprof: enough to watch steady-state allocation pressure (mallocs per
+// served op should stay flat on a warm server) without pulling a full
+// heap profile.
+type GCStats struct {
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	Mallocs         uint64  `json:"mallocs"`
+	Frees           uint64  `json:"frees"`
+	NumGC           uint32  `json:"num_gc"`
+	PauseTotalMs    float64 `json:"pause_total_ms"`
+	GCCPUFraction   float64 `json:"gc_cpu_fraction"`
 }
 
 // OpCounters is the per-command serving record.

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -45,6 +47,20 @@ type Options struct {
 	// too_large error (the line is discarded, the connection survives).
 	// <= 0 selects DefaultMaxLineBytes.
 	MaxLineBytes int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the HTTP
+	// probe listener and adds runtime GC counters to /stats, so heap and
+	// allocation profiles can be captured from a live server (see the
+	// README's Performance section). Off by default: the profile
+	// endpoints can stall the world and do not belong on an unguarded
+	// production port.
+	EnablePprof bool
+	// DisableScratch turns off the per-connection buffer reuse and the
+	// append-style response encoder, restoring the per-line
+	// json.Marshal + fresh-buffer behavior (and the inner Collection's
+	// allocating paths). It exists so -exp alloc can measure the
+	// before/after of the serving-path scratch reuse; production
+	// configurations leave it false.
+	DisableScratch bool
 }
 
 // DefaultFlushInterval is the background flush cadence used when
@@ -95,8 +111,9 @@ func New(idx core.Index, opts Options) *Server {
 		opts: opts,
 		dims: idx.Dims(),
 		coll: collection.New[string](idx, collection.Options{
-			MaxBatch:      opts.MaxBatch,
-			FlushInterval: opts.FlushInterval,
+			MaxBatch:       opts.MaxBatch,
+			FlushInterval:  opts.FlushInterval,
+			DisableScratch: opts.DisableScratch,
 		}),
 		conns: make(map[net.Conn]struct{}),
 	}
@@ -129,6 +146,13 @@ func (s *Server) Start(addr, httpAddr string) error {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/healthz", s.handleHealthz)
 		mux.HandleFunc("/stats", s.handleStats)
+		if s.opts.EnablePprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		s.http = &http.Server{Handler: mux}
 		go s.http.Serve(hln)
 	}
@@ -222,6 +246,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// connState is one connection's reusable serving buffers: the request
+// struct (slice fields keep their capacity across parses), the
+// resolved-hit scratch the Collection appends into, and the response
+// encode buffer (the long-line accumulation scratch stays a handleConn
+// local, shared by both scratch modes). One goroutine owns each conn, so
+// nothing here is locked; a warm connection serves GET/NEARBY/WITHIN
+// round trips with no per-line buffer allocations at all.
+type connState struct {
+	req     Request
+	entries []collection.Entry[string]
+	out     []byte
+}
+
 // handleConn serves one client: read a line, dispatch, write the reply,
 // in order, until the client disconnects or the server drains.
 func (s *Server) handleConn(conn net.Conn) {
@@ -234,8 +271,13 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
+	var cs *connState
+	if !s.opts.DisableScratch {
+		cs = new(connState)
+	}
+	var lineScratch []byte
 	for {
-		line, tooLong, err := readLine(br, s.opts.MaxLineBytes)
+		line, tooLong, err := readLine(br, s.opts.MaxLineBytes, &lineScratch)
 		if err != nil {
 			// Client disconnect, mid-line EOF, or the Shutdown read
 			// deadline. A client that vanishes mid-batch leaves its
@@ -260,37 +302,78 @@ func (s *Server) handleConn(conn net.Conn) {
 		// protocol promises exactly one response per request line, so a
 		// blank line gets its bad_request rather than silence.
 		t0 := time.Now()
-		op, resp := s.dispatch(line)
-		s.met.record(op, time.Since(t0), resp.OK)
-		bw.Write(marshalLine(resp))
+		op, res := s.dispatch(line, cs)
+		s.met.record(op, time.Since(t0), res.ok)
+		if cs != nil {
+			cs.out = appendResult(cs.out[:0], &res, s.dims)
+			bw.Write(cs.out)
+			// One huge WITHIN must not pin its buffers for the
+			// connection's lifetime (mirrors the client-side lineBuf
+			// cap): steady-state responses stay far below these.
+			if cap(cs.out) > maxRetainedOut {
+				cs.out = nil
+			}
+			if cap(cs.entries) > maxRetainedEntries {
+				cs.entries = nil
+			}
+		} else {
+			bw.Write(marshalLine(res.response(s.dims)))
+		}
 		if bw.Flush() != nil {
 			return
 		}
 	}
 }
 
+// maxRetainedOut and maxRetainedEntries cap the per-connection scratch
+// kept between requests: buffers grown past these by one broad query are
+// dropped rather than pinned for the connection's lifetime.
+const (
+	maxRetainedOut     = 1 << 20
+	maxRetainedEntries = 1 << 14
+)
+
 // readLine reads one \n-terminated line of at most max bytes. Oversized
 // lines are discarded through their newline and reported as tooLong so
 // the protocol stays line-synchronized. The trailing \n (and optional
 // \r) are stripped.
-func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
-	var buf []byte
+//
+// The returned line aliases either the bufio buffer (common case: the
+// whole line fits) or *scratch, and is valid only until the next readLine
+// call with the same reader — the serving loop fully consumes each line
+// before reading the next, so no copy is ever needed.
+func readLine(br *bufio.Reader, max int, scratch *[]byte) (line []byte, tooLong bool, err error) {
+	frag, err := br.ReadSlice('\n')
+	if err == nil {
+		// Fast path: the whole line is in the reader's buffer.
+		if len(frag) > max+1 { // +1: the newline itself is free
+			return nil, true, nil
+		}
+		return bytes.TrimRight(frag, "\r\n"), false, nil
+	}
+	if err != bufio.ErrBufferFull {
+		return nil, false, err
+	}
+	buf := (*scratch)[:0]
 	for {
-		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if len(buf) > max {
+			*scratch = buf[:0]
+			return nil, true, discardLine(br)
+		}
+		frag, err = br.ReadSlice('\n')
 		if err == bufio.ErrBufferFull {
-			buf = append(buf, frag...)
-			if len(buf) > max {
-				return nil, true, discardLine(br)
-			}
 			continue
 		}
 		if err != nil {
+			*scratch = buf[:0]
 			return nil, false, err
 		}
-		if len(buf)+len(frag) > max+1 { // +1: the newline itself is free
+		buf = append(buf, frag...)
+		*scratch = buf[:0] // recycled next call; the caller is done with line by then
+		if len(buf) > max+1 {
 			return nil, true, nil
 		}
-		buf = append(buf, frag...)
 		return bytes.TrimRight(buf, "\r\n"), false, nil
 	}
 }
@@ -307,89 +390,111 @@ func discardLine(br *bufio.Reader) error {
 }
 
 // dispatch parses and executes one command line, returning the metrics
-// slot (-1 for protocol-level rejects) and the response.
-func (s *Server) dispatch(line []byte) (int, Response) {
-	var req Request
-	if err := json.Unmarshal(line, &req); err != nil {
-		return -1, errResp(CodeBadRequest, "parse: %v", err)
+// slot (-1 for protocol-level rejects) and the pre-wire result. With a
+// connState the parse reuses the connection's Request (slice fields keep
+// their capacity) and query hits land in the connection's entry scratch;
+// result.entries then aliases cs.entries and is valid until the next
+// dispatch on the same connection. A nil cs allocates fresh everywhere
+// (the DisableScratch path).
+func (s *Server) dispatch(line []byte, cs *connState) (int, result) {
+	var req *Request
+	if cs != nil {
+		cs.req.Op, cs.req.ID, cs.req.K = "", "", 0
+		cs.req.P = cs.req.P[:0]
+		cs.req.Lo = cs.req.Lo[:0]
+		cs.req.Hi = cs.req.Hi[:0]
+		req = &cs.req
+	} else {
+		req = new(Request)
+	}
+	if err := json.Unmarshal(line, req); err != nil {
+		return -1, errResultf(CodeBadRequest, "parse: %v", err)
 	}
 	op := strings.ToUpper(req.Op)
 	idx := opIndex(op)
 	if idx < 0 {
-		return -1, errResp(CodeBadRequest, "unknown op %q", req.Op)
+		return -1, errResultf(CodeBadRequest, "unknown op %q", req.Op)
 	}
 	switch op {
 	case OpSet:
 		if req.ID == "" {
-			return idx, errResp(CodeBadRequest, "SET: missing id")
+			return idx, errResult(CodeBadRequest, "SET: missing id")
 		}
 		p, err := point(req.P, s.dims)
 		if err != nil {
-			return idx, errResp(CodeBadRequest, "SET %q: %v", req.ID, err)
+			return idx, errResultf(CodeBadRequest, "SET %q: %v", req.ID, err)
 		}
 		s.coll.Set(req.ID, p)
-		return idx, Response{OK: true}
+		return idx, result{ok: true}
 	case OpDel:
 		if req.ID == "" {
-			return idx, errResp(CodeBadRequest, "DEL: missing id")
+			return idx, errResult(CodeBadRequest, "DEL: missing id")
 		}
 		s.coll.Remove(req.ID)
-		return idx, Response{OK: true}
+		return idx, result{ok: true}
 	case OpGet:
 		if req.ID == "" {
-			return idx, errResp(CodeBadRequest, "GET: missing id")
+			return idx, errResult(CodeBadRequest, "GET: missing id")
 		}
 		p, found := s.coll.Get(req.ID)
-		resp := Response{OK: true, Found: found}
+		res := result{ok: true, found: found}
 		if found {
-			resp.P = coords(p, s.dims)
+			res.p, res.hasP = p, true
 		}
-		return idx, resp
+		return idx, res
 	case OpNearby:
 		p, err := point(req.P, s.dims)
 		if err != nil {
-			return idx, errResp(CodeBadRequest, "NEARBY: %v", err)
+			return idx, errResultf(CodeBadRequest, "NEARBY: %v", err)
 		}
 		if req.K <= 0 {
-			return idx, errResp(CodeBadRequest, "NEARBY: k must be positive, got %d", req.K)
+			return idx, errResultf(CodeBadRequest, "NEARBY: k must be positive, got %d", req.K)
 		}
 		// k comes off the wire and the KNN machinery allocates O(k)
 		// up front; an uncapped value is a one-line remote OOM/panic.
 		if req.K > MaxNearbyK {
-			return idx, errResp(CodeBadRequest, "NEARBY: k %d exceeds the maximum %d", req.K, MaxNearbyK)
+			return idx, errResultf(CodeBadRequest, "NEARBY: k %d exceeds the maximum %d", req.K, MaxNearbyK)
 		}
-		return idx, Response{OK: true, Hits: s.hits(s.coll.NearbyIDs(p, req.K))}
+		entries := s.coll.NearbyIDsAppend(p, req.K, s.entryScratch(cs))
+		if cs != nil {
+			cs.entries = entries
+		}
+		return idx, result{ok: true, hasHits: true, entries: entries}
 	case OpWithin:
 		lo, err := point(req.Lo, s.dims)
 		if err != nil {
-			return idx, errResp(CodeBadRequest, "WITHIN lo: %v", err)
+			return idx, errResultf(CodeBadRequest, "WITHIN lo: %v", err)
 		}
 		hi, err := point(req.Hi, s.dims)
 		if err != nil {
-			return idx, errResp(CodeBadRequest, "WITHIN hi: %v", err)
+			return idx, errResultf(CodeBadRequest, "WITHIN hi: %v", err)
 		}
 		for d := 0; d < s.dims; d++ {
 			if lo[d] > hi[d] {
-				return idx, errResp(CodeBadRequest, "WITHIN: inverted box on dim %d (%d > %d)", d, lo[d], hi[d])
+				return idx, errResultf(CodeBadRequest, "WITHIN: inverted box on dim %d (%d > %d)", d, lo[d], hi[d])
 			}
 		}
-		return idx, Response{OK: true, Hits: s.hits(s.coll.WithinIDs(geom.BoxOf(lo, hi)))}
+		entries := s.coll.WithinIDsAppend(geom.BoxOf(lo, hi), s.entryScratch(cs))
+		if cs != nil {
+			cs.entries = entries
+		}
+		return idx, result{ok: true, hasHits: true, entries: entries}
 	case OpStats:
 		st := s.Stats()
-		return idx, Response{OK: true, Stats: &st}
+		return idx, result{ok: true, stats: &st}
 	case OpFlush:
-		return idx, Response{OK: true, Applied: s.coll.Flush()}
+		return idx, result{ok: true, applied: s.coll.Flush(), hasApplied: true}
 	}
-	return -1, errResp(CodeBadRequest, "unknown op %q", req.Op) // unreachable
+	return -1, errResultf(CodeBadRequest, "unknown op %q", req.Op) // unreachable
 }
 
-// hits converts resolved Collection entries to wire hits.
-func (s *Server) hits(entries []collection.Entry[string]) []Hit {
-	out := make([]Hit, len(entries))
-	for i, e := range entries {
-		out[i] = Hit{ID: e.ID, P: coords(e.Point, s.dims)}
+// entryScratch returns the connection's reusable hit buffer (nil for the
+// DisableScratch path, which lets the Collection allocate fresh).
+func (s *Server) entryScratch(cs *connState) []collection.Entry[string] {
+	if cs == nil {
+		return nil
 	}
-	return out
+	return cs.entries[:0]
 }
 
 // Stats snapshots the serving and collection counters (the STATS command
@@ -400,7 +505,7 @@ func (s *Server) Stats() StatsPayload {
 	s.mu.Lock()
 	conns := len(s.conns)
 	s.mu.Unlock()
-	return StatsPayload{
+	st := StatsPayload{
 		Objects:   int(cs.Inserted) - int(cs.Removed),
 		Pending:   cs.Pending,
 		Flushes:   cs.Flushes,
@@ -413,6 +518,56 @@ func (s *Server) Stats() StatsPayload {
 		BadLines:  s.met.badLines.Load(),
 		Ops:       s.met.snapshot(),
 	}
+	if s.opts.EnablePprof {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		st.GC = &GCStats{
+			HeapAllocBytes:  m.HeapAlloc,
+			TotalAllocBytes: m.TotalAlloc,
+			Mallocs:         m.Mallocs,
+			Frees:           m.Frees,
+			NumGC:           m.NumGC,
+			PauseTotalMs:    float64(m.PauseTotalNs) / 1e6,
+			GCCPUFraction:   m.GCCPUFraction,
+		}
+	}
+	return st
+}
+
+// LineConn is a virtual connection: it serves protocol lines in process,
+// through exactly the per-connection parse/dispatch/encode path (and
+// metrics recording) a socket connection uses, minus the TCP round trip.
+// It exists for embedders that want protocol semantics at function-call
+// speed and for the allocation benchmarks that measure the serving path
+// in isolation. A LineConn is owned by one goroutine, like a socket
+// connection; open one per serving goroutine.
+type LineConn struct {
+	s  *Server
+	cs *connState
+}
+
+// NewLineConn returns a virtual connection on the server. The server
+// does not need to be Started.
+func (s *Server) NewLineConn() *LineConn {
+	lc := &LineConn{s: s}
+	if !s.opts.DisableScratch {
+		lc.cs = new(connState)
+	}
+	return lc
+}
+
+// Serve executes one protocol line and returns the newline-terminated
+// response line. The returned slice is reused by the next Serve call on
+// this LineConn; callers that retain it must copy.
+func (lc *LineConn) Serve(line []byte) []byte {
+	t0 := time.Now()
+	op, res := lc.s.dispatch(line, lc.cs)
+	lc.s.met.record(op, time.Since(t0), res.ok)
+	if lc.cs != nil {
+		lc.cs.out = appendResult(lc.cs.out[:0], &res, lc.s.dims)
+		return lc.cs.out
+	}
+	return marshalLine(res.response(lc.s.dims))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

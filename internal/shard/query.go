@@ -1,11 +1,42 @@
 package shard
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/geom"
 	"repro/internal/parallel"
 )
+
+// queryScratch is one query's fan-out state, recycled through
+// Sharded.queryPool: the overlapping-shard id list, the KNN frontier, and
+// the per-shard RangeList result buffers (retained at their high-water
+// capacity, so steady-state queries allocate nothing beyond dst growth).
+type queryScratch struct {
+	ids      []int
+	frontier []knnEntry
+	buf      []geom.Point
+	bufs     [][]geom.Point
+}
+
+// knnEntry is one frontier element: a shard ordered by the squared
+// min-distance from the query point to its region.
+type knnEntry struct {
+	id    int
+	dist2 int64
+}
+
+func (s *Sharded) getQueryScratch() *queryScratch {
+	if s.opts.DisableScratch {
+		return new(queryScratch)
+	}
+	return s.queryPool.Get().(*queryScratch)
+}
+
+func (s *Sharded) putQueryScratch(sc *queryScratch) {
+	if !s.opts.DisableScratch {
+		s.queryPool.Put(sc)
+	}
+}
 
 // overlapping appends the ids of shards whose region intersects box.
 // Soundness of the pruning: points are assigned to shards by location, so
@@ -25,8 +56,9 @@ func (p *partition) overlapping(box geom.Box, dst []int) []int {
 func (s *Sharded) RangeCount(box geom.Box) int {
 	s.epoch.RLock()
 	defer s.epoch.RUnlock()
-	ids := s.part.overlapping(box, make([]int, 0, len(s.shards)))
-	return parallel.Reduce(len(ids), 1, 0,
+	sc := s.getQueryScratch()
+	ids := s.part.overlapping(box, sc.ids[:0])
+	n := parallel.Reduce(len(ids), 1, 0,
 		func(i int) int {
 			sh := &s.shards[ids[i]]
 			sh.mu.RLock()
@@ -34,15 +66,21 @@ func (s *Sharded) RangeCount(box geom.Box) int {
 			return sh.idx.RangeCount(box)
 		},
 		func(a, b int) int { return a + b })
+	sc.ids = ids[:0]
+	s.putQueryScratch(sc)
+	return n
 }
 
 // RangeList implements core.Index: overlapping shards report into
 // per-shard buffers in parallel (no contended append), which are then
-// concatenated into dst.
+// concatenated into dst. The buffers are recycled across queries.
 func (s *Sharded) RangeList(box geom.Box, dst []geom.Point) []geom.Point {
 	s.epoch.RLock()
 	defer s.epoch.RUnlock()
-	ids := s.part.overlapping(box, make([]int, 0, len(s.shards)))
+	sc := s.getQueryScratch()
+	defer s.putQueryScratch(sc)
+	ids := s.part.overlapping(box, sc.ids[:0])
+	sc.ids = ids[:0]
 	if len(ids) == 0 {
 		return dst
 	}
@@ -52,11 +90,14 @@ func (s *Sharded) RangeList(box geom.Box, dst []geom.Point) []geom.Point {
 		defer sh.mu.RUnlock()
 		return sh.idx.RangeList(box, dst)
 	}
-	bufs := make([][]geom.Point, len(ids))
+	for len(sc.bufs) < len(ids) {
+		sc.bufs = append(sc.bufs, nil)
+	}
+	bufs := sc.bufs[:len(ids)]
 	parallel.ForEach(len(ids), 1, func(i int) {
 		sh := &s.shards[ids[i]]
 		sh.mu.RLock()
-		bufs[i] = sh.idx.RangeList(box, nil)
+		bufs[i] = sh.idx.RangeList(box, bufs[i][:0])
 		sh.mu.RUnlock()
 	})
 	for _, b := range bufs {
@@ -79,25 +120,33 @@ func (s *Sharded) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
 	part := s.part
 	dims := part.dims
 
+	sc := s.getQueryScratch()
+	defer s.putQueryScratch(sc)
+
 	// Frontier: shard ids ordered by squared min-distance from q to the
 	// region. Regions left empty by a degenerate partition are skipped
 	// (they hold no points, and their sentinel corners would overflow the
 	// distance arithmetic).
-	type entry struct {
-		id    int
-		dist2 int64
-	}
-	frontier := make([]entry, 0, len(s.shards))
+	frontier := sc.frontier[:0]
 	for i, r := range part.regions {
 		if r.IsEmpty() {
 			continue
 		}
-		frontier = append(frontier, entry{id: i, dist2: r.Dist2(q, dims)})
+		frontier = append(frontier, knnEntry{id: i, dist2: r.Dist2(q, dims)})
 	}
-	sort.Slice(frontier, func(i, j int) bool { return frontier[i].dist2 < frontier[j].dist2 })
+	slices.SortFunc(frontier, func(a, b knnEntry) int {
+		switch {
+		case a.dist2 < b.dist2:
+			return -1
+		case a.dist2 > b.dist2:
+			return 1
+		}
+		return 0
+	})
+	sc.frontier = frontier
 
-	h := geom.NewKNNHeap(k)
-	var buf []geom.Point
+	h := geom.GetKNNHeap(k)
+	buf := sc.buf
 	for _, e := range frontier {
 		if h.Full() && e.dist2 > h.Bound() {
 			break
@@ -110,5 +159,8 @@ func (s *Sharded) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
 			h.Push(p, geom.Dist2(p, q, dims))
 		}
 	}
-	return h.Append(dst)
+	sc.buf = buf
+	dst = h.Append(dst)
+	geom.PutKNNHeap(h)
+	return dst
 }

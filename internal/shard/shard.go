@@ -51,6 +51,11 @@ type Options struct {
 	// after a rebalance, and space-partitioning children need the
 	// universe fixed for history independence).
 	New func(dims int, universe geom.Box) core.Index
+	// DisableScratch turns off the batch-partitioner and query scratch
+	// pools, so every BatchDiff and query allocates fresh buffers. It
+	// exists so -exp alloc can measure the before/after of scratch reuse;
+	// production configurations leave it false.
+	DisableScratch bool
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +105,12 @@ type Sharded struct {
 	epoch  sync.RWMutex
 	part   *partition
 	shards []shardSlot
+
+	// diffPool and queryPool recycle the batch-partitioning and query
+	// fan-out scratch across operations (concurrent callers each borrow
+	// their own), so steady-state flushes and queries reuse their buffers.
+	diffPool  sync.Pool
+	queryPool sync.Pool
 }
 
 // shardSlot is one region's index and its lock.
@@ -119,6 +130,8 @@ func New(opts Options) *Sharded {
 		part:   newPartition(opts.Dims, opts.Universe, opts.Shards, opts.Strategy, opts.CellsPerShard),
 		shards: make([]shardSlot, opts.Shards),
 	}
+	s.diffPool.New = func() any { return new(diffScratch) }
+	s.queryPool.New = func() any { return new(queryScratch) }
 	for i := range s.shards {
 		s.shards[i].idx = opts.New(opts.Dims, opts.Universe)
 	}
@@ -225,6 +238,25 @@ func (s *Sharded) BatchInsert(pts []geom.Point) { s.BatchDiff(pts, nil) }
 // BatchDelete implements core.Index.
 func (s *Sharded) BatchDelete(pts []geom.Point) { s.BatchDiff(nil, pts) }
 
+// diffScratch is one BatchDiff's partitioning state: the reordered point
+// buffers plus the sieve scratch for each side. Scratches are pooled per
+// Sharded so a steady stream of flush-sized diffs allocates nothing; the
+// per-shard sub-batches handed to the children are sub-slices of these
+// buffers, which is legal because core.Index implementations must not
+// retain batch slices after the call returns (see the Index contract).
+type diffScratch struct {
+	ins, del []geom.Point
+	insSieve parallel.SieveScratch
+	delSieve parallel.SieveScratch
+}
+
+func grown(buf []geom.Point, n int) []geom.Point {
+	if cap(buf) < n {
+		return make([]geom.Point, n)
+	}
+	return buf[:n]
+}
+
 // BatchDiff implements core.Index. A point's deletes and inserts land on
 // the same shard (assignment is by location), so applying every shard's
 // sub-diff independently preserves the BatchDiff contract exactly, and
@@ -236,16 +268,17 @@ func (s *Sharded) BatchDiff(ins, del []geom.Point) {
 	s.epoch.RLock()
 	defer s.epoch.RUnlock()
 	part := s.part
+	sc := s.getDiffScratch()
+	sc.ins = grown(sc.ins, len(ins))
+	sc.del = grown(sc.del, len(del))
 	var insOff, delOff []int
-	insScratch := make([]geom.Point, len(ins))
-	delScratch := make([]geom.Point, len(del))
-	parallel.Do(
-		func() { insOff = parallel.Sieve(ins, insScratch, part.shards, part.shardOf) },
-		func() { delOff = parallel.Sieve(del, delScratch, part.shards, part.shardOf) },
+	parallel.DoIf(len(ins) >= 512 && len(del) >= 512,
+		func() { insOff = parallel.SieveWith(&sc.insSieve, ins, sc.ins, part.shards, part.shardOf) },
+		func() { delOff = parallel.SieveWith(&sc.delSieve, del, sc.del, part.shards, part.shardOf) },
 	)
 	parallel.ForEach(part.shards, 1, func(i int) {
-		subIns := insScratch[insOff[i]:insOff[i+1]]
-		subDel := delScratch[delOff[i]:delOff[i+1]]
+		subIns := sc.ins[insOff[i]:insOff[i+1]]
+		subDel := sc.del[delOff[i]:delOff[i+1]]
 		if len(subIns) == 0 && len(subDel) == 0 {
 			return
 		}
@@ -254,4 +287,20 @@ func (s *Sharded) BatchDiff(ins, del []geom.Point) {
 		sh.idx.BatchDiff(subIns, subDel)
 		sh.mu.Unlock()
 	})
+	s.putDiffScratch(sc)
+}
+
+// getDiffScratch hands out a pooled scratch (BatchDiff may run from many
+// goroutines at once, so the scratch cannot live unguarded on the struct).
+func (s *Sharded) getDiffScratch() *diffScratch {
+	if s.opts.DisableScratch {
+		return new(diffScratch)
+	}
+	return s.diffPool.Get().(*diffScratch)
+}
+
+func (s *Sharded) putDiffScratch(sc *diffScratch) {
+	if !s.opts.DisableScratch {
+		s.diffPool.Put(sc)
+	}
 }

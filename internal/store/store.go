@@ -60,6 +60,11 @@ type Options struct {
 	// flushes pending mutations every interval, bounding the staleness of
 	// the queried view under light write traffic. Stop it with Close.
 	FlushInterval time.Duration
+	// DisableScratch turns off the flush-path buffer recycling, so every
+	// flush allocates a fresh op log and netting buffers (the pre-reuse
+	// behavior). It exists so -exp alloc can measure the before/after of
+	// scratch reuse; production configurations leave it false.
+	DisableScratch bool
 }
 
 func (o Options) withDefaults() Options {
@@ -101,6 +106,12 @@ type Store struct {
 	// batch application takes the write lock.
 	flushMu sync.Mutex
 	rw      sync.RWMutex
+
+	// scratch is the flush-path buffer set, guarded by flushMu. The op
+	// log double-buffers through spare: each flush swaps the live log out
+	// and hands the previous window's (emptied) buffer back to the
+	// enqueuers, so a warm Store flushes with zero allocations.
+	scratch flushScratch
 
 	flushes   atomic.Uint64
 	inserted  atomic.Uint64
@@ -221,17 +232,29 @@ func (s *Store) enqueueBatch(ins, del []geom.Point) {
 func (s *Store) Flush() int {
 	s.flushMu.Lock()
 	defer s.flushMu.Unlock()
+	sc := &s.scratch
+	if s.opts.DisableScratch {
+		sc = new(flushScratch)
+	}
 	s.pend.Lock()
-	ops := s.pend.ops
-	s.pend.ops = nil
-	s.pend.Unlock()
-	if len(ops) == 0 {
+	if len(s.pend.ops) == 0 {
+		s.pend.Unlock()
 		return 0
 	}
-	ins, del, cancelled := netWindow(ops)
+	ops := s.pend.ops
+	// Hand the previous window's emptied buffer to the enqueuers: the op
+	// log double-buffers instead of re-growing from nil every window.
+	s.pend.ops = sc.spare
+	sc.spare = nil
+	s.pend.Unlock()
+	ins, del, cancelled := sc.net(ops)
 	s.rw.Lock()
 	s.idx.BatchDiff(ins, del)
 	s.rw.Unlock()
+	// ins/del alias sc buffers; the index must not have retained them
+	// (the core.Index batch contract), so they are reusable next flush —
+	// as is the swapped-out op log.
+	sc.spare = ops[:0]
 	s.flushes.Add(1)
 	s.cancelled.Add(uint64(cancelled))
 	s.inserted.Add(uint64(len(ins)))
@@ -239,7 +262,16 @@ func (s *Store) Flush() int {
 	return len(ins) + len(del)
 }
 
-// netWindow reduces one flush window's ordered op log to the (ins, del)
+// flushScratch is the per-Store flush buffer set (guarded by flushMu):
+// the recycled op log plus the netting buffers. Everything grows to the
+// window high-water mark and is then reused verbatim.
+type flushScratch struct {
+	spare       []pendOp
+	ins, del    []geom.Point
+	avail, skip map[geom.Point]int
+}
+
+// net reduces one flush window's ordered op log to the (ins, del)
 // batches whose BatchDiff application has the same net effect as running
 // the log sequentially. Each delete cancels one preceding unmatched
 // pending insert of its point when one exists; otherwise it is a real
@@ -248,7 +280,11 @@ func (s *Store) Flush() int {
 // sequential execution exactly. A delete enqueued before any insert of
 // its point therefore never consumes that later insert. The common
 // single-kind windows skip the matching pass entirely.
-func netWindow(ops []pendOp) (ins, del []geom.Point, cancelled int) {
+//
+// The returned slices alias the scratch: they are valid until the next
+// net call, and callers hand them to BatchDiff, which must not retain
+// them (the core.Index batch contract).
+func (sc *flushScratch) net(ops []pendOp) (ins, del []geom.Point, cancelled int) {
 	nDel := 0
 	for _, op := range ops {
 		if op.del {
@@ -256,10 +292,11 @@ func netWindow(ops []pendOp) (ins, del []geom.Point, cancelled int) {
 		}
 	}
 	if nDel == 0 || nDel == len(ops) {
-		out := make([]geom.Point, len(ops))
-		for i, op := range ops {
-			out[i] = op.p
+		out := sc.ins[:0]
+		for _, op := range ops {
+			out = append(out, op.p)
 		}
+		sc.ins = out
 		if nDel == 0 {
 			return out, nil, 0
 		}
@@ -267,9 +304,14 @@ func netWindow(ops []pendOp) (ins, del []geom.Point, cancelled int) {
 	}
 	// Pass 1, in order: count unmatched preceding inserts per point; a
 	// delete with one available consumes it, the rest are real deletes.
-	avail := make(map[geom.Point]int)
-	skip := make(map[geom.Point]int) // insert occurrences to drop per point
-	del = make([]geom.Point, 0, nDel)
+	if sc.avail == nil {
+		sc.avail = make(map[geom.Point]int)
+		sc.skip = make(map[geom.Point]int)
+	}
+	avail, skip := sc.avail, sc.skip // skip: insert occurrences to drop per point
+	clear(avail)
+	clear(skip)
+	del = sc.del[:0]
 	for _, op := range ops {
 		switch {
 		case !op.del:
@@ -285,7 +327,7 @@ func netWindow(ops []pendOp) (ins, del []geom.Point, cancelled int) {
 	// Pass 2: collect the surviving inserts. Which occurrence of a point
 	// is dropped is irrelevant under multiset semantics, so skip the
 	// earliest ones.
-	ins = make([]geom.Point, 0, len(ops)-nDel-cancelled)
+	ins = sc.ins[:0]
 	for _, op := range ops {
 		if op.del {
 			continue
@@ -296,6 +338,7 @@ func netWindow(ops []pendOp) (ins, del []geom.Point, cancelled int) {
 		}
 		ins = append(ins, op.p)
 	}
+	sc.ins, sc.del = ins, del
 	return ins, del, cancelled
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/parallel"
 	"repro/internal/sfc"
 	"repro/internal/spactree"
 	"repro/internal/workload"
@@ -370,5 +371,53 @@ func TestStoreImplementsIndex(t *testing.T) {
 	i.BatchDiff([]geom.Point{geom.Pt2(5, 5)}, nil)
 	if i.Size() != 1 {
 		t.Fatalf("Size = %d", i.Size())
+	}
+}
+
+// TestFlushZeroAllocWarm is the allocation-regression guard for the
+// tentpole scratch-reuse work: a warm Store flushes with zero
+// steady-state allocations of its own — the op log double-buffers, the
+// netting buffers and maps are recycled. The inner index is a null stub
+// so only the Store layer is measured (real trees allocate during their
+// own batch updates, which is out of scope here).
+func TestFlushZeroAllocWarm(t *testing.T) {
+	pts := uniquePoints(512, 7)
+	t.Run("single-kind windows", func(t *testing.T) {
+		s := New(core.NewNull(2), Options{MaxBatch: 1 << 20})
+		window := func() {
+			s.BatchInsert(pts)
+			s.Flush()
+			s.BatchDelete(pts)
+			s.Flush()
+		}
+		window() // warm up: buffers grow to the high-water mark
+		if allocs := testing.AllocsPerRun(50, window); allocs != 0 {
+			t.Fatalf("warm single-kind flush allocates %.2f/op, want 0", allocs)
+		}
+	})
+	t.Run("netted mixed window", func(t *testing.T) {
+		s := New(core.NewNull(2), Options{MaxBatch: 1 << 20})
+		window := func() {
+			for _, p := range pts {
+				s.Insert(p)
+				s.Delete(p)
+			}
+			s.Flush()
+		}
+		window()
+		if allocs := testing.AllocsPerRun(50, window); allocs != 0 {
+			t.Fatalf("warm netted flush allocates %.2f/op, want 0", allocs)
+		}
+	})
+}
+
+// TestDefaultMaxBatchMatchesGrain pins the documented linkage: the
+// DefaultMaxBatch doc promises it matches parallel.DefaultGrain (the
+// size below which the indexes' batch operations stop forking), so a
+// change to either constant must revisit the other.
+func TestDefaultMaxBatchMatchesGrain(t *testing.T) {
+	if DefaultMaxBatch != parallel.DefaultGrain {
+		t.Fatalf("DefaultMaxBatch (%d) no longer matches parallel.DefaultGrain (%d); update the constant or its comment",
+			DefaultMaxBatch, parallel.DefaultGrain)
 	}
 }

@@ -12,9 +12,11 @@ func (t *Tree) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
 	if t.root == nil || k <= 0 {
 		return dst
 	}
-	h := geom.NewKNNHeap(k)
+	h := geom.GetKNNHeap(k)
 	t.knn(t.root, q, h)
-	return h.Append(dst)
+	dst = h.Append(dst)
+	geom.PutKNNHeap(h)
+	return dst
 }
 
 func (t *Tree) knn(nd *node, q geom.Point, h *geom.KNNHeap) {
