@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig3", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|concurrent|shard|fleet|service|alloc|all")
+	exp := flag.String("exp", "fig3", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|concurrent|shard|fleet|service|alloc|churn|all")
 	n := flag.Int("n", 1_000_000, "dataset size (paper: 1e9)")
 	knnq := flag.Int("knnq", 0, "number of kNN queries (default n/100)")
 	rangeq := flag.Int("rangeq", 200, "number of range queries")
@@ -76,12 +76,13 @@ func main() {
 		"fleet":      bench.Fleet,
 		"service":    bench.Service,
 		"alloc":      bench.Alloc,
+		"churn":      bench.Churn,
 	}
 	if *jsonPath != "" {
 		bench.StartJSON(*exp, cfg)
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "concurrent", "shard", "fleet", "service", "alloc"} {
+		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "concurrent", "shard", "fleet", "service", "alloc", "churn"} {
 			run[name](cfg)
 		}
 	} else if f, ok := run[*exp]; ok {

@@ -55,6 +55,7 @@ func main() {
 	flushEvery := flag.Duration("flush-interval", service.DefaultFlushInterval, "background flush cadence bounding query staleness")
 	maxLine := flag.Int("maxline", service.DefaultMaxLineBytes, "reject request lines longer than this many bytes")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -http listener and add GC counters to /stats")
+	lockedReads := flag.Bool("locked-reads", false, "disable epoch-pinned snapshot reads: queries take the read lock and can wait behind a flush (A/B baseline)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
@@ -82,16 +83,21 @@ func main() {
 		os.Exit(2)
 	}
 	s := service.New(idx, service.Options{
-		MaxBatch:      *maxBatch,
-		FlushInterval: *flushEvery,
-		MaxLineBytes:  *maxLine,
-		EnablePprof:   *pprofOn,
+		MaxBatch:        *maxBatch,
+		FlushInterval:   *flushEvery,
+		MaxLineBytes:    *maxLine,
+		EnablePprof:     *pprofOn,
+		DisableSnapshot: *lockedReads,
 	})
 	if err := s.Start(*addr, *httpAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "psid: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("psid: serving %s on %s", stack, s.Addr())
+	reads := "snapshot"
+	if *lockedReads {
+		reads = "locked"
+	}
+	fmt.Printf("psid: serving %s (%s reads) on %s", stack, reads, s.Addr())
 	if h := s.HTTPAddr(); h != nil {
 		fmt.Printf(" (http %s)", h)
 	}

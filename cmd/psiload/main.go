@@ -42,7 +42,28 @@ func main() {
 	k := flag.Int("k", 10, "NEARBY k")
 	seed := flag.Int64("seed", 42, "workload seed")
 	csvPath := flag.String("csv", "", "also write the per-op report to this CSV file")
+	mix := flag.String("mix", "", "workload preset: 'churn' = flush-heavy mover mix (90% SET, long hops) that keeps the server's index under continuous batch churn — the workload psibench -exp churn measures in-process; explicitly set flags override preset values")
 	flag.Parse()
+
+	if *mix != "" {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		switch *mix {
+		case "churn":
+			if !set["set"] {
+				*setFrac = 0.9
+			}
+			if !set["nearby"] {
+				*nearbyFrac = 0.05
+			}
+			if !set["hop"] {
+				*hop = 0.25
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "psiload: unknown -mix %q (supported: churn)\n", *mix)
+			os.Exit(2)
+		}
+	}
 
 	rep, err := service.RunLoad(service.LoadOptions{
 		Addr:       *addr,

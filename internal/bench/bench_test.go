@@ -129,6 +129,22 @@ func TestConcurrentSmoke(t *testing.T) {
 	}
 }
 
+func TestChurnSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.N = 2000
+	Churn(cfg)
+	out := buf.String()
+	for _, want := range []string{
+		"reader latency under flush churn", "reader tail latency vs flush path",
+		"locked", "snapshot", "rd-p50-us", "rd-p99-us", "mut-kops/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Churn output missing %q\n%s", want, out)
+		}
+	}
+}
+
 func TestServiceSmoke(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tinyConfig(&buf)

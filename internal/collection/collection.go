@@ -19,13 +19,17 @@
 //
 // Consistency: the geometric index, the forward table (ID → point), and
 // the reverse multimap (point → IDs) all advance together at the flush
-// boundary, under one writer lock. Queries (NearbyIDs, WithinIDs) take
-// the shared read lock, run the geometric query, and resolve every hit
-// through the reverse multimap — they can never observe an index point
-// without its owner or vice versa. Get is the exception: it reads the
-// caller's own pending tail (read-your-writes), so Get(id) after Set(id,
-// p) returns p even before the flush makes p visible to geometric
-// queries.
+// boundary, as one versioned triple. Queries (NearbyIDs, WithinIDs) run
+// the geometric query and resolve every hit through the reverse multimap
+// of the same triple — they can never observe an index point without its
+// owner or vice versa. In the default locked mode the triple sits behind
+// a read/write lock; with Options.Snapshot set the Collection keeps two
+// triples and publishes them through an epoch manager (internal/epoch),
+// so queries pin the published epoch and never wait on a flush
+// (ARCHITECTURE.md "Epochs & snapshot reads"). Get is the exception
+// either way: it reads the caller's own pending tail (read-your-writes),
+// so Get(id) after Set(id, p) returns p even before the flush makes p
+// visible to geometric queries.
 //
 // Composition: the inner index may be a raw tree (Collection adds the
 // concurrency safety), a shard.Sharded (each flush fans out across
@@ -42,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/geom"
 )
 
@@ -68,6 +73,19 @@ type Options struct {
 	// before/after of scratch reuse; production configurations leave it
 	// false.
 	DisableScratch bool
+	// Snapshot, when set, switches the Collection to epoch-pinned
+	// snapshot reads: it must return a fresh, EMPTY index configured
+	// identically to the wrapped one (core.Replicator semantics — most
+	// callers pass the same constructor they built idx with, and the
+	// service layer derives this automatically from core.Replicator).
+	// The Collection then versions the whole committed triple — index,
+	// forward table, reverse multimap — keeping two copies, applying
+	// every committed window to both (the off-line one first), and
+	// publishing through an atomic epoch pointer; NearbyIDs/WithinIDs/Get
+	// pin the published version instead of taking the read lock, so a
+	// reader never waits on a flush. The wrapped index must be empty at
+	// New. Leave nil for the classic single-copy RWMutex mode.
+	Snapshot func() core.Index
 }
 
 func (o Options) withDefaults() Options {
@@ -77,7 +95,10 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats is a snapshot of a Collection's lifetime counters.
+// Stats is a snapshot of a Collection's lifetime counters. It is
+// assembled from atomics, the pending lock, and (in snapshot mode) a
+// pinned epoch — never the writer lock — so sampling it during a large
+// flush does not block.
 type Stats struct {
 	Flushes   uint64 // batches applied to the index
 	Inserted  uint64 // objects that entered the index (first Set)
@@ -85,6 +106,10 @@ type Stats struct {
 	Removed   uint64 // objects deleted from the index
 	Cancelled uint64 // enqueued ops superseded in-window by a later op on the same ID
 	Pending   int    // ops enqueued but not yet flushed
+	Objects   int    // live objects in the committed (published) state
+	Epoch     uint64 // published snapshot epoch (0 in locked mode)
+	Versions  int    // live state versions: 2 in snapshot mode, 1 locked
+	RetireLag uint64 // published epochs whose displaced version has not drained
 }
 
 // Entry is one resolved query hit: a live object and its indexed
@@ -114,13 +139,29 @@ type Collection[ID comparable] struct {
 	}
 
 	// flushMu serializes flushes, so the committed state always reflects
-	// a prefix of the enqueue history. rw guards the committed triple
-	// (inner index, fwd, rev): queries share read locks, a flush commits
-	// under the write lock.
+	// a prefix of the enqueue history. In locked mode rw guards the
+	// committed triple live (inner index, fwd, rev): queries share read
+	// locks, a flush commits under the write lock. In snapshot mode live
+	// is nil and the triple is versioned through snap instead.
 	flushMu sync.Mutex
 	rw      sync.RWMutex
-	fwd     map[ID]geom.Point
-	rev     map[geom.Point][]ID
+	live    *collState[ID]
+
+	// snap is the snapshot-read state, active when Options.Snapshot is
+	// set: the epoch manager publishing the current triple, the standby
+	// twin the next flush writes, and the previously committed window
+	// (guarded by flushMu) — its netted ops plus the planned index diff —
+	// replayed on the standby as catch-up before the new window applies,
+	// so both twins see the same history one window apart. The two
+	// Version structs and the saved buffers live for the Collection's
+	// lifetime, preserving the zero-alloc flush.
+	snap struct {
+		enabled            bool
+		mgr                epoch.Manager[*collState[ID]]
+		standby            *epoch.Version[*collState[ID]]
+		savedOps           []op[ID]
+		savedIns, savedDel []geom.Point
+	}
 
 	// scratch is the flush-path buffer set (guarded by flushMu): the
 	// recycled op tape, the last-write-wins netting map, and the diff
@@ -160,6 +201,23 @@ type tailOp struct {
 	seq uint64
 }
 
+// collState is one committed triple: the geometric index, the forward
+// table, and the reverse multimap, always advanced together. Locked mode
+// has a single instance; snapshot mode ping-pongs between two.
+type collState[ID comparable] struct {
+	idx core.Index
+	fwd map[ID]geom.Point
+	rev map[geom.Point][]ID
+}
+
+func newCollState[ID comparable](idx core.Index) *collState[ID] {
+	return &collState[ID]{
+		idx: idx,
+		fwd: make(map[ID]geom.Point),
+		rev: make(map[geom.Point][]ID),
+	}
+}
+
 // collScratch is the recycled flush state. Everything grows to the window
 // high-water mark and is then reused.
 type collScratch[ID comparable] struct {
@@ -189,12 +247,24 @@ func New[ID comparable](idx core.Index, opts Options) *Collection[ID] {
 		opts: opts.withDefaults(),
 		idx:  idx,
 		dims: idx.Dims(),
-		fwd:  make(map[ID]geom.Point),
-		rev:  make(map[geom.Point][]ID),
 		stop: make(chan struct{}),
 	}
 	c.pend.overlay = make(map[ID]tailOp)
 	c.queryPool.New = func() any { return new(queryScratch) }
+	if c.opts.Snapshot != nil {
+		if idx.Size() != 0 {
+			panic("collection: Options.Snapshot requires an initially empty index")
+		}
+		mirror := c.opts.Snapshot()
+		if mirror == nil || mirror.Size() != 0 {
+			panic("collection: Options.Snapshot must return a fresh, empty index")
+		}
+		c.snap.enabled = true
+		c.snap.mgr.Init(epoch.NewVersion(newCollState[ID](idx)))
+		c.snap.standby = epoch.NewVersion(newCollState[ID](mirror))
+	} else {
+		c.live = newCollState[ID](idx)
+	}
 	if c.opts.FlushInterval > 0 {
 		c.wg.Add(1)
 		go c.flushLoop()
@@ -227,6 +297,18 @@ func (c *Collection[ID]) Close() {
 		c.wg.Wait()
 	})
 	c.Flush()
+	if c.snap.enabled {
+		// Both twins may wrap closable layers; flushMu keeps the
+		// current/standby pair stable while they are closed.
+		c.flushMu.Lock()
+		defer c.flushMu.Unlock()
+		for _, st := range []*collState[ID]{c.snap.mgr.Current().Data, c.snap.standby.Data} {
+			if cl, ok := st.idx.(interface{ Close() }); ok {
+				cl.Close()
+			}
+		}
+		return
+	}
 	if cl, ok := c.idx.(interface{ Close() }); ok {
 		cl.Close()
 	}
@@ -262,9 +344,9 @@ func (c *Collection[ID]) enqueue(id ID, p geom.Point, del bool) {
 // Get returns id's position. It observes the caller's latest enqueued op
 // for id even before a flush (read-your-writes): the pending overlay is
 // consulted first, the committed table second. The overlay is purged
-// only after its window commits (under the writer lock), so a Get that
-// misses the overlay is guaranteed to see a committed state at least as
-// new as every purged op.
+// only after its window commits (under the writer lock in locked mode,
+// after publish in snapshot mode), so a Get that misses the overlay is
+// guaranteed to see a committed state at least as new as every purged op.
 func (c *Collection[ID]) Get(id ID) (geom.Point, bool) {
 	c.pend.Lock()
 	tail, ok := c.pend.overlay[id]
@@ -275,8 +357,14 @@ func (c *Collection[ID]) Get(id ID) (geom.Point, bool) {
 		}
 		return tail.p, true
 	}
+	if c.snap.enabled {
+		v := c.snap.mgr.Pin()
+		p, live := v.Data.fwd[id]
+		c.snap.mgr.Unpin(v)
+		return p, live
+	}
 	c.rw.RLock()
-	p, live := c.fwd[id]
+	p, live := c.live.fwd[id]
 	c.rw.RUnlock()
 	return p, live
 }
@@ -285,10 +373,21 @@ func (c *Collection[ID]) Get(id ID) (geom.Point, bool) {
 // answer reflects every enqueue that happened before the call.
 func (c *Collection[ID]) Len() int {
 	c.Flush()
+	if c.snap.enabled {
+		v := c.snap.mgr.Pin()
+		defer c.snap.mgr.Unpin(v)
+		return len(v.Data.fwd)
+	}
 	c.rw.RLock()
 	defer c.rw.RUnlock()
-	return len(c.fwd)
+	return len(c.live.fwd)
 }
+
+// Epoch returns the snapshot epoch of the currently published version —
+// it advances by exactly one per committed window — or 0 in locked mode.
+// The fuzz harness uses it to correlate concurrent pinned reads with the
+// flush history.
+func (c *Collection[ID]) Epoch() uint64 { return c.snap.mgr.Epoch() }
 
 // Flush nets every pending op by last-write-wins per ID, applies the
 // resulting diff to the index as one BatchDiff, and advances the
@@ -329,13 +428,39 @@ func (c *Collection[ID]) Flush() int {
 	}
 	c.cancelled.Add(uint64(len(ops) - len(final)))
 
-	// Plan the diff against the committed forward table. Reading fwd
-	// without rw is safe here: only flushes write it and flushMu is held.
-	ins := sc.ins[:0]
-	del := sc.del[:0]
+	var applied int
 	var nIns, nMove, nDel uint64
+	if c.snap.enabled {
+		applied, nIns, nMove, nDel = c.commitSnapshot(sc, final)
+	} else {
+		applied, nIns, nMove, nDel = c.commitLocked(sc, final)
+	}
+
+	// The netted tape and the ins/del buffers are dead: the index must
+	// not have retained the batch slices (the core.Index contract), so
+	// everything is reusable next window. Clear the tape and the netting
+	// map before retiring them so recycled capacity never pins the
+	// window's ID values (strings, typically) while the collection idles.
+	clear(ops)
+	clear(final)
+	sc.spare = ops[:0]
+
+	c.flushes.Add(1)
+	c.inserted.Add(nIns)
+	c.moved.Add(nMove)
+	c.removed.Add(nDel)
+	return applied
+}
+
+// planDiff turns one netted window into the (ins, del) index batches by
+// comparing against st's forward table (callers hold flushMu; only
+// flushes write fwd, so no reader lock is needed). The returned slices
+// alias the scratch.
+func (c *Collection[ID]) planDiff(sc *collScratch[ID], st *collState[ID], final map[ID]op[ID]) (ins, del []geom.Point, nIns, nMove, nDel uint64) {
+	ins = sc.ins[:0]
+	del = sc.del[:0]
 	for id, o := range final {
-		old, live := c.fwd[id]
+		old, live := st.fwd[id]
 		switch {
 		case o.del && live:
 			del = append(del, old)
@@ -353,37 +478,47 @@ func (c *Collection[ID]) Flush() int {
 			nIns++
 		}
 	}
+	return ins, del, nIns, nMove, nDel
+}
 
-	c.rw.Lock()
-	c.idx.BatchDiff(ins, del)
-	// An inner Store (or any other deferring layer) buffers BatchDiff;
-	// flush it inside our commit so the index and the tables below never
-	// disagree at a read-lock boundary.
-	if f, ok := c.idx.(interface{ Flush() int }); ok {
+// applyDiff applies one planned window to st: the index batch (flushing
+// any inner deferring layer inside the commit so the triple never
+// disagrees at a read boundary) and then every netted op through the
+// forward/reverse tables.
+func (c *Collection[ID]) applyDiff(st *collState[ID], ins, del []geom.Point, final map[ID]op[ID]) {
+	st.idx.BatchDiff(ins, del)
+	if f, ok := st.idx.(interface{ Flush() int }); ok {
 		f.Flush()
 	}
-	for id, o := range final {
-		old, live := c.fwd[id]
-		if o.del {
-			if live {
-				delete(c.fwd, id)
-				c.revRemove(old, id)
-			}
-			continue
-		}
-		if live {
-			if old == o.p {
-				continue
-			}
-			c.revRemove(old, id)
-		}
-		c.fwd[id] = o.p
-		c.revAdd(o.p, id)
+	for _, o := range final {
+		c.applyOp(st, o)
 	}
-	// Purge committed overlay entries while still holding the writer
-	// lock: after a Get misses the overlay, the committed state it then
-	// reads must already include every purged op. Ops enqueued after the
-	// tape swap carry higher sequence numbers and survive.
+}
+
+// applyOp advances st's forward/reverse tables by one netted op.
+func (c *Collection[ID]) applyOp(st *collState[ID], o op[ID]) {
+	old, live := st.fwd[o.id]
+	if o.del {
+		if live {
+			delete(st.fwd, o.id)
+			c.revRemove(st, old, o.id)
+		}
+		return
+	}
+	if live {
+		if old == o.p {
+			return
+		}
+		c.revRemove(st, old, o.id)
+	}
+	st.fwd[o.id] = o.p
+	c.revAdd(st, o.p, o.id)
+}
+
+// purgeOverlay drops overlay entries the committed window supersedes.
+// Ops enqueued after the tape swap carry higher sequence numbers and
+// survive.
+func (c *Collection[ID]) purgeOverlay(final map[ID]op[ID]) {
 	c.pend.Lock()
 	for id, o := range final {
 		if tail, ok := c.pend.overlay[id]; ok && tail.seq <= o.seq {
@@ -391,30 +526,75 @@ func (c *Collection[ID]) Flush() int {
 		}
 	}
 	c.pend.Unlock()
-	c.rw.Unlock()
-
-	// The netted tape and the ins/del buffers are dead: the index must
-	// not have retained the batch slices (the core.Index contract), so
-	// everything is reusable next window. Clear the tape and the netting
-	// map before retiring them so recycled capacity never pins the
-	// window's ID values (strings, typically) while the collection idles.
-	clear(ops)
-	clear(final)
-	sc.spare = ops[:0]
-	sc.ins, sc.del = ins[:0], del[:0]
-
-	c.flushes.Add(1)
-	c.inserted.Add(nIns)
-	c.moved.Add(nMove)
-	c.removed.Add(nDel)
-	return len(ins) + len(del)
 }
 
-// revRemove drops one occurrence of id from rev[p] (callers hold rw).
-// Emptied ID slices go to the freelist so the next revAdd of a fresh
-// point reuses them instead of allocating.
-func (c *Collection[ID]) revRemove(p geom.Point, id ID) {
-	ids := c.rev[p]
+// commitLocked applies one netted window in locked mode: plan against
+// the single committed triple, commit under the writer lock, and purge
+// the overlay before releasing it — after a Get misses the overlay, the
+// committed state it then reads must already include every purged op.
+func (c *Collection[ID]) commitLocked(sc *collScratch[ID], final map[ID]op[ID]) (applied int, nIns, nMove, nDel uint64) {
+	st := c.live
+	ins, del, nIns, nMove, nDel := c.planDiff(sc, st, final)
+	c.rw.Lock()
+	c.applyDiff(st, ins, del, final)
+	c.purgeOverlay(final)
+	c.rw.Unlock()
+	sc.ins, sc.del = ins[:0], del[:0]
+	return len(ins) + len(del), nIns, nMove, nDel
+}
+
+// commitSnapshot applies one netted window in snapshot mode (callers
+// hold flushMu). The standby triple is first caught up with the
+// previously committed window — the saved index diff plus the saved
+// netted ops, replayed in the same order the published twin saw them —
+// then the new window is planned against the standby's (now current)
+// forward table, applied, recorded as the next saved window, and
+// published. Queries running concurrently pin whichever version is
+// current and never block; the overlay purge happens after publish, so a
+// Get that misses the overlay pins a version that already includes every
+// purged op. The flush returns only after the displaced version drains,
+// at which point it becomes the next standby.
+func (c *Collection[ID]) commitSnapshot(sc *collScratch[ID], final map[ID]op[ID]) (applied int, nIns, nMove, nDel uint64) {
+	st := c.snap.standby.Data
+	st.idx.BatchDiff(c.snap.savedIns, c.snap.savedDel)
+	if f, ok := st.idx.(interface{ Flush() int }); ok {
+		f.Flush()
+	}
+	for _, o := range c.snap.savedOps {
+		c.applyOp(st, o)
+	}
+	clear(c.snap.savedOps) // do not pin the replayed window's ID values
+
+	ins, del, nIns, nMove, nDel := c.planDiff(sc, st, final)
+	c.applyDiff(st, ins, del, final)
+
+	// Save the window for the next catch-up: ins/del alias the netting
+	// scratch and final is cleared by the caller, so both are copied
+	// into buffers that persist across flushes.
+	saved := c.snap.savedOps[:0]
+	for _, o := range final {
+		saved = append(saved, o)
+	}
+	c.snap.savedOps = saved
+	c.snap.savedIns = append(c.snap.savedIns[:0], ins...)
+	c.snap.savedDel = append(c.snap.savedDel[:0], del...)
+	sc.ins, sc.del = ins[:0], del[:0]
+
+	prev := c.snap.mgr.Publish(c.snap.standby)
+	c.purgeOverlay(final)
+	c.snap.mgr.WaitDrained(prev)
+	c.snap.standby = prev
+	return len(ins) + len(del), nIns, nMove, nDel
+}
+
+// revRemove drops one occurrence of id from st's rev[p] (callers hold
+// the flush mutex, plus rw's write side in locked mode). Emptied ID
+// slices go to the freelist so the next revAdd of a fresh point reuses
+// them instead of allocating. The freelist is shared across both
+// snapshot twins — a slice lives in at most one rev map at a time, so
+// recycling between them is safe.
+func (c *Collection[ID]) revRemove(st *collState[ID], p geom.Point, id ID) {
+	ids := st.rev[p]
 	for i, got := range ids {
 		if got == id {
 			ids[i] = ids[len(ids)-1]
@@ -423,25 +603,25 @@ func (c *Collection[ID]) revRemove(p geom.Point, id ID) {
 		}
 	}
 	if len(ids) == 0 {
-		delete(c.rev, p)
+		delete(st.rev, p)
 		if cap(ids) > 0 && len(c.revFree) < maxRevFree && !c.opts.DisableScratch {
 			clear(ids[:cap(ids)]) // drop stale ID values so nothing is pinned
 			c.revFree = append(c.revFree, ids)
 		}
 	} else {
-		c.rev[p] = ids
+		st.rev[p] = ids
 	}
 }
 
-// revAdd appends id to rev[p] (callers hold rw), drawing the backing
-// slice from the freelist when the point is new to the map.
-func (c *Collection[ID]) revAdd(p geom.Point, id ID) {
-	ids, ok := c.rev[p]
+// revAdd appends id to st's rev[p] (same locking as revRemove), drawing
+// the backing slice from the freelist when the point is new to the map.
+func (c *Collection[ID]) revAdd(st *collState[ID], p geom.Point, id ID) {
+	ids, ok := st.rev[p]
 	if !ok && len(c.revFree) > 0 {
 		ids = c.revFree[len(c.revFree)-1]
 		c.revFree = c.revFree[:len(c.revFree)-1]
 	}
-	c.rev[p] = append(ids, id)
+	st.rev[p] = append(ids, id)
 }
 
 // NearbyIDs returns the k objects nearest q (nearest first), resolved to
@@ -459,10 +639,21 @@ func (c *Collection[ID]) NearbyIDs(q geom.Point, k int) []Entry[ID] {
 // requests so warm queries allocate nothing here.
 func (c *Collection[ID]) NearbyIDsAppend(q geom.Point, k int, dst []Entry[ID]) []Entry[ID] {
 	sc := c.getQueryScratch()
-	c.rw.RLock()
-	defer c.rw.RUnlock() // deferred so a panicking inner index never wedges writers
-	sc.pts = c.idx.KNN(q, k, sc.pts[:0])
-	dst = c.resolveAppend(sc, dst)
+	var st *collState[ID]
+	if c.snap.enabled {
+		// Pin the published epoch: wait-free against flushes. The Unpin
+		// is deferred so a panicking inner index never wedges the
+		// writer's drain.
+		v := c.snap.mgr.Pin()
+		defer c.snap.mgr.Unpin(v)
+		st = v.Data
+	} else {
+		c.rw.RLock()
+		defer c.rw.RUnlock() // deferred so a panicking inner index never wedges writers
+		st = c.live
+	}
+	sc.pts = st.idx.KNN(q, k, sc.pts[:0])
+	dst = c.resolveAppend(st, sc, dst)
 	c.putQueryScratch(sc)
 	return dst
 }
@@ -477,10 +668,18 @@ func (c *Collection[ID]) WithinIDs(box geom.Box) []Entry[ID] {
 // NearbyIDsAppend for the contract).
 func (c *Collection[ID]) WithinIDsAppend(box geom.Box, dst []Entry[ID]) []Entry[ID] {
 	sc := c.getQueryScratch()
-	c.rw.RLock()
-	defer c.rw.RUnlock() // deferred so a panicking inner index never wedges writers
-	sc.pts = c.idx.RangeList(box, sc.pts[:0])
-	dst = c.resolveAppend(sc, dst)
+	var st *collState[ID]
+	if c.snap.enabled {
+		v := c.snap.mgr.Pin()
+		defer c.snap.mgr.Unpin(v)
+		st = v.Data
+	} else {
+		c.rw.RLock()
+		defer c.rw.RUnlock() // deferred so a panicking inner index never wedges writers
+		st = c.live
+	}
+	sc.pts = st.idx.RangeList(box, sc.pts[:0])
+	dst = c.resolveAppend(st, sc, dst)
 	c.putQueryScratch(sc)
 	return dst
 }
@@ -498,16 +697,17 @@ func (c *Collection[ID]) putQueryScratch(sc *queryScratch) {
 	}
 }
 
-// resolveAppend maps the scratch's hit multiset to entries through the
-// reverse multimap, appending to dst (callers hold rw). A point stored
-// once per object at it means hits and rev lists have equal multiplicity;
-// for the rare points owned by several objects, a cursor walks the ID
-// list so duplicate hits resolve to distinct objects. Single-owner points
-// — the common case — never touch the cursor map.
-func (c *Collection[ID]) resolveAppend(sc *queryScratch, dst []Entry[ID]) []Entry[ID] {
+// resolveAppend maps the scratch's hit multiset to entries through st's
+// reverse multimap, appending to dst (callers hold rw or a pin on st's
+// version). A point stored once per object at it means hits and rev
+// lists have equal multiplicity; for the rare points owned by several
+// objects, a cursor walks the ID list so duplicate hits resolve to
+// distinct objects. Single-owner points — the common case — never touch
+// the cursor map.
+func (c *Collection[ID]) resolveAppend(st *collState[ID], sc *queryScratch, dst []Entry[ID]) []Entry[ID] {
 	cursorUsed := false
 	for _, p := range sc.pts {
-		ids := c.rev[p]
+		ids := st.rev[p]
 		switch {
 		case len(ids) == 0:
 			// Unreachable while the flush invariant holds (Validate
@@ -542,16 +742,30 @@ func (c *Collection[ID]) Pending() int {
 
 // Stats returns a snapshot of the Collection's counters. Counters are
 // updated after each flush, so a snapshot racing a flush may lag by that
-// one batch.
+// one batch. Stats never takes the writer lock, so it does not block
+// behind an in-flight flush: in snapshot mode Objects is the published
+// epoch's live-object count, in locked mode it is derived from the
+// lifetime counters (identical at every flush boundary).
 func (c *Collection[ID]) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Flushes:   c.flushes.Load(),
 		Inserted:  c.inserted.Load(),
 		Moved:     c.moved.Load(),
 		Removed:   c.removed.Load(),
 		Cancelled: c.cancelled.Load(),
 		Pending:   c.Pending(),
+		Versions:  1,
 	}
+	st.Objects = int(st.Inserted) - int(st.Removed)
+	if c.snap.enabled {
+		v := c.snap.mgr.Pin()
+		st.Objects = len(v.Data.fwd)
+		c.snap.mgr.Unpin(v)
+		st.Epoch = c.snap.mgr.Epoch()
+		st.Versions = 2
+		st.RetireLag = c.snap.mgr.RetireLag()
+	}
+	return st
 }
 
 // Validate flushes, then checks the transactional-consistency invariant
@@ -560,25 +774,34 @@ func (c *Collection[ID]) Stats() Stats {
 // inverses. Tests and the fuzz harness call it after every tape.
 func (c *Collection[ID]) Validate() error {
 	c.Flush()
+	if c.snap.enabled {
+		v := c.snap.mgr.Pin()
+		defer c.snap.mgr.Unpin(v)
+		return v.Data.validate()
+	}
 	c.rw.RLock()
 	defer c.rw.RUnlock()
-	if got, want := c.idx.Size(), len(c.fwd); got != want {
+	return c.live.validate()
+}
+
+func (st *collState[ID]) validate() error {
+	if got, want := st.idx.Size(), len(st.fwd); got != want {
 		return fmt.Errorf("collection: index stores %d points, %d live objects", got, want)
 	}
 	nRev := 0
-	for p, ids := range c.rev {
+	for p, ids := range st.rev {
 		if len(ids) == 0 {
 			return fmt.Errorf("collection: empty reverse entry for %v", p)
 		}
 		nRev += len(ids)
 		for _, id := range ids {
-			if got, live := c.fwd[id]; !live || got != p {
+			if got, live := st.fwd[id]; !live || got != p {
 				return fmt.Errorf("collection: rev[%v] lists %v but fwd says (%v, %t)", p, id, got, live)
 			}
 		}
 	}
-	if nRev != len(c.fwd) {
-		return fmt.Errorf("collection: reverse multimap holds %d entries, %d live objects", nRev, len(c.fwd))
+	if nRev != len(st.fwd) {
+		return fmt.Errorf("collection: reverse multimap holds %d entries, %d live objects", nRev, len(st.fwd))
 	}
 	return nil
 }

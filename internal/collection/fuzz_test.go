@@ -1,6 +1,7 @@
 package collection
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -14,8 +15,16 @@ import (
 // Get must equal the oracle at all times, flushed or not); at every
 // Flush checkpoint and at the end of the tape the full read suite —
 // Len, WithinIDs, NearbyIDs distance sequences — and the
-// index/fwd/rev consistency invariant (Validate) are verified. Seed
-// corpus lives in testdata/fuzz/FuzzCollectionMoves.
+// index/fwd/rev consistency invariant (Validate) are verified.
+//
+// The high bit of the second input byte additionally turns on snapshot
+// reads and a concurrent epoch-pinned reader: the writer records the
+// oracle contents at every published epoch, and the reader scans the
+// universe, bracketing each scan with Epoch() loads — when the epoch did
+// not move across the scan, epoch monotonicity guarantees the pinned
+// version was that epoch, so the scan must equal the recorded oracle
+// exactly. Run under -race this also hunts torn index/fwd/rev triples.
+// Seed corpus lives in testdata/fuzz/FuzzCollectionMoves.
 func FuzzCollectionMoves(f *testing.F) {
 	for _, s := range collectionSeeds {
 		f.Add([]byte(s))
@@ -32,6 +41,10 @@ var collectionSeeds = []string{
 	"\x00\x01\x02\x03\x04\x05\x06\x07remove and reinsert",
 	"interleave~!@#$%^&*()_+ flushes {[]} with everything",
 	"ZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZ",
+	// 0x83 sets the snapshot bit on the second byte: the same tape runs
+	// with epoch-pinned reads and the concurrent per-epoch reader.
+	"\x01\x83snapshot tape with concurrent epoch reader 123",
+	"\x02\xffsharded snapshot tape, tiny batches \x01\x01\x01\x01",
 }
 
 const fuzzIDs = 16
@@ -53,9 +66,78 @@ func runCollectionTape(t *testing.T, data []byte) {
 	// A tiny MaxBatch derived from the input lets the fuzzer also drive
 	// threshold-triggered flushes mid-tape, not only explicit ones.
 	maxBatch := 1 + int(data[1])%64
-	c := New[int](mk(), Options{MaxBatch: maxBatch})
+	snapshot := data[1]&0x80 != 0
+	opts := Options{MaxBatch: maxBatch}
+	if snapshot {
+		opts.Snapshot = mk
+	}
+	c := New[int](mk(), opts)
 	defer c.Close()
 	oracle := make(map[int]geom.Point)
+
+	// In snapshot mode, record the oracle contents at every published
+	// epoch and race a reader against the tape. The writer can only
+	// observe an epoch step after the op that flushed returns, so a
+	// reader may briefly see an epoch with no recording yet — it skips
+	// those; any epoch it finds recorded is exact.
+	var (
+		mu      sync.Mutex
+		byEpoch map[uint64]map[int]geom.Point
+	)
+	record := func() {
+		e := c.Epoch()
+		mu.Lock()
+		if _, ok := byEpoch[e]; !ok {
+			snap := make(map[int]geom.Point, len(oracle))
+			for id, p := range oracle {
+				snap[id] = p
+			}
+			byEpoch[e] = snap
+		}
+		mu.Unlock()
+	}
+	if snapshot {
+		byEpoch = map[uint64]map[int]geom.Point{0: {}}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e0 := c.Epoch()
+				got := c.WithinIDs(universe())
+				if c.Epoch() != e0 {
+					continue // scan straddled a publish; unattributable
+				}
+				mu.Lock()
+				want, ok := byEpoch[e0]
+				if ok {
+					if len(got) != len(want) {
+						t.Errorf("epoch %d: scan saw %d objects, oracle has %d", e0, len(got), len(want))
+					}
+					for _, en := range got {
+						if p, ok := want[en.ID]; !ok || p != en.Point {
+							t.Errorf("epoch %d: scan saw id %d at %v, oracle (%v, %t)", e0, en.ID, en.Point, p, ok)
+						}
+					}
+				}
+				failed := t.Failed()
+				mu.Unlock()
+				if failed {
+					return
+				}
+			}
+		}()
+		defer func() { // runs before c.Close (LIFO)
+			close(stop)
+			wg.Wait()
+		}()
+	}
 
 	i := 2
 	next := func() (byte, bool) {
@@ -95,6 +177,12 @@ func runCollectionTape(t *testing.T, data []byte) {
 			c.Set(id, p)
 			oracle[id] = p
 		}
+		if snapshot {
+			// Any op can step the epoch (MaxBatch-triggered flushes fire
+			// inside Set/Remove), and the oracle mirrors the flushed state
+			// whenever it does.
+			record()
+		}
 		// Read-your-writes: Get tracks the oracle exactly, even for ops
 		// still sitting in the pending log.
 		gotP, gotOK := c.Get(id)
@@ -104,6 +192,9 @@ func runCollectionTape(t *testing.T, data []byte) {
 		}
 	}
 	c.Flush()
+	if snapshot {
+		record()
+	}
 	verifyAgainstOracle(t, c, oracle, fuzzIDs)
 }
 

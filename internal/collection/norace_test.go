@@ -1,0 +1,5 @@
+//go:build !race
+
+package collection
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package collection
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// guards skip under it because instrumentation defeats the closure
+// inlining the zero-alloc query path depends on.
+const raceEnabled = true

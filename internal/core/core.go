@@ -56,6 +56,56 @@ type Index interface {
 	RangeList(box geom.Box, dst []geom.Point) []geom.Point
 }
 
+// Replicator is the optional capability behind the library's snapshot
+// reads (ARCHITECTURE.md "Epochs & snapshot reads"). An index that can
+// construct a fresh, empty twin of itself — same dimensionality, same
+// universe, same tuning — lets the Store/Collection layers double-buffer
+// it: each commit window's BatchDiff is applied to an off-line replica,
+// the replica is published through an atomic epoch pointer, and queries
+// pin the published version instead of taking a read lock, so a reader
+// never waits on a flush.
+//
+// Snapshot-read contract (normative):
+//
+//   - NewReplica returns a NEW index holding no points, configured so
+//     that replaying the same Build/BatchDiff history on both twins
+//     yields the same query answers. It must not share mutable state
+//     with the receiver.
+//   - The published version is immutable between epochs: a layer only
+//     mutates a version after the epoch manager reports it drained, so
+//     queries against a pinned version run concurrently with a flush
+//     writing the other version without synchronization. This composes
+//     with the buffer-ownership rules unchanged — batch slices handed to
+//     either twin are still reusable the moment BatchDiff returns.
+//   - Every window is applied to both twins (once on commit, once as
+//     catch-up at the next flush), so Replicator is worth implementing
+//     exactly when diff-apply is cheap — the paper's batch-dynamic
+//     property.
+//
+// Raw trees opt in via WithReplica at construction (psi.go does this for
+// every tree constructor); composite indexes like shard.Sharded implement
+// the method directly.
+type Replicator interface {
+	// NewReplica returns a fresh, empty index configured identically to
+	// the receiver (the receiver's current contents are NOT copied).
+	NewReplica() Index
+}
+
+// WithReplica wraps idx so it satisfies Replicator using mk, a
+// constructor producing fresh, identically configured instances. The
+// wrapper forwards every Index method to idx; replicas made from it are
+// themselves wrapped, so a replica can replicate.
+func WithReplica(idx Index, mk func() Index) Index {
+	return &replicated{Index: idx, mk: mk}
+}
+
+type replicated struct {
+	Index
+	mk func() Index
+}
+
+func (r *replicated) NewReplica() Index { return WithReplica(r.mk(), r.mk) }
+
 // Options carries the tuning parameters of §C. The zero value is invalid;
 // start from DefaultOptions.
 type Options struct {

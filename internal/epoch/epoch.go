@@ -1,0 +1,118 @@
+// Package epoch implements the left-right version manager behind the
+// library's snapshot reads: a writer publishes immutable versions of some
+// state through an atomic pointer, readers pin the current version with a
+// per-version reference count, and the writer reclaims a retired version
+// for reuse only after every reader that could hold it has left. The
+// protocol gives readers wait-freedom against writers — a query never
+// blocks behind a flush, no matter how large the commit window — while the
+// writer pays one bounded wait (for stragglers still inside the retired
+// version) per publish.
+//
+// The intended shape is double-buffering: a layer keeps exactly two
+// Versions and ping-pongs between them. Each flush catches the standby up
+// with the previously committed window, applies the new window, publishes
+// the standby, waits for the old current to drain, and keeps it as the
+// next standby. Both Version structs live for the lifetime of the layer,
+// so steady-state publishing allocates nothing — the property the
+// Store/Collection zero-alloc guards pin. Parallel Batch-Dynamic kd-Trees
+// (Yesantharao et al.) is the license for this design: batch diff-apply
+// on the paper's structures is cheap enough that applying every window
+// twice costs less than stalling all readers once.
+//
+// Memory model: Publish is an atomic pointer store and Pin an atomic load,
+// so everything the writer did to a version's data before Publish is
+// visible to a reader that pins it. After WaitDrained(v) returns, no
+// reader holds v and the writer may mutate v.Data freely until the next
+// Publish(v).
+package epoch
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Version is one publishable state of T plus its reader reference count.
+// The writer owns Data exclusively from WaitDrained until the next
+// Publish; readers own it shared from Pin to Unpin.
+type Version[T any] struct {
+	Data  T
+	epoch uint64
+	refs  atomic.Int64
+}
+
+// NewVersion wraps data in an unpublished Version.
+func NewVersion[T any](data T) *Version[T] { return &Version[T]{Data: data} }
+
+// Epoch returns the epoch number at which this version was last
+// published (0 for the initial version).
+func (v *Version[T]) Epoch() uint64 { return v.epoch }
+
+// Manager publishes Versions and tracks the epoch counters. The zero
+// value is not usable: call Init with the initial version first. Pin,
+// Unpin, Epoch, RetireLag and Current are safe for any number of
+// goroutines; Publish and WaitDrained must be serialized by the caller
+// (layers hold their flush mutex across both).
+type Manager[T any] struct {
+	cur       atomic.Pointer[Version[T]]
+	published atomic.Uint64
+	drained   atomic.Uint64
+}
+
+// Init installs the initial version at epoch 0. It must be called exactly
+// once, before any other method.
+func (m *Manager[T]) Init(v *Version[T]) { m.cur.Store(v) }
+
+// Pin returns the current version with its reference count held. The
+// caller must Unpin the same version when done. The recheck loop closes
+// the race with a concurrent Publish: a reader that loads v but
+// increments its count after the writer already swapped v out simply
+// retries on the new current, so WaitDrained never misses a reader.
+func (m *Manager[T]) Pin() *Version[T] {
+	for {
+		v := m.cur.Load()
+		v.refs.Add(1)
+		if m.cur.Load() == v {
+			return v
+		}
+		v.refs.Add(-1)
+	}
+}
+
+// Unpin releases a version returned by Pin.
+func (m *Manager[T]) Unpin(v *Version[T]) { v.refs.Add(-1) }
+
+// Current returns the current version without pinning it. Callers may
+// only touch its Data if they otherwise exclude Publish (the layers'
+// flush mutexes do); it exists for stats and tests.
+func (m *Manager[T]) Current() *Version[T] { return m.cur.Load() }
+
+// Publish makes next the current version under a new epoch number and
+// returns the displaced version, which the caller retires with
+// WaitDrained before reusing its Data.
+func (m *Manager[T]) Publish(next *Version[T]) *Version[T] {
+	next.epoch = m.published.Add(1)
+	prev := m.cur.Load()
+	m.cur.Store(next)
+	return prev
+}
+
+// WaitDrained blocks until no reader holds v, then records the retirement.
+// New readers cannot arrive (v is no longer current), so the wait is
+// bounded by the in-flight queries at the moment of Publish. The spin
+// yields the processor each round: readers hold pins only across a single
+// index query, so the common case drains in a handful of iterations.
+func (m *Manager[T]) WaitDrained(v *Version[T]) {
+	for v.refs.Load() != 0 {
+		runtime.Gosched()
+	}
+	m.drained.Add(1)
+}
+
+// Epoch returns the number of versions published so far — the epoch
+// number of the current version (0 before the first Publish).
+func (m *Manager[T]) Epoch() uint64 { return m.published.Load() }
+
+// RetireLag returns the number of published epochs whose displaced
+// version has not yet drained: 0 when quiescent, 1 while a flush is
+// waiting out readers of the version it just replaced.
+func (m *Manager[T]) RetireLag() uint64 { return m.published.Load() - m.drained.Load() }

@@ -124,12 +124,21 @@ func (e *ServerError) Error() string { return fmt.Sprintf("psid: %s: %s", e.Code
 // server's lock-free histograms and are estimates with power-of-two
 // bucket resolution.
 type StatsPayload struct {
-	Objects  int    `json:"objects"` // live tracked objects (after a flush)
-	Pending  int    `json:"pending"` // enqueued ops not yet flushed
-	Flushes  uint64 `json:"flushes"`
-	Inserted uint64 `json:"inserted"`
-	Moved    uint64 `json:"moved"`
-	Removed  uint64 `json:"removed"`
+	Objects int `json:"objects"` // live tracked objects (after a flush)
+	Pending int `json:"pending"` // enqueued ops not yet flushed
+	// Epoch, Versions and RetireLag describe the snapshot-read state
+	// (ARCHITECTURE.md "Epochs & snapshot reads"): the currently
+	// published epoch (advances once per committed window; 0 when the
+	// server runs the locked read path), the live state versions (2 when
+	// snapshotting, 1 locked), and the published epochs whose displaced
+	// version has not yet drained (0 when quiescent, 1 mid-flush).
+	Epoch     uint64 `json:"epoch"`
+	Versions  int    `json:"versions"`
+	RetireLag uint64 `json:"retire_lag"`
+	Flushes   uint64 `json:"flushes"`
+	Inserted  uint64 `json:"inserted"`
+	Moved     uint64 `json:"moved"`
+	Removed   uint64 `json:"removed"`
 	// Cancelled counts ops superseded in-window by the Collection's
 	// last-write-wins netting — the coalescing win of batching SETs.
 	Cancelled uint64  `json:"cancelled"`

@@ -61,6 +61,15 @@ type Options struct {
 	// before/after of the serving-path scratch reuse; production
 	// configurations leave it false.
 	DisableScratch bool
+	// DisableSnapshot keeps the Collection on the classic locked read
+	// path even when the wrapped index supports snapshot reads. By
+	// default, when idx implements core.Replicator (every psi tree
+	// constructor and Sharded does), the server enables epoch-pinned
+	// snapshot reads: queries pin the published version and never wait
+	// behind a flush — the serving configuration the churn benchmark
+	// measures. Set this to benchmark the locked baseline or to halve
+	// index memory on tightly constrained hosts.
+	DisableSnapshot bool
 }
 
 // DefaultFlushInterval is the background flush cadence used when
@@ -104,17 +113,23 @@ type Server struct {
 // collection.New, the Server takes ownership of idx — the recommended
 // serving stack is a Sharded over the per-workload index choice, so each
 // netted flush fans out across shards in parallel while connections keep
-// enqueueing.
+// enqueueing. When idx implements core.Replicator (and DisableSnapshot
+// is unset), queries ride the epoch-pinned snapshot path: NEARBY/WITHIN
+// never wait behind a flush, and /stats reports the epoch counters.
 func New(idx core.Index, opts Options) *Server {
 	opts = opts.withDefaults()
+	copts := collection.Options{
+		MaxBatch:       opts.MaxBatch,
+		FlushInterval:  opts.FlushInterval,
+		DisableScratch: opts.DisableScratch,
+	}
+	if r, ok := idx.(core.Replicator); ok && !opts.DisableSnapshot {
+		copts.Snapshot = r.NewReplica
+	}
 	s := &Server{
-		opts: opts,
-		dims: idx.Dims(),
-		coll: collection.New[string](idx, collection.Options{
-			MaxBatch:       opts.MaxBatch,
-			FlushInterval:  opts.FlushInterval,
-			DisableScratch: opts.DisableScratch,
-		}),
+		opts:  opts,
+		dims:  idx.Dims(),
+		coll:  collection.New[string](idx, copts),
 		conns: make(map[net.Conn]struct{}),
 	}
 	return s
@@ -498,7 +513,10 @@ func (s *Server) entryScratch(cs *connState) []collection.Entry[string] {
 }
 
 // Stats snapshots the serving and collection counters (the STATS command
-// and HTTP /stats body). It does not flush: Objects counts committed
+// and HTTP /stats body). It does not flush, and it never takes the
+// flush writer's lock — the counts come from the published epoch (or the
+// lifetime counters in locked mode), so /stats stays responsive even
+// while a huge commit window is mid-apply. Objects counts committed
 // objects, Pending the enqueued tail.
 func (s *Server) Stats() StatsPayload {
 	cs := s.coll.Stats()
@@ -506,7 +524,10 @@ func (s *Server) Stats() StatsPayload {
 	conns := len(s.conns)
 	s.mu.Unlock()
 	st := StatsPayload{
-		Objects:   int(cs.Inserted) - int(cs.Removed),
+		Objects:   cs.Objects,
+		Epoch:     cs.Epoch,
+		Versions:  cs.Versions,
+		RetireLag: cs.RetireLag,
 		Pending:   cs.Pending,
 		Flushes:   cs.Flushes,
 		Inserted:  cs.Inserted,

@@ -61,6 +61,11 @@ func (s *Sharded) RangeCount(box geom.Box) int {
 	n := parallel.Reduce(len(ids), 1, 0,
 		func(i int) int {
 			sh := &s.shards[ids[i]]
+			if s.opts.Snapshot {
+				v := sh.mgr.Pin()
+				defer sh.mgr.Unpin(v)
+				return v.Data.RangeCount(box)
+			}
 			sh.mu.RLock()
 			defer sh.mu.RUnlock()
 			return sh.idx.RangeCount(box)
@@ -85,25 +90,47 @@ func (s *Sharded) RangeList(box geom.Box, dst []geom.Point) []geom.Point {
 		return dst
 	}
 	if len(ids) == 1 {
-		sh := &s.shards[ids[0]]
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
-		return sh.idx.RangeList(box, dst)
+		return s.shardRangeList(ids[0], box, dst)
 	}
 	for len(sc.bufs) < len(ids) {
 		sc.bufs = append(sc.bufs, nil)
 	}
 	bufs := sc.bufs[:len(ids)]
 	parallel.ForEach(len(ids), 1, func(i int) {
-		sh := &s.shards[ids[i]]
-		sh.mu.RLock()
-		bufs[i] = sh.idx.RangeList(box, bufs[i][:0])
-		sh.mu.RUnlock()
+		bufs[i] = s.shardRangeList(ids[i], box, bufs[i][:0])
 	})
 	for _, b := range bufs {
 		dst = append(dst, b...)
 	}
 	return dst
+}
+
+// shardRangeList runs one shard's range report: against the pinned
+// published version in snapshot mode (wait-free behind sub-batches),
+// under the shard read lock otherwise.
+func (s *Sharded) shardRangeList(id int, box geom.Box, dst []geom.Point) []geom.Point {
+	sh := &s.shards[id]
+	if s.opts.Snapshot {
+		v := sh.mgr.Pin()
+		defer sh.mgr.Unpin(v)
+		return v.Data.RangeList(box, dst)
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.idx.RangeList(box, dst)
+}
+
+// shardKNN runs one shard's local KNN (same locking as shardRangeList).
+func (s *Sharded) shardKNN(id int, q geom.Point, k int, dst []geom.Point) []geom.Point {
+	sh := &s.shards[id]
+	if s.opts.Snapshot {
+		v := sh.mgr.Pin()
+		defer sh.mgr.Unpin(v)
+		return v.Data.KNN(q, k, dst)
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.idx.KNN(q, k, dst)
 }
 
 // KNN implements core.Index with best-first expansion over shard regions:
@@ -151,10 +178,7 @@ func (s *Sharded) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
 		if h.Full() && e.dist2 > h.Bound() {
 			break
 		}
-		sh := &s.shards[e.id]
-		sh.mu.RLock()
-		buf = sh.idx.KNN(q, k, buf[:0])
-		sh.mu.RUnlock()
+		buf = s.shardKNN(e.id, q, k, buf[:0])
 		for _, p := range buf {
 			h.Push(p, geom.Dist2(p, q, dims))
 		}

@@ -1,6 +1,10 @@
 package shard
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
 
 // Validate checks the sharding invariants and returns the first
 // violation (tests run it after every mutation round):
@@ -41,10 +45,19 @@ func (s *Sharded) Validate() error {
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.RLock()
-		pts := sh.idx.RangeList(s.opts.Universe, nil)
-		size := sh.idx.Size()
-		sh.mu.RUnlock()
+		var pts []geom.Point
+		var size int
+		if s.opts.Snapshot {
+			v := sh.mgr.Pin()
+			pts = v.Data.RangeList(s.opts.Universe, nil)
+			size = v.Data.Size()
+			sh.mgr.Unpin(v)
+		} else {
+			sh.mu.RLock()
+			pts = sh.idx.RangeList(s.opts.Universe, nil)
+			size = sh.idx.Size()
+			sh.mu.RUnlock()
+		}
 		if len(pts) != size {
 			return fmt.Errorf("shard %d: %d points in universe, Size() %d (point outside universe?)",
 				i, len(pts), size)

@@ -6,9 +6,13 @@
 // requests concurrently; Store coalesces them into batches and applies each
 // batch with a single BatchDiff under a write lock, so the paper's parallel
 // batch-update machinery is amortized across callers instead of being
-// driven one mutation at a time. Queries take a read lock and therefore
-// always observe a consistent view: either all of a flushed batch or none
-// of it, never a half-applied update.
+// driven one mutation at a time. Queries always observe a consistent
+// view: either all of a flushed batch or none of it, never a half-applied
+// update. In the default locked mode they share a read lock with the
+// flush writer; with Options.Snapshot set the Store double-buffers the
+// index through an epoch manager instead (internal/epoch), and queries
+// pin the published version — wait-free against even the largest commit
+// window (ARCHITECTURE.md "Epochs & snapshot reads").
 //
 // Visibility contract: a mutation becomes visible to queries atomically at
 // the flush that applies it — on the enqueue that fills the batch to
@@ -39,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/geom"
 )
 
@@ -65,6 +70,17 @@ type Options struct {
 	// behavior). It exists so -exp alloc can measure the before/after of
 	// scratch reuse; production configurations leave it false.
 	DisableScratch bool
+	// Snapshot, when set, switches the Store to epoch-pinned snapshot
+	// reads: it must return a fresh, EMPTY index configured identically
+	// to the wrapped one (core.Replicator semantics — most callers pass
+	// the same constructor they built idx with). The Store then keeps two
+	// versions of the index, applies every committed window to both (the
+	// off-line one first), publishes through an atomic epoch pointer, and
+	// queries pin the published version instead of taking the read lock —
+	// a reader never waits on a flush, no matter how large the window.
+	// The wrapped index must be empty at New. Leave nil for the classic
+	// single-copy RWMutex mode.
+	Snapshot func() core.Index
 }
 
 func (o Options) withDefaults() Options {
@@ -74,13 +90,18 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats is a snapshot of a Store's lifetime counters.
+// Stats is a snapshot of a Store's lifetime counters. It is assembled
+// from atomics and the pending lock only — never the writer lock — so
+// sampling it during a large flush does not block.
 type Stats struct {
 	Flushes   uint64 // batches applied to the index
 	Inserted  uint64 // insert requests applied by those batches
 	Deleted   uint64 // delete requests applied by those batches
 	Cancelled uint64 // insert/delete pairs netted out before applying
 	Pending   int    // mutations enqueued but not yet flushed
+	Epoch     uint64 // published snapshot epoch (0 in locked mode)
+	Versions  int    // live index versions: 2 in snapshot mode, 1 locked
+	RetireLag uint64 // published epochs whose displaced version has not drained
 }
 
 // Store wraps a core.Index for safe concurrent use. Create one with New;
@@ -113,6 +134,20 @@ type Store struct {
 	// enqueuers, so a warm Store flushes with zero allocations.
 	scratch flushScratch
 
+	// snap is the snapshot-read state, active when Options.Snapshot is
+	// set: the epoch manager publishing the current version, the standby
+	// twin the next flush writes, and a copy of the previously committed
+	// window (guarded by flushMu) replayed on the standby as catch-up
+	// before the new window applies — both twins see the same history,
+	// one window apart. The two Version structs and the saved buffers
+	// live for the Store's lifetime, preserving the zero-alloc flush.
+	snap struct {
+		enabled            bool
+		mgr                epoch.Manager[core.Index]
+		standby            *epoch.Version[core.Index]
+		savedIns, savedDel []geom.Point
+	}
+
 	flushes   atomic.Uint64
 	inserted  atomic.Uint64
 	deleted   atomic.Uint64
@@ -136,6 +171,18 @@ var _ core.Index = (*Store)(nil)
 // background flusher starts immediately; pair New with Close to stop it.
 func New(idx core.Index, opts Options) *Store {
 	s := &Store{opts: opts.withDefaults(), idx: idx, stop: make(chan struct{})}
+	if s.opts.Snapshot != nil {
+		if idx.Size() != 0 {
+			panic("store: Options.Snapshot requires an initially empty index")
+		}
+		mirror := s.opts.Snapshot()
+		if mirror == nil || mirror.Size() != 0 {
+			panic("store: Options.Snapshot must return a fresh, empty index")
+		}
+		s.snap.enabled = true
+		s.snap.mgr.Init(epoch.NewVersion(idx))
+		s.snap.standby = epoch.NewVersion(mirror)
+	}
 	if s.opts.FlushInterval > 0 {
 		s.wg.Add(1)
 		go s.flushLoop()
@@ -248,9 +295,13 @@ func (s *Store) Flush() int {
 	sc.spare = nil
 	s.pend.Unlock()
 	ins, del, cancelled := sc.net(ops)
-	s.rw.Lock()
-	s.idx.BatchDiff(ins, del)
-	s.rw.Unlock()
+	if s.snap.enabled {
+		s.commitSnapshot(ins, del)
+	} else {
+		s.rw.Lock()
+		s.idx.BatchDiff(ins, del)
+		s.rw.Unlock()
+	}
 	// ins/del alias sc buffers; the index must not have retained them
 	// (the core.Index batch contract), so they are reusable next flush —
 	// as is the swapped-out op log.
@@ -260,6 +311,24 @@ func (s *Store) Flush() int {
 	s.inserted.Add(uint64(len(ins)))
 	s.deleted.Add(uint64(len(del)))
 	return len(ins) + len(del)
+}
+
+// commitSnapshot applies one netted window in snapshot mode (callers
+// hold flushMu): catch the standby up with the previously committed
+// window (the published twin already holds it), apply the new window,
+// publish, and wait out readers of the displaced version, which becomes
+// the next standby. Readers running concurrently pin whichever version
+// is current and never block. ins/del alias the netting scratch, so the
+// window is copied into the saved buffers before the scratch is reused.
+func (s *Store) commitSnapshot(ins, del []geom.Point) {
+	st := s.snap.standby
+	st.Data.BatchDiff(s.snap.savedIns, s.snap.savedDel)
+	st.Data.BatchDiff(ins, del)
+	s.snap.savedIns = append(s.snap.savedIns[:0], ins...)
+	s.snap.savedDel = append(s.snap.savedDel[:0], del...)
+	prev := s.snap.mgr.Publish(st)
+	s.snap.mgr.WaitDrained(prev)
+	s.snap.standby = prev
 }
 
 // flushScratch is the per-Store flush buffer set (guarded by flushMu):
@@ -351,6 +420,19 @@ func (s *Store) Build(pts []geom.Point) {
 	s.pend.Lock()
 	s.pend.ops = nil
 	s.pend.Unlock()
+	if s.snap.enabled {
+		// Build both twins and clear the saved window — the new epoch
+		// starts from identical contents on both sides.
+		st := s.snap.standby
+		st.Data.Build(pts)
+		prev := s.snap.mgr.Publish(st)
+		s.snap.mgr.WaitDrained(prev)
+		prev.Data.Build(pts)
+		s.snap.standby = prev
+		s.snap.savedIns = s.snap.savedIns[:0]
+		s.snap.savedDel = s.snap.savedDel[:0]
+		return
+	}
 	s.rw.Lock()
 	s.idx.Build(pts)
 	s.rw.Unlock()
@@ -360,15 +442,27 @@ func (s *Store) Build(pts []geom.Point) {
 // answer reflects every enqueue that happened before the call.
 func (s *Store) Size() int {
 	s.Flush()
+	if s.snap.enabled {
+		v := s.snap.mgr.Pin()
+		defer s.snap.mgr.Unpin(v)
+		return v.Data.Size()
+	}
 	s.rw.RLock()
 	defer s.rw.RUnlock()
 	return s.idx.Size()
 }
 
-// KNN implements core.Index. Queries run under a shared read lock: any
-// number run concurrently, and none ever observes a partially applied
-// batch.
+// KNN implements core.Index. Queries always observe a whole number of
+// flushed batches, never a half-applied one: in snapshot mode they pin
+// the published epoch's version (wait-free against flushes — the Unpin is
+// deferred so a panicking inner index never wedges the writer's drain);
+// in locked mode they share the read lock.
 func (s *Store) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
+	if s.snap.enabled {
+		v := s.snap.mgr.Pin()
+		defer s.snap.mgr.Unpin(v)
+		return v.Data.KNN(q, k, dst)
+	}
 	s.rw.RLock()
 	defer s.rw.RUnlock()
 	return s.idx.KNN(q, k, dst)
@@ -376,6 +470,11 @@ func (s *Store) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
 
 // RangeCount implements core.Index.
 func (s *Store) RangeCount(box geom.Box) int {
+	if s.snap.enabled {
+		v := s.snap.mgr.Pin()
+		defer s.snap.mgr.Unpin(v)
+		return v.Data.RangeCount(box)
+	}
 	s.rw.RLock()
 	defer s.rw.RUnlock()
 	return s.idx.RangeCount(box)
@@ -383,6 +482,11 @@ func (s *Store) RangeCount(box geom.Box) int {
 
 // RangeList implements core.Index.
 func (s *Store) RangeList(box geom.Box, dst []geom.Point) []geom.Point {
+	if s.snap.enabled {
+		v := s.snap.mgr.Pin()
+		defer s.snap.mgr.Unpin(v)
+		return v.Data.RangeList(box, dst)
+	}
 	s.rw.RLock()
 	defer s.rw.RUnlock()
 	return s.idx.RangeList(box, dst)
@@ -397,13 +501,21 @@ func (s *Store) Pending() int {
 
 // Stats returns a snapshot of the Store's counters. The counters are
 // updated after each flush, so a snapshot taken concurrently with a flush
-// may lag by that one batch.
+// may lag by that one batch. Stats never takes the writer lock, so it
+// does not block behind an in-flight flush.
 func (s *Store) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Flushes:   s.flushes.Load(),
 		Inserted:  s.inserted.Load(),
 		Deleted:   s.deleted.Load(),
 		Cancelled: s.cancelled.Load(),
 		Pending:   s.Pending(),
+		Versions:  1,
 	}
+	if s.snap.enabled {
+		st.Epoch = s.snap.mgr.Epoch()
+		st.Versions = 2
+		st.RetireLag = s.snap.mgr.RetireLag()
+	}
+	return st
 }

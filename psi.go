@@ -87,63 +87,81 @@ func DefaultOptions(dims int, universe Box) Options {
 	return core.DefaultOptions(dims, universe)
 }
 
+// replicable wraps a freshly constructed index so it satisfies
+// core.Replicator: the retained constructor mints the identically
+// configured empty twin that snapshot mode (Store/Collection
+// Options.Snapshot, Server default) double-buffers against. Every psi
+// constructor goes through this, so any psi-built tree can serve
+// epoch-pinned snapshot reads without the caller threading a factory.
+func replicable(mk func() Index) Index { return core.WithReplica(mk(), mk) }
+
 // NewPOrth returns a P-Orth tree (this paper, §3): the best
 // query/update trade-off on non-skewed data; history-independent, so
 // query performance does not degrade under sustained updates.
 func NewPOrth(dims int, universe Box) Index {
-	return orthtree.NewDefault(dims, universe)
+	return replicable(func() Index { return orthtree.NewDefault(dims, universe) })
 }
 
 // NewPOrthOpts returns a P-Orth tree with explicit options.
-func NewPOrthOpts(opts Options) Index { return orthtree.New(opts) }
+func NewPOrthOpts(opts Options) Index {
+	return replicable(func() Index { return orthtree.New(opts) })
+}
 
 // NewSPaCH returns a SPaC-H-tree (this paper, §4, Hilbert curve): the
 // paper's recommended default for highly dynamic workloads — the fastest
 // construction and batch updates, with the better query speed of the two
 // SPaC variants.
 func NewSPaCH(dims int, universe Box) Index {
-	return spactree.NewSPaC(sfc.Hilbert, dims, universe)
+	return replicable(func() Index { return spactree.NewSPaC(sfc.Hilbert, dims, universe) })
 }
 
 // NewSPaCZ returns a SPaC-Z-tree (Morton curve): slightly faster updates
 // than SPaC-H, slower queries.
 func NewSPaCZ(dims int, universe Box) Index {
-	return spactree.NewSPaC(sfc.Morton, dims, universe)
+	return replicable(func() Index { return spactree.NewSPaC(sfc.Morton, dims, universe) })
 }
 
 // NewCPAMH returns the CPAM-H baseline: a PaC-tree over Hilbert codes
 // with a fully sorted total order (the paper's ablation of the SPaC
 // relaxation).
 func NewCPAMH(dims int, universe Box) Index {
-	return spactree.NewCPAM(sfc.Hilbert, dims, universe)
+	return replicable(func() Index { return spactree.NewCPAM(sfc.Hilbert, dims, universe) })
 }
 
 // NewCPAMZ returns the CPAM-Z baseline (Morton codes).
 func NewCPAMZ(dims int, universe Box) Index {
-	return spactree.NewCPAM(sfc.Morton, dims, universe)
+	return replicable(func() Index { return spactree.NewCPAM(sfc.Morton, dims, universe) })
 }
 
 // NewPkd returns the Pkd-tree baseline [43]: strong queries, updates pay
 // O(log² n) amortized per point.
-func NewPkd(dims int) Index { return pkdtree.NewDefault(dims) }
+func NewPkd(dims int) Index {
+	return replicable(func() Index { return pkdtree.NewDefault(dims) })
+}
 
 // NewZd returns the Zd-tree baseline [16]: a Morton-sort-based parallel
 // orth-tree.
 func NewZd(dims int, universe Box) Index {
-	return zdtree.NewDefault(dims, universe)
+	return replicable(func() Index { return zdtree.NewDefault(dims, universe) })
 }
 
 // NewRTree returns the sequential quadratic R-tree baseline (Boost-R).
-func NewRTree(dims int) Index { return rtree.New(dims) }
+func NewRTree(dims int) Index {
+	return replicable(func() Index { return rtree.New(dims) })
+}
 
 // NewLogTree returns the logarithmic-method kd-tree baseline [62]: cheap
 // batch insertion by binary-counter carries, but every query pays an
 // O(log n) forest traversal — the trade-off the paper's designs avoid.
-func NewLogTree(dims int) Index { return logtree.NewLog(dims) }
+func NewLogTree(dims int) Index {
+	return replicable(func() Index { return logtree.NewLog(dims) })
+}
 
 // NewBHLTree returns the full-rebuild kd-tree baseline [62]: every batch
 // update rebuilds the whole tree.
-func NewBHLTree(dims int) Index { return logtree.NewBHL(dims) }
+func NewBHLTree(dims int) Index {
+	return replicable(func() Index { return logtree.NewBHL(dims) })
+}
 
 // NewBruteForce returns the linear-scan reference index (exact, slow;
 // intended for testing and cross-validation).
@@ -209,7 +227,11 @@ type Store = store.Store
 
 // StoreOptions tunes a Store: MaxBatch is the coalescing threshold that
 // triggers a synchronous flush, FlushInterval (optional) runs a background
-// flusher bounding staleness. The zero value is usable.
+// flusher bounding staleness, and Snapshot (optional) supplies the empty
+// twin-index factory that switches reads to the epoch-pinned snapshot
+// path — queries never wait behind a flush. Every psi constructor returns
+// an index whose NewReplica method is such a factory. The zero value is
+// usable (locked reads).
 type StoreOptions = store.Options
 
 // StoreStats is a snapshot of a Store's lifetime flush counters.
@@ -282,8 +304,10 @@ type CollectionEntry[ID comparable] = collection.Entry[ID]
 
 // CollectionOptions tunes a Collection: MaxBatch is the coalescing
 // threshold that triggers a synchronous flush, FlushInterval (optional)
-// runs a background flusher bounding query staleness. The zero value is
-// usable.
+// runs a background flusher bounding query staleness, and Snapshot
+// (optional) supplies the empty twin-index factory that switches
+// Get/NearbyIDs/WithinIDs to the epoch-pinned snapshot path — readers
+// never wait behind a flush. The zero value is usable (locked reads).
 type CollectionOptions = collection.Options
 
 // CollectionStats is a snapshot of a Collection's lifetime counters.
@@ -306,9 +330,10 @@ func NewCollection[ID comparable](idx Index, opts CollectionOptions) *Collection
 type Server = service.Server
 
 // ServerOptions tunes a Server: the Collection coalescing knobs
-// (MaxBatch, FlushInterval) plus the request line-length cap. The zero
-// value is usable and, unlike a bare Collection, defaults to a 2ms
-// background flush so acknowledged writes never stay invisible.
+// (MaxBatch, FlushInterval), the request line-length cap, and
+// DisableSnapshot to fall back to locked reads. The zero value is usable
+// and, unlike a bare Collection, defaults to a 2ms background flush so
+// acknowledged writes never stay invisible.
 type ServerOptions = service.Options
 
 // ServerStats is the STATS/GET-/stats payload: collection counters plus
@@ -317,7 +342,11 @@ type ServerStats = service.StatsPayload
 
 // NewServer wraps idx (which must start empty) in a psid Server. The
 // Server takes ownership of idx; bind it with Start, stop it with
-// Shutdown. The recommended serving stack wraps a Sharded index:
+// Shutdown. When idx can replicate itself (every psi constructor and
+// NewSharded qualifies) the server defaults to epoch-pinned snapshot
+// reads — NEARBY/WITHIN/GET never wait behind a flush — at the cost of a
+// second index copy; opt out with ServerOptions.DisableSnapshot. The
+// recommended serving stack wraps a Sharded index:
 //
 //	s := psi.NewServer(psi.NewSharded(psi.NewSPaCH, 2, u, 0), psi.ServerOptions{})
 //	s.Start(":7501", ":7502")
