@@ -1,13 +1,22 @@
 // Command psid is the Ψ-Lib geospatial server: it serves the
 // psi.Collection moving-object API — SET / DEL / GET / NEARBY / WITHIN /
-// STATS / FLUSH — over a newline-delimited JSON protocol on TCP, with
-// HTTP /healthz and /stats probe endpoints. The wire protocol is
-// documented in docs/protocol.md; drive it with nc for a quickstart:
+// STATS / FLUSH / SLOWLOG — over a newline-delimited JSON protocol on
+// TCP, with HTTP probe endpoints on the -http listener:
+//
+//	/healthz          liveness probe (200 "ok")
+//	/stats            STATS payload as JSON
+//	/metrics          Prometheus text exposition (docs/observability.md)
+//	/debug/flushtrace recent flush-pipeline spans as JSON
+//	/debug/slowlog    retained slow queries as JSON (with -slowlog)
+//	/debug/pprof/     Go profiles (with -pprof)
+//
+// The wire protocol is documented in docs/protocol.md; drive it with nc
+// for a quickstart:
 //
 //	psid -addr :7501 -http :7502 &
 //	printf '%s\n' '{"op":"SET","id":"veh-1","p":[3,4]}' '{"op":"FLUSH"}' \
 //	              '{"op":"NEARBY","p":[0,0],"k":1}' | nc 127.0.0.1 7501
-//	curl -s http://127.0.0.1:7502/stats
+//	curl -s http://127.0.0.1:7502/metrics
 //
 // The serving stack is chosen by flags: -index picks the per-shard index
 // family (any psibench table name), -shards wraps it in the sharded
@@ -46,7 +55,7 @@ func main() {
 		flag.PrintDefaults()
 	}
 	addr := flag.String("addr", ":7501", "TCP command listener address")
-	httpAddr := flag.String("http", ":7502", "HTTP probe listener address (/healthz, /stats); empty disables")
+	httpAddr := flag.String("http", ":7502", "HTTP probe listener address (/healthz, /stats, /metrics, /debug/flushtrace, /debug/slowlog); empty disables")
 	index := flag.String("index", "SPaC-H", "index family (a psibench table name, e.g. SPaC-H, P-Orth, Pkd-Tree)")
 	shards := flag.Int("shards", -1, "shard count: -1 = one per core, 0 = unsharded, N = N shards")
 	dims := flag.Int("dims", 2, "point dimensionality (2 or 3)")
@@ -56,6 +65,8 @@ func main() {
 	maxLine := flag.Int("maxline", service.DefaultMaxLineBytes, "reject request lines longer than this many bytes")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -http listener and add GC counters to /stats")
 	lockedReads := flag.Bool("locked-reads", false, "disable epoch-pinned snapshot reads: queries take the read lock and can wait behind a flush (A/B baseline)")
+	slowlog := flag.Duration("slowlog", 0, "slow-query threshold: commands slower than this are retained in the slow-query log (SLOWLOG command, /debug/slowlog); 0 disables")
+	slowlogSize := flag.Int("slowlog-size", service.DefaultSlowLogSize, "slow-query log ring capacity")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
@@ -69,10 +80,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psid: unknown index %q (see psibench table names)\n", *index)
 		os.Exit(2)
 	}
+	reg := psi.NewMetrics()
 	var idx core.Index
 	stack := *index
 	if *shards != 0 {
-		idx = psi.NewSharded(mk, *dims, universe, *shards)
+		// Handing the registry to the shard layer adds per-shard load
+		// accounting (psi_shard_ops_total and friends) to /metrics.
+		idx = psi.NewShardedOpts(psi.ShardedOptions{
+			Dims:     *dims,
+			Universe: universe,
+			Shards:   *shards,
+			Strategy: psi.ShardHilbert,
+			New:      mk,
+			Obs:      reg,
+		})
 		stack = fmt.Sprintf("Sharded(%s)", *index)
 	} else {
 		idx = mk(*dims, universe)
@@ -88,6 +109,9 @@ func main() {
 		MaxLineBytes:    *maxLine,
 		EnablePprof:     *pprofOn,
 		DisableSnapshot: *lockedReads,
+		Obs:             reg,
+		SlowLog:         *slowlog,
+		SlowLogSize:     *slowlogSize,
 	})
 	if err := s.Start(*addr, *httpAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "psid: %v\n", err)

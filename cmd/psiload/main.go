@@ -9,6 +9,11 @@
 //	psid -addr :7501 &
 //	psiload -addr 127.0.0.1:7501 -conns 16 -dur 10s -csv load.csv
 //
+// With -scrape pointed at the server's /metrics endpoint, psiload also
+// scrapes before and after the run and appends the server-side deltas
+// (flush windows, coalescing ratio, per-shard op spread) to the report
+// and the CSV — pairing what clients observed with what the server did.
+//
 // psiload exits non-zero on transport failures or when any request
 // returned a protocol error, so it doubles as a CI smoke check.
 package main
@@ -42,6 +47,7 @@ func main() {
 	k := flag.Int("k", 10, "NEARBY k")
 	seed := flag.Int64("seed", 42, "workload seed")
 	csvPath := flag.String("csv", "", "also write the per-op report to this CSV file")
+	scrape := flag.String("scrape", "", "psid /metrics URL (e.g. http://127.0.0.1:7502/metrics); scraped before and after the run to report server-side deltas (flushes, netting ratio, per-shard op spread)")
 	mix := flag.String("mix", "", "workload preset: 'churn' = flush-heavy mover mix (90% SET, long hops) that keeps the server's index under continuous batch churn — the workload psibench -exp churn measures in-process; explicitly set flags override preset values")
 	flag.Parse()
 
@@ -65,6 +71,16 @@ func main() {
 		}
 	}
 
+	var before map[string]float64
+	if *scrape != "" {
+		var err error
+		before, err = service.ScrapeMetrics(*scrape)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psiload: scraping %s: %v\n", *scrape, err)
+			os.Exit(1)
+		}
+	}
+
 	rep, err := service.RunLoad(service.LoadOptions{
 		Addr:       *addr,
 		Conns:      *conns,
@@ -83,6 +99,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "psiload: %v\n", err)
 		os.Exit(1)
+	}
+	if *scrape != "" {
+		after, err := service.ScrapeMetrics(*scrape)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psiload: scraping %s: %v\n", *scrape, err)
+			os.Exit(1)
+		}
+		rep.Server = service.MetricsDelta(before, after)
 	}
 	rep.Format(os.Stdout)
 	if *csvPath != "" {

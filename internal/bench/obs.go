@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// Obs exercises the cross-layer observability subsystem end to end and
+// prints what it sees: a Sharded stack wrapped in a Collection runs a
+// mover workload with a live obs.Registry attached, then the experiment
+// reads the registry back — flush-pipeline spans aggregated per layer
+// (where does a flush window's wall time go: netting, standby replay,
+// index apply, publish, drain?) and the per-shard load spread (how evenly
+// did the Hilbert-range partitioning distribute batch ops, query visits,
+// and KNN expansions?). The per-shard table is read through the
+// Prometheus text exposition itself (WritePrometheus → ParseText), so the
+// experiment doubles as an end-to-end check of the scrape path psiload
+// -scrape uses.
+//
+// The interesting columns: apply-us dominating net-us confirms the index
+// is the cost center (netting is cheap bookkeeping); publish-us and
+// drain-us near zero confirm epoch publication is not a serving hazard;
+// cancel-% is the coalescing win of the window (full-move windows net
+// nothing, mixed mover traffic nets plenty); and a tight min/max spread
+// in the shard table is the load-balance claim of the sharding layer,
+// measured rather than asserted.
+func Obs(cfg Config) {
+	cfg = cfg.withDefaults()
+	defer setThreads(cfg.Threads)()
+	n := cfg.N
+	side := workload.Uniform.Side(2)
+	universe := geom.UniverseBox(2, side)
+	ptsA := workload.GenUniform(n, 2, side, cfg.Seed)
+	ptsB := workload.GenUniform(n, 2, side, cfg.Seed+777)
+	queries := workload.GenUniform(max(cfg.KNNQ, 1), 2, side, cfg.Seed+778)
+	windows := 2 * cfg.Reps
+
+	reg := obs.New()
+	mk := func(dims int, u geom.Box) core.Index { return mkIndex("SPaC-H", dims, side) }
+	sh := shard.New(shard.Options{
+		Dims:     2,
+		Universe: universe,
+		Shards:   0, // one per core
+		Strategy: shard.HilbertRange,
+		New:      mk,
+		Obs:      reg,
+	})
+	c := collection.New[int](sh, collection.Options{
+		MaxBatch: 2*n + 1, // holds a full window plus its re-SETs; only explicit Flush commits
+		Snapshot: func() core.Index { return sh.NewReplica() },
+		Obs:      reg,
+	})
+	defer c.Close()
+
+	fmt.Fprintf(cfg.Out, "Obs — observability readout under a mover workload, n=%d objects, %d full-move windows, %d queries/window\n",
+		n, windows, len(queries))
+	fmt.Fprintf(cfg.Out, "(Collection[int] over Sharded(SPaC-H), snapshot reads, live obs.Registry; '*' marks are not meaningful here)\n")
+
+	// Mover workload: alternate every object between its A and B position
+	// (a maximal flush window), with a query burst between windows so the
+	// per-shard query counters see traffic too.
+	for id, p := range ptsA {
+		c.Set(id, p)
+	}
+	c.Flush()
+	var dst []collection.Entry[int]
+	for w := 0; w < windows; w++ {
+		pts := ptsB
+		if w%2 == 1 {
+			pts = ptsA
+		}
+		for id, p := range pts {
+			c.Set(id, p)
+		}
+		// Half-moved re-SETs: the second half of the window overwrites the
+		// first half's pending op for even IDs, so netting has something
+		// to cancel and the cancel-% column is non-trivial.
+		for id := 0; id < len(pts); id += 2 {
+			c.Set(id, pts[id])
+		}
+		c.Flush()
+		for _, q := range queries {
+			dst = c.NearbyIDsAppend(q, 10, dst[:0])
+		}
+	}
+
+	// Flush-pipeline spans, aggregated per layer from the registry's
+	// trace ring (the same data /debug/flushtrace serves).
+	spans := reg.FlushTrace().Snapshot()
+	byLayer := map[string][]obs.FlushSpan{}
+	var layers []string
+	for _, sp := range spans {
+		if _, ok := byLayer[sp.Layer]; !ok {
+			layers = append(layers, sp.Layer)
+		}
+		byLayer[sp.Layer] = append(byLayer[sp.Layer], sp)
+	}
+	sort.Strings(layers)
+	tb := newTable("obs: flush-pipeline stage timings by layer (means over retained spans)",
+		"net-us", "replay-us", "apply-us", "publish-us", "drain-us", "raw/win", "net/win", "cancel-%").
+		setUnits("us", "us", "us", "us", "us", "ops", "ops", "%")
+	for _, layer := range layers {
+		sp := byLayer[layer]
+		var stages [obs.NumStages]float64
+		var raw, netted, cancelled float64
+		for _, s := range sp {
+			for i := 0; i < obs.NumStages; i++ {
+				stages[i] += float64(s.Stages[i])
+			}
+			raw += float64(s.RawOps)
+			netted += float64(s.NettedOps)
+			cancelled += float64(s.Cancelled)
+		}
+		k := float64(len(sp))
+		cancelPct := 0.0
+		if raw > 0 {
+			cancelPct = 100 * cancelled / raw
+		}
+		tb.add(layer,
+			stages[obs.StageNet]/k/1e3,
+			stages[obs.StageReplay]/k/1e3,
+			stages[obs.StageApply]/k/1e3,
+			stages[obs.StagePublish]/k/1e3,
+			stages[obs.StageDrain]/k/1e3,
+			raw/k, netted/k, cancelPct)
+	}
+	tb.write(cfg.Out)
+
+	// Per-shard load spread, read back through the exposition format —
+	// the same bytes a Prometheus scrape of psid /metrics would see.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		fmt.Fprintf(cfg.Out, "obs: exposition failed: %v\n", err)
+		return
+	}
+	samples, err := obs.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		fmt.Fprintf(cfg.Out, "obs: parsing exposition: %v\n", err)
+		return
+	}
+	lt := newTable("obs: per-shard load spread (via /metrics exposition)",
+		"shards", "min", "mean", "max").
+		setUnits("count", "ops", "ops", "ops")
+	for _, m := range []struct{ label, name string }{
+		{"ops", "psi_shard_ops_total"},
+		{"queries", "psi_shard_queries_total"},
+		{"knn-exp", "psi_shard_knn_expansions_total"},
+	} {
+		var vals []float64
+		for key, v := range samples {
+			if strings.HasPrefix(key, m.name+`{shard="`) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		lo, hi, sum := vals[0], vals[0], 0.0
+		for _, v := range vals {
+			lo, hi, sum = min(lo, v), max(hi, v), sum+v
+		}
+		lt.add(m.label, float64(len(vals)), lo, sum/float64(len(vals)), hi)
+	}
+	lt.write(cfg.Out)
+	fmt.Fprintf(cfg.Out, "\nobs: %d spans retained, %d exposition samples, %.0f flush windows (collection layer)\n",
+		len(spans), len(samples), samples[`psi_flush_total{layer="collection"}`])
+}

@@ -48,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // DefaultMaxBatch is the coalescing threshold used when Options.MaxBatch
@@ -86,6 +87,13 @@ type Options struct {
 	// reader never waits on a flush. The wrapped index must be empty at
 	// New. Leave nil for the classic single-copy RWMutex mode.
 	Snapshot func() core.Index
+	// Obs, when set, registers the Collection's metrics (flush counters,
+	// flush duration histogram, live-object and epoch gauges, all labeled
+	// layer="collection") and records a flush-pipeline span per flush
+	// into the registry's trace ring. Recording is atomics into
+	// preallocated storage — the zero-alloc flush guarantee holds with a
+	// live registry. Leave nil to pay nothing.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -178,6 +186,14 @@ type Collection[ID comparable] struct {
 	moved     atomic.Uint64
 	removed   atomic.Uint64
 	cancelled atomic.Uint64
+	rawOps    atomic.Uint64
+	applied   atomic.Uint64
+
+	// met is the observability hook set, nil unless Options.Obs was
+	// given. met.span is the persistent flush-span scratch, guarded by
+	// flushMu like the rest of the flush state, so recording a span never
+	// allocates.
+	met *collMetrics
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -206,15 +222,22 @@ type tailOp struct {
 // has a single instance; snapshot mode ping-pongs between two.
 type collState[ID comparable] struct {
 	idx core.Index
-	fwd map[ID]geom.Point
-	rev map[geom.Point][]ID
+	// costed is idx's cost-reporting query interface when it has one
+	// (shard.Sharded does); the slow-query path uses it to attribute
+	// shards visited and candidates scanned, falling back to whole-index
+	// counts otherwise.
+	costed obs.CostedIndex
+	fwd    map[ID]geom.Point
+	rev    map[geom.Point][]ID
 }
 
 func newCollState[ID comparable](idx core.Index) *collState[ID] {
+	costed, _ := idx.(obs.CostedIndex)
 	return &collState[ID]{
-		idx: idx,
-		fwd: make(map[ID]geom.Point),
-		rev: make(map[geom.Point][]ID),
+		idx:    idx,
+		costed: costed,
+		fwd:    make(map[ID]geom.Point),
+		rev:    make(map[geom.Point][]ID),
 	}
 }
 
@@ -264,6 +287,9 @@ func New[ID comparable](idx core.Index, opts Options) *Collection[ID] {
 		c.snap.standby = epoch.NewVersion(newCollState[ID](mirror))
 	} else {
 		c.live = newCollState[ID](idx)
+	}
+	if c.opts.Obs != nil {
+		c.met = newCollMetrics(c.opts.Obs, c)
 	}
 	if c.opts.FlushInterval > 0 {
 		c.wg.Add(1)
@@ -414,6 +440,13 @@ func (c *Collection[ID]) Flush() int {
 	sc.spare = nil
 	c.pend.Unlock()
 
+	m := c.met
+	var clk time.Time
+	if m != nil {
+		clk = time.Now()
+		m.span = obs.FlushSpan{Layer: "collection", Start: clk.UnixNano()}
+	}
+
 	// Net the window: the last op per ID wins, every earlier op on that
 	// ID is superseded. Identity makes this exact — no order-aware
 	// matching needed.
@@ -426,14 +459,18 @@ func (c *Collection[ID]) Flush() int {
 	for _, o := range ops {
 		final[o.id] = o
 	}
-	c.cancelled.Add(uint64(len(ops) - len(final)))
+	cancelled := len(ops) - len(final)
+	c.cancelled.Add(uint64(cancelled))
+	if m != nil {
+		clk = m.span.Stamp(obs.StageNet, clk)
+	}
 
 	var applied int
 	var nIns, nMove, nDel uint64
 	if c.snap.enabled {
-		applied, nIns, nMove, nDel = c.commitSnapshot(sc, final)
+		applied, nIns, nMove, nDel = c.commitSnapshot(sc, final, clk)
 	} else {
-		applied, nIns, nMove, nDel = c.commitLocked(sc, final)
+		applied, nIns, nMove, nDel = c.commitLocked(sc, final, clk)
 	}
 
 	// The netted tape and the ins/del buffers are dead: the index must
@@ -449,6 +486,18 @@ func (c *Collection[ID]) Flush() int {
 	c.inserted.Add(nIns)
 	c.moved.Add(nMove)
 	c.removed.Add(nDel)
+	c.rawOps.Add(uint64(len(ops)))
+	c.applied.Add(uint64(applied))
+	if m != nil {
+		m.span.RawOps = len(ops)
+		m.span.NettedOps = applied
+		m.span.Cancelled = cancelled
+		if c.snap.enabled {
+			m.span.Epoch = c.snap.mgr.Epoch()
+		}
+		m.flushDur.Record(m.span.Dur())
+		m.trace.Record(m.span)
+	}
 	return applied
 }
 
@@ -532,13 +581,22 @@ func (c *Collection[ID]) purgeOverlay(final map[ID]op[ID]) {
 // the single committed triple, commit under the writer lock, and purge
 // the overlay before releasing it — after a Get misses the overlay, the
 // committed state it then reads must already include every purged op.
-func (c *Collection[ID]) commitLocked(sc *collScratch[ID], final map[ID]op[ID]) (applied int, nIns, nMove, nDel uint64) {
+// clk is the flush-span clock (only read when metrics are attached);
+// planning counts toward the net stage, the locked commit toward apply.
+func (c *Collection[ID]) commitLocked(sc *collScratch[ID], final map[ID]op[ID], clk time.Time) (applied int, nIns, nMove, nDel uint64) {
+	m := c.met
 	st := c.live
 	ins, del, nIns, nMove, nDel := c.planDiff(sc, st, final)
+	if m != nil {
+		clk = m.span.Stamp(obs.StageNet, clk)
+	}
 	c.rw.Lock()
 	c.applyDiff(st, ins, del, final)
 	c.purgeOverlay(final)
 	c.rw.Unlock()
+	if m != nil {
+		m.span.Stamp(obs.StageApply, clk)
+	}
 	sc.ins, sc.del = ins[:0], del[:0]
 	return len(ins) + len(del), nIns, nMove, nDel
 }
@@ -554,7 +612,8 @@ func (c *Collection[ID]) commitLocked(sc *collScratch[ID], final map[ID]op[ID]) 
 // Get that misses the overlay pins a version that already includes every
 // purged op. The flush returns only after the displaced version drains,
 // at which point it becomes the next standby.
-func (c *Collection[ID]) commitSnapshot(sc *collScratch[ID], final map[ID]op[ID]) (applied int, nIns, nMove, nDel uint64) {
+func (c *Collection[ID]) commitSnapshot(sc *collScratch[ID], final map[ID]op[ID], clk time.Time) (applied int, nIns, nMove, nDel uint64) {
+	m := c.met
 	st := c.snap.standby.Data
 	st.idx.BatchDiff(c.snap.savedIns, c.snap.savedDel)
 	if f, ok := st.idx.(interface{ Flush() int }); ok {
@@ -564,8 +623,14 @@ func (c *Collection[ID]) commitSnapshot(sc *collScratch[ID], final map[ID]op[ID]
 		c.applyOp(st, o)
 	}
 	clear(c.snap.savedOps) // do not pin the replayed window's ID values
+	if m != nil {
+		clk = m.span.Stamp(obs.StageReplay, clk)
+	}
 
 	ins, del, nIns, nMove, nDel := c.planDiff(sc, st, final)
+	if m != nil {
+		clk = m.span.Stamp(obs.StageNet, clk)
+	}
 	c.applyDiff(st, ins, del, final)
 
 	// Save the window for the next catch-up: ins/del alias the netting
@@ -579,10 +644,19 @@ func (c *Collection[ID]) commitSnapshot(sc *collScratch[ID], final map[ID]op[ID]
 	c.snap.savedIns = append(c.snap.savedIns[:0], ins...)
 	c.snap.savedDel = append(c.snap.savedDel[:0], del...)
 	sc.ins, sc.del = ins[:0], del[:0]
+	if m != nil {
+		clk = m.span.Stamp(obs.StageApply, clk)
+	}
 
 	prev := c.snap.mgr.Publish(c.snap.standby)
 	c.purgeOverlay(final)
+	if m != nil {
+		clk = m.span.Stamp(obs.StagePublish, clk)
+	}
 	c.snap.mgr.WaitDrained(prev)
+	if m != nil {
+		m.span.Stamp(obs.StageDrain, clk)
+	}
 	c.snap.standby = prev
 	return len(ins) + len(del), nIns, nMove, nDel
 }
@@ -638,6 +712,16 @@ func (c *Collection[ID]) NearbyIDs(q geom.Point, k int) []Entry[ID] {
 // collection keeps no alias to dst). Serving loops reuse one dst across
 // requests so warm queries allocate nothing here.
 func (c *Collection[ID]) NearbyIDsAppend(q geom.Point, k int, dst []Entry[ID]) []Entry[ID] {
+	return c.NearbyIDsAppendCost(q, k, dst, nil)
+}
+
+// NearbyIDsAppendCost is NearbyIDsAppend that additionally accounts the
+// query's work into cost when non-nil: the pinned epoch, and — when the
+// inner index reports per-query cost (shard.Sharded) — the shards
+// visited and candidates scanned; otherwise the whole index counts as
+// one shard and every geometric hit as a candidate. The slow-query log
+// is the intended caller.
+func (c *Collection[ID]) NearbyIDsAppendCost(q geom.Point, k int, dst []Entry[ID], cost *obs.QueryCost) []Entry[ID] {
 	sc := c.getQueryScratch()
 	var st *collState[ID]
 	if c.snap.enabled {
@@ -647,12 +731,23 @@ func (c *Collection[ID]) NearbyIDsAppend(q geom.Point, k int, dst []Entry[ID]) [
 		v := c.snap.mgr.Pin()
 		defer c.snap.mgr.Unpin(v)
 		st = v.Data
+		if cost != nil {
+			cost.Epoch = v.Epoch()
+		}
 	} else {
 		c.rw.RLock()
 		defer c.rw.RUnlock() // deferred so a panicking inner index never wedges writers
 		st = c.live
 	}
-	sc.pts = st.idx.KNN(q, k, sc.pts[:0])
+	if cost != nil && st.costed != nil {
+		sc.pts = st.costed.KNNCost(q, k, sc.pts[:0], cost)
+	} else {
+		sc.pts = st.idx.KNN(q, k, sc.pts[:0])
+		if cost != nil {
+			cost.Shards++
+			cost.Candidates += len(sc.pts)
+		}
+	}
 	dst = c.resolveAppend(st, sc, dst)
 	c.putQueryScratch(sc)
 	return dst
@@ -667,18 +762,35 @@ func (c *Collection[ID]) WithinIDs(box geom.Box) []Entry[ID] {
 // WithinIDsAppend is WithinIDs with a caller-provided destination (see
 // NearbyIDsAppend for the contract).
 func (c *Collection[ID]) WithinIDsAppend(box geom.Box, dst []Entry[ID]) []Entry[ID] {
+	return c.WithinIDsAppendCost(box, dst, nil)
+}
+
+// WithinIDsAppendCost is WithinIDsAppend with query-cost accounting
+// (see NearbyIDsAppendCost for the contract).
+func (c *Collection[ID]) WithinIDsAppendCost(box geom.Box, dst []Entry[ID], cost *obs.QueryCost) []Entry[ID] {
 	sc := c.getQueryScratch()
 	var st *collState[ID]
 	if c.snap.enabled {
 		v := c.snap.mgr.Pin()
 		defer c.snap.mgr.Unpin(v)
 		st = v.Data
+		if cost != nil {
+			cost.Epoch = v.Epoch()
+		}
 	} else {
 		c.rw.RLock()
 		defer c.rw.RUnlock() // deferred so a panicking inner index never wedges writers
 		st = c.live
 	}
-	sc.pts = st.idx.RangeList(box, sc.pts[:0])
+	if cost != nil && st.costed != nil {
+		sc.pts = st.costed.RangeListCost(box, sc.pts[:0], cost)
+	} else {
+		sc.pts = st.idx.RangeList(box, sc.pts[:0])
+		if cost != nil {
+			cost.Shards++
+			cost.Candidates += len(sc.pts)
+		}
+	}
 	dst = c.resolveAppend(st, sc, dst)
 	c.putQueryScratch(sc)
 	return dst

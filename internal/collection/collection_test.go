@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/sfc"
 	"repro/internal/shard"
 	"repro/internal/spactree"
@@ -490,7 +491,7 @@ func TestSetFlushZeroAllocWarm(t *testing.T) {
 		posB[i] = geom.Pt2(int64(i)*17+5, int64(i)*29+3)
 	}
 	t.Run("same-position windows", func(t *testing.T) {
-		c := New[int](core.NewNull(2), Options{MaxBatch: 1 << 20})
+		c := New[int](core.NewNull(2), Options{MaxBatch: 1 << 20, Obs: obs.New()})
 		for i, p := range posA {
 			c.Set(i, p)
 		}
@@ -507,7 +508,7 @@ func TestSetFlushZeroAllocWarm(t *testing.T) {
 		}
 	})
 	t.Run("move windows", func(t *testing.T) {
-		c := New[int](core.NewNull(2), Options{MaxBatch: 1 << 20})
+		c := New[int](core.NewNull(2), Options{MaxBatch: 1 << 20, Obs: obs.New()})
 		for i, p := range posA {
 			c.Set(i, p)
 		}

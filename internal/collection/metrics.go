@@ -1,0 +1,63 @@
+package collection
+
+import (
+	"repro/internal/obs"
+)
+
+// collMetrics is the Collection's observability hook set, created once
+// in New when Options.Obs is given. The exposed counters read the
+// Collection's own atomics through CounterFuncs; span is the persistent
+// flush-span scratch (guarded by flushMu) that keeps span recording
+// allocation-free.
+type collMetrics struct {
+	trace    *obs.FlushTrace
+	flushDur *obs.Hist
+	span     obs.FlushSpan
+}
+
+func newCollMetrics[ID comparable](r *obs.Registry, c *Collection[ID]) *collMetrics {
+	layer := obs.Label{Key: "layer", Value: "collection"}
+	r.CounterFunc("psi_flush_total",
+		"Flush windows applied to the index.",
+		c.flushes.Load, layer)
+	r.CounterFunc("psi_flush_ops_raw_total",
+		"Mutations entering flush windows before netting.",
+		c.rawOps.Load, layer)
+	r.CounterFunc("psi_flush_ops_netted_total",
+		"Index mutations surviving netting (applied inserts plus deletes).",
+		c.applied.Load, layer)
+	r.CounterFunc("psi_flush_ops_cancelled_total",
+		"Ops superseded in-window by a later op on the same ID.",
+		c.cancelled.Load, layer)
+	r.GaugeFunc("psi_objects",
+		"Live objects in the committed (published) state.",
+		func() float64 { return float64(c.liveObjects()) }, layer)
+	r.GaugeFunc("psi_epoch",
+		"Published snapshot epoch (0 in locked mode).",
+		func() float64 { return float64(c.snap.mgr.Epoch()) }, layer)
+	r.GaugeFunc("psi_epoch_retire_lag",
+		"Published epochs whose displaced version has not drained.",
+		func() float64 { return float64(c.snap.mgr.RetireLag()) }, layer)
+	return &collMetrics{
+		trace: r.FlushTrace(),
+		flushDur: r.Histogram("psi_flush_duration_ns",
+			"Flush wall time in nanoseconds, summed over pipeline stages.",
+			layer),
+	}
+}
+
+// liveObjects counts committed objects without the writer lock: off the
+// pinned published version in snapshot mode, under the read lock
+// otherwise.
+func (c *Collection[ID]) liveObjects() int {
+	if c.snap.enabled {
+		v := c.snap.mgr.Pin()
+		n := len(v.Data.fwd)
+		c.snap.mgr.Unpin(v)
+		return n
+	}
+	c.rw.RLock()
+	n := len(c.live.fwd)
+	c.rw.RUnlock()
+	return n
+}

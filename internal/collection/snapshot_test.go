@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // The snapshot-read (epoch-pinned) variant of the Collection test suite:
@@ -275,7 +276,7 @@ func TestSnapshotFlushZeroAllocWarm(t *testing.T) {
 		pos[i] = geom.Pt2(int64(i)*17, int64(i)*29)
 	}
 	mk := func() core.Index { return core.NewNull(2) }
-	c := New[int](mk(), Options{MaxBatch: 1 << 20, Snapshot: mk})
+	c := New[int](mk(), Options{MaxBatch: 1 << 20, Snapshot: mk, Obs: obs.New()})
 	for i, p := range pos {
 		c.Set(i, p)
 	}

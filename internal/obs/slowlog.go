@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// Slow-query log: the serving layer records every command slower than
+// its -slowlog threshold into a preallocated ring, capturing the
+// command, its raw request line, the duration, and the query's cost
+// (shards visited, candidate points scanned, pinned epoch). Recording
+// follows the FlushTrace pattern — one atomic slot claim plus a
+// per-slot mutex, arguments copied into a fixed in-slot buffer — so a
+// burst of slow queries from many connections records without shared
+// locking or allocation. Snapshots back /debug/slowlog and the SLOWLOG
+// protocol command.
+
+// QueryCost is the per-query work accounting threaded down the query
+// path: Shards is the number of shards the query actually visited,
+// Candidates the geometric candidate points the shards reported before
+// ID resolution, Epoch the published epoch the query pinned (0 in
+// locked mode). Implementations of CostedIndex fill Shards and
+// Candidates only; the layer that pins the epoch fills Epoch.
+type QueryCost struct {
+	Shards     int
+	Candidates int
+	Epoch      uint64
+}
+
+// CostedIndex is implemented by indexes that can report per-query cost
+// alongside the result. The dst-append contract matches core.Index
+// (KNN/RangeList); cost may not be nil and is incremented, not reset —
+// callers zero it per query. shard.Sharded implements it.
+type CostedIndex interface {
+	KNNCost(q geom.Point, k int, dst []geom.Point, cost *QueryCost) []geom.Point
+	RangeListCost(box geom.Box, dst []geom.Point, cost *QueryCost) []geom.Point
+}
+
+// SlowArgsCap is the per-entry argument capture limit: request lines
+// longer than this are truncated (and flagged) rather than allocated
+// for.
+const SlowArgsCap = 240
+
+// SlowQuery is one copied-out slow-log entry (the read-side form:
+// Snapshot allocates these; the in-ring storage is fixed-size).
+type SlowQuery struct {
+	Seq        uint64 `json:"seq"`
+	UnixNano   int64  `json:"unix_nano"`
+	DurNs      int64  `json:"dur_ns"`
+	Cmd        string `json:"cmd"`
+	Args       string `json:"args"`
+	Truncated  bool   `json:"truncated,omitempty"`
+	Shards     int    `json:"shards"`
+	Candidates int    `json:"candidates"`
+	Epoch      uint64 `json:"epoch"`
+}
+
+// SlowLog is the slow-query ring. The nil receiver is safe on Record
+// and Total.
+type SlowLog struct {
+	seq   atomic.Uint64
+	slots []slowSlot
+}
+
+type slowSlot struct {
+	mu    sync.Mutex
+	used  bool
+	seq   uint64
+	unix  int64
+	durNs int64
+	cmd   string
+	nArgs int
+	trunc bool
+	args  [SlowArgsCap]byte
+	cost  QueryCost
+}
+
+// NewSlowLog returns a ring retaining the last capacity entries
+// (minimum 1).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{slots: make([]slowSlot, capacity)}
+}
+
+// Record stores one slow query, overwriting the oldest when the ring is
+// full. cmd must be a constant (it is retained by reference); args is
+// copied (truncated to SlowArgsCap bytes). Record is safe for
+// concurrent use and does not allocate.
+func (l *SlowLog) Record(cmd string, args []byte, d time.Duration, cost QueryCost) {
+	if l == nil {
+		return
+	}
+	seq := l.seq.Add(1)
+	slot := &l.slots[(seq-1)%uint64(len(l.slots))]
+	slot.mu.Lock()
+	slot.used = true
+	slot.seq = seq
+	slot.unix = time.Now().UnixNano()
+	slot.durNs = d.Nanoseconds()
+	slot.cmd = cmd
+	slot.trunc = len(args) > len(slot.args)
+	slot.nArgs = copy(slot.args[:], args)
+	slot.cost = cost
+	slot.mu.Unlock()
+}
+
+// Total returns the number of slow queries ever recorded.
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.seq.Load()
+}
+
+// Snapshot copies the retained entries out, newest first (the SLOWLOG
+// convention).
+func (l *SlowLog) Snapshot() []SlowQuery {
+	if l == nil {
+		return nil
+	}
+	out := make([]SlowQuery, 0, len(l.slots))
+	for i := range l.slots {
+		slot := &l.slots[i]
+		slot.mu.Lock()
+		if slot.used {
+			out = append(out, SlowQuery{
+				Seq:        slot.seq,
+				UnixNano:   slot.unix,
+				DurNs:      slot.durNs,
+				Cmd:        slot.cmd,
+				Args:       string(slot.args[:slot.nArgs]),
+				Truncated:  slot.trunc,
+				Shards:     slot.cost.Shards,
+				Candidates: slot.cost.Candidates,
+				Epoch:      slot.cost.Epoch,
+			})
+		}
+		slot.mu.Unlock()
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Seq < out[j].Seq; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

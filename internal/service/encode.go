@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/collection"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // This file is the allocation-free response encoder. The serving hot path
@@ -37,6 +38,8 @@ type result struct {
 	applied    int
 	hasApplied bool
 	stats      *StatsPayload
+	hasSlow    bool
+	slow       []obs.SlowQuery
 }
 
 // errResult builds an error result without formatting overhead for the
@@ -55,6 +58,9 @@ func errResultf(code, format string, args ...any) result {
 // json.Marshal path and the tests use it; the hot path never does).
 func (r *result) response(dims int) Response {
 	resp := Response{OK: r.ok, Code: r.code, Err: r.err, Found: r.found, Stats: r.stats}
+	if r.hasSlow {
+		resp.Slow = r.slow
+	}
 	if r.hasApplied {
 		resp.Applied = r.applied
 	}
@@ -116,6 +122,10 @@ func appendResult(buf []byte, r *result, dims int) []byte {
 		buf = append(buf, `,"stats":`...)
 		buf = append(buf, marshalStats(r.stats)...)
 	}
+	if r.hasSlow && len(r.slow) > 0 { // omitempty: an empty slow log is omitted
+		buf = append(buf, `,"slow":`...)
+		buf = append(buf, marshalSlow(r.slow)...)
+	}
 	return append(buf, '}', '\n')
 }
 
@@ -123,6 +133,13 @@ func appendResult(buf []byte, r *result, dims int) []byte {
 // probe command, not a hot path, and the payload is deeply structured.
 func marshalStats(st *StatsPayload) []byte {
 	b := marshalLine(st)
+	return b[:len(b)-1] // strip marshalLine's newline; it nests here
+}
+
+// marshalSlow renders the SLOWLOG body through encoding/json (a probe
+// command, like STATS).
+func marshalSlow(slow []obs.SlowQuery) []byte {
+	b := marshalLine(slow)
 	return b[:len(b)-1] // strip marshalLine's newline; it nests here
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/collection"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // encodeCases covers every response shape the hot path renders: plain
@@ -34,6 +35,20 @@ func encodeCases() []result {
 	}
 }
 
+// slowEncodeCases are the SLOWLOG response shapes: probe-command output
+// (rendered through encoding/json like STATS), so they join the parity
+// test but not the zero-alloc guard.
+func slowEncodeCases() []result {
+	return []result{
+		{ok: true, hasSlow: true, slow: nil}, // empty slow log: omitted
+		{ok: true, hasSlow: true, slow: []obs.SlowQuery{
+			{Seq: 2, UnixNano: 1700000000000, DurNs: 5_000_000, Cmd: OpNearby,
+				Args: `{"op":"NEARBY","p":[1,2],"k":10}`, Shards: 3, Candidates: 17, Epoch: 9},
+			{Seq: 1, Cmd: OpWithin, Args: "trunc", Truncated: true},
+		}},
+	}
+}
+
 // TestEncodeMatchesJSON pins the hand-rolled encoder to what
 // json.Marshal produces for the equivalent Response: byte-identical
 // lines for strings without HTML-escaped characters, and semantically
@@ -41,7 +56,7 @@ func encodeCases() []result {
 // which the protocol never relied on).
 func TestEncodeMatchesJSON(t *testing.T) {
 	const dims = 2
-	for i, res := range encodeCases() {
+	for i, res := range append(encodeCases(), slowEncodeCases()...) {
 		got := appendResult(nil, &res, dims)
 		want := marshalLine(res.response(dims))
 		if !bytes.Equal(got, want) {

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Load generation: drive a psid server with N concurrent client
@@ -115,6 +117,9 @@ type LoadReport struct {
 	OpsPerSec float64
 	Total     OpLoad   // all ops merged
 	PerOp     []OpLoad // SET, NEARBY, WITHIN (ops actually issued)
+	// Server carries the server-side /metrics deltas when the caller
+	// scraped around the run (psiload -scrape); nil otherwise.
+	Server *ServerDelta
 }
 
 // loadOps are the command classes the generator issues.
@@ -152,7 +157,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	}()
 
 	type connStats struct {
-		lat  [len(loadOps)]latHist
+		lat  [len(loadOps)]obs.Hist
 		errs [len(loadOps)]uint64
 		err  error
 	}
@@ -236,7 +241,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 					}
 					_, err = c.Within(lo, hi)
 				}
-				st.lat[op].record(time.Since(t0))
+				st.lat[op].Record(time.Since(t0))
 				if err != nil {
 					st.errs[op]++
 					if _, proto := err.(*ServerError); !proto {
@@ -250,12 +255,12 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	wg.Wait()
 	elapsed := time.Since(begin)
 
-	var merged [len(loadOps)]latHist
+	var merged [len(loadOps)]obs.Hist
 	var errs [len(loadOps)]uint64
 	var firstErr error
 	for i := range stats {
 		for k := range loadOps {
-			merged[k].merge(&stats[i].lat[k])
+			merged[k].Merge(&stats[i].lat[k])
 			errs[k] += stats[i].errs[k]
 		}
 		if firstErr == nil && stats[i].err != nil {
@@ -263,14 +268,14 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		}
 	}
 	rep := &LoadReport{Elapsed: elapsed, Conns: o.Conns}
-	var total latHist
+	var total obs.Hist
 	for k, name := range loadOps {
-		n := merged[k].count.Load()
+		n := merged[k].Count()
 		if n == 0 && errs[k] == 0 {
 			continue
 		}
 		rep.PerOp = append(rep.PerOp, opLoad(name, &merged[k], errs[k], elapsed))
-		total.merge(&merged[k])
+		total.Merge(&merged[k])
 		rep.Ops += n
 		rep.Errors += errs[k]
 	}
@@ -282,15 +287,15 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	return rep, firstErr
 }
 
-func opLoad(name string, h *latHist, errs uint64, elapsed time.Duration) OpLoad {
+func opLoad(name string, h *obs.Hist, errs uint64, elapsed time.Duration) OpLoad {
 	return OpLoad{
 		Op:        name,
-		Count:     h.count.Load(),
+		Count:     h.Count(),
 		Errors:    errs,
-		OpsPerSec: float64(h.count.Load()) / elapsed.Seconds(),
-		Mean:      h.mean(),
-		P50:       h.quantile(0.50),
-		P99:       h.quantile(0.99),
+		OpsPerSec: float64(h.Count()) / elapsed.Seconds(),
+		Mean:      h.Mean(),
+		P50:       h.Quantile(0.50),
+		P99:       h.Quantile(0.99),
 	}
 }
 
@@ -303,6 +308,9 @@ func (r *LoadReport) Format(w io.Writer) {
 	for _, o := range append(r.PerOp, r.Total) {
 		fmt.Fprintf(w, "%-8s %10d %10d %12.0f %10s %10s %10s\n",
 			o.Op, o.Count, o.Errors, o.OpsPerSec, o.Mean, o.P50, o.P99)
+	}
+	if r.Server != nil {
+		r.Server.format(w)
 	}
 }
 
@@ -325,6 +333,25 @@ func (r *LoadReport) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%.1f", float64(o.P99)/1e3),
 		}); err != nil {
 			return err
+		}
+	}
+	if r.Server != nil {
+		rows := [][]string{
+			{"server:flushes", fmt.Sprintf("%.0f", r.Server.Flushes)},
+			{"server:raw_ops", fmt.Sprintf("%.0f", r.Server.RawOps)},
+			{"server:netted_ops", fmt.Sprintf("%.0f", r.Server.NettedOps)},
+			{"server:cancelled", fmt.Sprintf("%.0f", r.Server.Cancelled)},
+			{"server:netted_ratio", fmt.Sprintf("%.3f", r.Server.NettedRatio)},
+			{"server:slow_queries", fmt.Sprintf("%.0f", r.Server.SlowQueries)},
+			{"server:shard_ops_min", fmt.Sprintf("%.0f", r.Server.ShardOpsMin)},
+			{"server:shard_ops_max", fmt.Sprintf("%.0f", r.Server.ShardOpsMax)},
+		}
+		// Server rows reuse the op column and leave the latency columns
+		// empty: one CSV, greppable by the "server:" prefix.
+		for _, row := range rows {
+			if err := cw.Write(append(row, "", "", "", "", "")); err != nil {
+				return err
+			}
 		}
 	}
 	cw.Flush()

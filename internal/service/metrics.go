@@ -1,89 +1,25 @@
 package service
 
 import (
-	"math"
-	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// latHist is a lock-free latency histogram with power-of-two nanosecond
-// buckets: bucket i counts durations d with 2^i <= d < 2^(i+1) (bucket 0
-// also takes d <= 1ns, the last bucket takes everything >= ~8.6s). Both
-// the server's per-command counters and the load generator's client-side
-// recorder use it: recording is two atomic adds, so many goroutines can
-// record without contention, and quantiles are read off the bucket
-// counts with power-of-two resolution — plenty for p50/p99 reporting.
-type latHist struct {
-	buckets [34]atomic.Uint64
-	count   atomic.Uint64
-	sumNs   atomic.Uint64
-}
-
-// record adds one observation.
-func (h *latHist) record(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 1 {
-		ns = 1
-	}
-	i := bits.Len64(uint64(ns)) - 1
-	if i >= len(h.buckets) {
-		i = len(h.buckets) - 1
-	}
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sumNs.Add(uint64(ns))
-}
-
-// merge folds other into h (used to combine per-connection recorders).
-func (h *latHist) merge(other *latHist) {
-	for i := range h.buckets {
-		h.buckets[i].Add(other.buckets[i].Load())
-	}
-	h.count.Add(other.count.Load())
-	h.sumNs.Add(other.sumNs.Load())
-}
-
-// quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
-// the bucket holding the q*count-th observation. Zero observations
-// report zero.
-func (h *latHist) quantile(q float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := uint64(math.Ceil(q * float64(total))) // nearest-rank
-	if target < 1 {
-		target = 1
-	}
-	if target > total {
-		target = total
-	}
-	var seen uint64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen >= target {
-			return time.Duration(uint64(1) << (i + 1))
-		}
-	}
-	return time.Duration(uint64(1) << len(h.buckets))
-}
-
-// mean returns the exact mean latency (zero when empty).
-func (h *latHist) mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sumNs.Load() / n)
-}
+// The per-command latency histogram lives in internal/obs (obs.Hist, the
+// generalized form of the latency recorder this file used to define):
+// recording is three atomic adds, so many connection goroutines record
+// without contention, and quantiles are read off the power-of-two bucket
+// counts — plenty for p50/p99 reporting. The same histograms are exposed
+// on /metrics as psi_query_duration_ns series (see registerMetrics).
 
 // numOps is the number of protocol commands (metrics are a fixed array
 // indexed by opIndex, so recording never allocates or locks).
-const numOps = 7
+const numOps = 8
 
 // opOrder is the canonical command order for stats rendering.
-var opOrder = [numOps]string{OpSet, OpDel, OpGet, OpNearby, OpWithin, OpStats, OpFlush}
+var opOrder = [numOps]string{OpSet, OpDel, OpGet, OpNearby, OpWithin, OpStats, OpFlush, OpSlowlog}
 
 // opIndex maps a canonical op name to its metrics slot (-1 if unknown).
 func opIndex(op string) int {
@@ -98,7 +34,7 @@ func opIndex(op string) int {
 // opMetrics is one command's serving record.
 type opMetrics struct {
 	errs atomic.Uint64
-	lat  latHist
+	lat  obs.Hist
 }
 
 // metrics is the server-wide counter set. Everything is atomic: handlers
@@ -114,7 +50,7 @@ func (m *metrics) record(op int, d time.Duration, ok bool) {
 		m.badLines.Add(1)
 		return
 	}
-	m.ops[op].lat.record(d)
+	m.ops[op].lat.Record(d)
 	if !ok {
 		m.ops[op].errs.Add(1)
 	}
@@ -126,17 +62,51 @@ func (m *metrics) snapshot() map[string]OpCounters {
 	out := make(map[string]OpCounters, len(opOrder))
 	for i, name := range opOrder {
 		om := &m.ops[i]
-		n := om.lat.count.Load()
+		n := om.lat.Count()
 		if n == 0 && om.errs.Load() == 0 {
 			continue
 		}
 		out[name] = OpCounters{
 			Count:  n,
 			Errors: om.errs.Load(),
-			MeanUs: float64(om.lat.mean()) / 1e3,
-			P50Us:  float64(om.lat.quantile(0.50)) / 1e3,
-			P99Us:  float64(om.lat.quantile(0.99)) / 1e3,
+			MeanUs: float64(om.lat.Mean()) / 1e3,
+			P50Us:  float64(om.lat.Quantile(0.50)) / 1e3,
+			P99Us:  float64(om.lat.Quantile(0.99)) / 1e3,
 		}
 	}
 	return out
+}
+
+// registerMetrics exposes the server's serving counters on reg: one
+// psi_query_duration_ns histogram series per command (op label), the
+// per-command error counters, protocol rejects, and the connection
+// gauge. The histograms are the very structs record writes — exposition
+// reads the same atomics, nothing is copied on the serving path.
+func (s *Server) registerMetrics(reg *obs.Registry) {
+	for i, name := range opOrder {
+		lbl := obs.Label{Key: "op", Value: name}
+		reg.RegisterHistogram("psi_query_duration_ns",
+			"Command serving latency in nanoseconds, per protocol op.",
+			&s.met.ops[i].lat, lbl)
+		om := &s.met.ops[i]
+		reg.CounterFunc("psi_command_errors_total",
+			"Commands that returned an error response, per protocol op.",
+			om.errs.Load, lbl)
+	}
+	reg.CounterFunc("psi_bad_lines_total",
+		"Protocol-level rejects (unparseable or oversized lines).",
+		s.met.badLines.Load)
+	reg.GaugeFunc("psi_conns",
+		"Currently open client connections.",
+		func() float64 {
+			s.mu.Lock()
+			n := len(s.conns)
+			s.mu.Unlock()
+			return float64(n)
+		})
+	if s.slow != nil {
+		reg.CounterFunc("psi_slow_queries_total",
+			"Commands slower than the -slowlog threshold.",
+			s.slow.Total)
+	}
 }

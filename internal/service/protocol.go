@@ -1,8 +1,10 @@
 // Package service implements psid, the network serving layer over
 // psi.Collection: a concurrent geospatial server that exposes the full
-// moving-object API — SET/DEL/GET/NEARBY/WITHIN/STATS/FLUSH — over a
-// newline-delimited JSON command protocol on TCP, plus HTTP /healthz and
-// /stats endpoints for probes and dashboards.
+// moving-object API — SET/DEL/GET/NEARBY/WITHIN/STATS/FLUSH/SLOWLOG —
+// over a newline-delimited JSON command protocol on TCP, plus HTTP
+// probe endpoints for dashboards: /healthz, /stats, /metrics
+// (Prometheus text exposition), /debug/flushtrace and /debug/slowlog
+// (see docs/observability.md).
 //
 // The paper's stack ends at the process boundary: indexes (§3, §4) are
 // batch-synchronous, the Store/Sharded/Collection layers make them safe
@@ -31,6 +33,7 @@ import (
 	"fmt"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Command names. Dispatch is case-insensitive; these are the canonical
@@ -43,6 +46,10 @@ const (
 	OpWithin = "WITHIN" // {"op":"WITHIN","lo":[..],"hi":[..]}   → {"ok":true,"hits":[...]}
 	OpStats  = "STATS"  // {"op":"STATS"}                        → {"ok":true,"stats":{...}}
 	OpFlush  = "FLUSH"  // {"op":"FLUSH"}                        → {"ok":true,"applied":n}
+	// OpSlowlog returns the retained slow-query entries, newest first
+	// (requires the server to run with a slow-query threshold; see
+	// Options.SlowLog). Errors with bad_request when the log is disabled.
+	OpSlowlog = "SLOWLOG" // {"op":"SLOWLOG"}                     → {"ok":true,"slow":[...]}
 )
 
 // Error codes carried in Response.Code when OK is false.
@@ -95,6 +102,9 @@ type Response struct {
 	// FLUSH committed.
 	Applied int           `json:"applied,omitempty"`
 	Stats   *StatsPayload `json:"stats,omitempty"`
+	// Slow is the SLOWLOG response body: retained slow-query entries,
+	// newest first.
+	Slow []obs.SlowQuery `json:"slow,omitempty"`
 }
 
 // errResp builds an error response.

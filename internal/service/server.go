@@ -18,6 +18,7 @@ import (
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // DefaultMaxLineBytes caps one request line when Options.MaxLineBytes is
@@ -70,7 +71,25 @@ type Options struct {
 	// measures. Set this to benchmark the locked baseline or to halve
 	// index memory on tightly constrained hosts.
 	DisableSnapshot bool
+	// Obs is the metric registry the server records into and serves at
+	// /metrics. The same registry is handed to the Collection (and should
+	// be the one the wrapped Sharded was built with) so one scrape covers
+	// every layer. Leave nil and the server creates a private registry —
+	// /metrics then carries the serving and collection series only.
+	Obs *obs.Registry
+	// SlowLog, when positive, is the slow-query threshold: any command
+	// slower than this is captured — command, request line, duration,
+	// shards visited, candidates scanned, pinned epoch — into a
+	// preallocated ring served at /debug/slowlog and by the SLOWLOG
+	// command. Zero disables the log (SLOWLOG then errors).
+	SlowLog time.Duration
+	// SlowLogSize is the ring capacity; <= 0 selects DefaultSlowLogSize.
+	SlowLogSize int
 }
+
+// DefaultSlowLogSize is the slow-query ring capacity used when
+// Options.SlowLogSize is unset.
+const DefaultSlowLogSize = 128
 
 // DefaultFlushInterval is the background flush cadence used when
 // Options.FlushInterval is zero.
@@ -85,6 +104,12 @@ func (o Options) withDefaults() Options {
 	} else if o.FlushInterval < 0 {
 		o.FlushInterval = 0
 	}
+	if o.Obs == nil {
+		o.Obs = obs.New()
+	}
+	if o.SlowLogSize <= 0 {
+		o.SlowLogSize = DefaultSlowLogSize
+	}
 	return o
 }
 
@@ -97,6 +122,8 @@ type Server struct {
 	coll  *collection.Collection[string]
 	dims  int
 	met   metrics
+	reg   *obs.Registry
+	slow  *obs.SlowLog // nil unless Options.SlowLog > 0
 	start time.Time
 
 	ln     net.Listener
@@ -122,6 +149,7 @@ func New(idx core.Index, opts Options) *Server {
 		MaxBatch:       opts.MaxBatch,
 		FlushInterval:  opts.FlushInterval,
 		DisableScratch: opts.DisableScratch,
+		Obs:            opts.Obs,
 	}
 	if r, ok := idx.(core.Replicator); ok && !opts.DisableSnapshot {
 		copts.Snapshot = r.NewReplica
@@ -130,10 +158,19 @@ func New(idx core.Index, opts Options) *Server {
 		opts:  opts,
 		dims:  idx.Dims(),
 		coll:  collection.New[string](idx, copts),
+		reg:   opts.Obs,
 		conns: make(map[net.Conn]struct{}),
 	}
+	if opts.SlowLog > 0 {
+		s.slow = obs.NewSlowLog(opts.SlowLogSize)
+	}
+	s.registerMetrics(s.reg)
 	return s
 }
+
+// Registry returns the server's metric registry (the one served at
+// /metrics) for embedders that want to add their own series.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Collection exposes the underlying Collection for in-process callers: a
 // binary embedding a Server can serve local traffic at function-call
@@ -161,6 +198,9 @@ func (s *Server) Start(addr, httpAddr string) error {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/healthz", s.handleHealthz)
 		mux.HandleFunc("/stats", s.handleStats)
+		mux.HandleFunc("/metrics", s.handleMetrics)
+		mux.HandleFunc("/debug/flushtrace", s.handleFlushTrace)
+		mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 		if s.opts.EnablePprof {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -290,6 +330,12 @@ func (s *Server) handleConn(conn net.Conn) {
 	if !s.opts.DisableScratch {
 		cs = new(connState)
 	}
+	var cost *obs.QueryCost
+	if s.slow != nil {
+		// One cost recorder per connection (dispatch resets it per line):
+		// the slow-query path never allocates per command.
+		cost = new(obs.QueryCost)
+	}
 	var lineScratch []byte
 	for {
 		line, tooLong, err := readLine(br, s.opts.MaxLineBytes, &lineScratch)
@@ -317,8 +363,10 @@ func (s *Server) handleConn(conn net.Conn) {
 		// protocol promises exactly one response per request line, so a
 		// blank line gets its bad_request rather than silence.
 		t0 := time.Now()
-		op, res := s.dispatch(line, cs)
-		s.met.record(op, time.Since(t0), res.ok)
+		op, res := s.dispatch(line, cs, cost)
+		d := time.Since(t0)
+		s.met.record(op, d, res.ok)
+		s.recordSlow(op, line, d, cost)
 		if cs != nil {
 			cs.out = appendResult(cs.out[:0], &res, s.dims)
 			bw.Write(cs.out)
@@ -410,8 +458,13 @@ func discardLine(br *bufio.Reader) error {
 // their capacity) and query hits land in the connection's entry scratch;
 // result.entries then aliases cs.entries and is valid until the next
 // dispatch on the same connection. A nil cs allocates fresh everywhere
-// (the DisableScratch path).
-func (s *Server) dispatch(line []byte, cs *connState) (int, result) {
+// (the DisableScratch path). cost, when non-nil, is reset and filled
+// with the query's work accounting (slow-query log connections pass a
+// per-connection recorder; everything else passes nil).
+func (s *Server) dispatch(line []byte, cs *connState, cost *obs.QueryCost) (int, result) {
+	if cost != nil {
+		*cost = obs.QueryCost{}
+	}
 	var req *Request
 	if cs != nil {
 		cs.req.Op, cs.req.ID, cs.req.K = "", "", 0
@@ -470,7 +523,7 @@ func (s *Server) dispatch(line []byte, cs *connState) (int, result) {
 		if req.K > MaxNearbyK {
 			return idx, errResultf(CodeBadRequest, "NEARBY: k %d exceeds the maximum %d", req.K, MaxNearbyK)
 		}
-		entries := s.coll.NearbyIDsAppend(p, req.K, s.entryScratch(cs))
+		entries := s.coll.NearbyIDsAppendCost(p, req.K, s.entryScratch(cs), cost)
 		if cs != nil {
 			cs.entries = entries
 		}
@@ -489,7 +542,7 @@ func (s *Server) dispatch(line []byte, cs *connState) (int, result) {
 				return idx, errResultf(CodeBadRequest, "WITHIN: inverted box on dim %d (%d > %d)", d, lo[d], hi[d])
 			}
 		}
-		entries := s.coll.WithinIDsAppend(geom.BoxOf(lo, hi), s.entryScratch(cs))
+		entries := s.coll.WithinIDsAppendCost(geom.BoxOf(lo, hi), s.entryScratch(cs), cost)
 		if cs != nil {
 			cs.entries = entries
 		}
@@ -499,8 +552,24 @@ func (s *Server) dispatch(line []byte, cs *connState) (int, result) {
 		return idx, result{ok: true, stats: &st}
 	case OpFlush:
 		return idx, result{ok: true, applied: s.coll.Flush(), hasApplied: true}
+	case OpSlowlog:
+		if s.slow == nil {
+			return idx, errResult(CodeBadRequest, "slow-query log disabled (start the server with a -slowlog threshold)")
+		}
+		return idx, result{ok: true, hasSlow: true, slow: s.slow.Snapshot()}
 	}
 	return -1, errResultf(CodeBadRequest, "unknown op %q", req.Op) // unreachable
+}
+
+// recordSlow captures one served command into the slow-query ring when
+// the log is enabled and the command crossed the threshold. Protocol
+// rejects (op < 0) are not queries and are skipped; cost is non-nil
+// whenever the log is enabled (the connection allocates one recorder).
+func (s *Server) recordSlow(op int, line []byte, d time.Duration, cost *obs.QueryCost) {
+	if s.slow == nil || op < 0 || d < s.opts.SlowLog {
+		return
+	}
+	s.slow.Record(opOrder[op], line, d, *cost)
 }
 
 // entryScratch returns the connection's reusable hit buffer (nil for the
@@ -563,8 +632,9 @@ func (s *Server) Stats() StatsPayload {
 // in isolation. A LineConn is owned by one goroutine, like a socket
 // connection; open one per serving goroutine.
 type LineConn struct {
-	s  *Server
-	cs *connState
+	s    *Server
+	cs   *connState
+	cost *obs.QueryCost // non-nil when the slow-query log is enabled
 }
 
 // NewLineConn returns a virtual connection on the server. The server
@@ -574,6 +644,9 @@ func (s *Server) NewLineConn() *LineConn {
 	if !s.opts.DisableScratch {
 		lc.cs = new(connState)
 	}
+	if s.slow != nil {
+		lc.cost = new(obs.QueryCost)
+	}
 	return lc
 }
 
@@ -582,8 +655,10 @@ func (s *Server) NewLineConn() *LineConn {
 // this LineConn; callers that retain it must copy.
 func (lc *LineConn) Serve(line []byte) []byte {
 	t0 := time.Now()
-	op, res := lc.s.dispatch(line, lc.cs)
-	lc.s.met.record(op, time.Since(t0), res.ok)
+	op, res := lc.s.dispatch(line, lc.cs, lc.cost)
+	d := time.Since(t0)
+	lc.s.met.record(op, d, res.ok)
+	lc.s.recordSlow(op, line, d, lc.cost)
 	if lc.cs != nil {
 		lc.cs.out = appendResult(lc.cs.out[:0], &res, lc.s.dims)
 		return lc.cs.out
@@ -604,4 +679,71 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(marshalLine(s.Stats()))
+}
+
+// handleMetrics serves the Prometheus text exposition of the server's
+// registry: per-command latency histograms, flush counters and stage
+// timings, per-shard load series, epoch gauges (docs/observability.md
+// has the catalog).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// flushSpanJSON is the /debug/flushtrace wire form of one obs.FlushSpan,
+// with the stage array unrolled into named fields.
+type flushSpanJSON struct {
+	Seq           uint64 `json:"seq"`
+	Layer         string `json:"layer"`
+	StartUnixNano int64  `json:"start_unix_nano"`
+	NetNs         int64  `json:"net_ns"`
+	ReplayNs      int64  `json:"replay_ns"`
+	ApplyNs       int64  `json:"apply_ns"`
+	PublishNs     int64  `json:"publish_ns"`
+	DrainNs       int64  `json:"drain_ns"`
+	RawOps        int    `json:"raw_ops"`
+	NettedOps     int    `json:"netted_ops"`
+	Cancelled     int    `json:"cancelled"`
+	Epoch         uint64 `json:"epoch"`
+}
+
+// handleFlushTrace serves the retained flush spans, oldest first, as a
+// JSON array (empty array, never null, when nothing has flushed).
+func (s *Server) handleFlushTrace(w http.ResponseWriter, r *http.Request) {
+	spans := s.reg.FlushTrace().Snapshot()
+	out := make([]flushSpanJSON, 0, len(spans))
+	for _, sp := range spans {
+		out = append(out, flushSpanJSON{
+			Seq:           sp.Seq,
+			Layer:         sp.Layer,
+			StartUnixNano: sp.Start,
+			NetNs:         sp.Stages[obs.StageNet],
+			ReplayNs:      sp.Stages[obs.StageReplay],
+			ApplyNs:       sp.Stages[obs.StageApply],
+			PublishNs:     sp.Stages[obs.StagePublish],
+			DrainNs:       sp.Stages[obs.StageDrain],
+			RawOps:        sp.RawOps,
+			NettedOps:     sp.NettedOps,
+			Cancelled:     sp.Cancelled,
+			Epoch:         sp.Epoch,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(marshalLine(out))
+}
+
+// slowEntries returns the retained slow queries, newest first (empty,
+// never nil, so the endpoint always serves a JSON array).
+func (s *Server) slowEntries() []obs.SlowQuery {
+	if sn := s.slow.Snapshot(); sn != nil {
+		return sn
+	}
+	return []obs.SlowQuery{}
+}
+
+// handleSlowlog serves the slow-query ring as a JSON array (empty when
+// the log is disabled or nothing has crossed the threshold).
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(marshalLine(s.slowEntries()))
 }

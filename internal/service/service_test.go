@@ -18,6 +18,7 @@ import (
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/sfc"
 	"repro/internal/shard"
 	"repro/internal/spactree"
@@ -474,24 +475,24 @@ func TestHTTPEndpoints(t *testing.T) {
 }
 
 func TestStatsLatencyHistogram(t *testing.T) {
-	var h latHist
+	var h obs.Hist
 	for _, d := range []time.Duration{time.Microsecond, 2 * time.Microsecond, 100 * time.Microsecond} {
-		h.record(d)
+		h.Record(d)
 	}
-	if h.count.Load() != 3 {
-		t.Fatalf("count = %d", h.count.Load())
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
 	}
-	if p50 := h.quantile(0.5); p50 < time.Microsecond || p50 > 8*time.Microsecond {
+	if p50 := h.Quantile(0.5); p50 < time.Microsecond || p50 > 8*time.Microsecond {
 		t.Fatalf("p50 = %v, want on the order of the small observations", p50)
 	}
-	if p99 := h.quantile(0.99); p99 < 100*time.Microsecond {
+	if p99 := h.Quantile(0.99); p99 < 100*time.Microsecond {
 		t.Fatalf("p99 = %v, want >= the largest observation's bucket", p99)
 	}
-	if m := h.mean(); m < 30*time.Microsecond || m > 40*time.Microsecond {
+	if m := h.Mean(); m < 30*time.Microsecond || m > 40*time.Microsecond {
 		t.Fatalf("mean = %v, want ~34us", m)
 	}
-	var empty latHist
-	if empty.quantile(0.99) != 0 || empty.mean() != 0 {
+	var empty obs.Hist
+	if empty.Quantile(0.99) != 0 || empty.Mean() != 0 {
 		t.Fatal("empty histogram should report zeros")
 	}
 }

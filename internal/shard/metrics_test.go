@@ -1,0 +1,112 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// scrapeSums reads the registry's exposition and sums every series of
+// the given per-shard family, also returning how many shard series exist.
+func scrapeSums(t *testing.T, reg *obs.Registry, name string) (sum float64, series int) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range samples {
+		if strings.HasPrefix(k, name+`{shard="`) {
+			sum += v
+			series++
+		}
+	}
+	return sum, series
+}
+
+// TestShardMetricsAndCost pins the per-shard load accounting and the
+// CostedIndex contract: batch ops count once per shard they land in,
+// queries count once per shard they visit, and KNNCost/RangeListCost
+// report exactly the shards expanded and candidates scanned.
+func TestShardMetricsAndCost(t *testing.T) {
+	const n = 64
+	reg := obs.New()
+	opts := testOptions(2, 4, HilbertRange, brute)
+	opts.Obs = reg
+	s := New(opts)
+	side := opts.Universe.Hi[0]
+
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt2(int64(i)*(side/n), int64(i*7%n)*(side/n))
+	}
+	s.BatchDiff(pts, nil)
+
+	if sum, series := scrapeSums(t, reg, "psi_shard_ops_total"); sum != n || series != 4 {
+		t.Fatalf("shard ops sum=%v over %d series, want %d over 4", sum, series, n)
+	}
+
+	// k >= n forces the KNN to expand every (non-empty) shard and scan
+	// every point, so the cost is exact and checkable.
+	var cost obs.QueryCost
+	got := s.KNNCost(geom.Pt2(side/2, side/2), n, nil, &cost)
+	if len(got) != n {
+		t.Fatalf("KNNCost returned %d points, want %d", len(got), n)
+	}
+	if cost.Shards != 4 || cost.Candidates != n {
+		t.Fatalf("KNN cost = %+v, want 4 shards and %d candidates", cost, n)
+	}
+	// Cost accumulates (callers zero it per query): a universe range list
+	// adds all shards and all points on top.
+	got = s.RangeListCost(opts.Universe, nil, &cost)
+	if len(got) != n {
+		t.Fatalf("RangeListCost returned %d points, want %d", len(got), n)
+	}
+	if cost.Shards != 8 || cost.Candidates != 2*n {
+		t.Fatalf("accumulated cost = %+v, want 8 shards and %d candidates", cost, 2*n)
+	}
+
+	// Both queries visited every shard: 8 visits total across the
+	// per-shard query counters, and the same 2n KNN-candidate scans are
+	// not double-counted into ops.
+	if sum, _ := scrapeSums(t, reg, "psi_shard_queries_total"); sum != 8 {
+		t.Fatalf("shard query visits = %v, want 8", sum)
+	}
+	if sum, _ := scrapeSums(t, reg, "psi_shard_knn_expansions_total"); sum != 4 {
+		t.Fatalf("knn expansions = %v, want 4", sum)
+	}
+
+	// The plain (cost-free) query path still records per-shard load.
+	s.KNN(geom.Pt2(0, 0), 1, nil)
+	if sum, _ := scrapeSums(t, reg, "psi_shard_queries_total"); sum < 9 {
+		t.Fatalf("plain KNN did not record query visits (sum=%v)", sum)
+	}
+}
+
+// TestReplicaSharesMetrics pins the snapshot-twin contract: NewReplica
+// shares the original's metric handles instead of re-registering (a
+// second registration of the same series panics), and physical applies
+// on the replica count into the same per-shard counters.
+func TestReplicaSharesMetrics(t *testing.T) {
+	reg := obs.New()
+	opts := testOptions(2, 4, HilbertRange, brute)
+	opts.Obs = reg
+	s := New(opts)
+
+	pts := []geom.Point{geom.Pt2(1, 1), geom.Pt2(500, 500)}
+	s.BatchDiff(pts, nil)
+	r := s.NewReplica().(*Sharded)
+	r.BatchDiff(pts, nil) // must not panic on duplicate registration
+	if sum, _ := scrapeSums(t, reg, "psi_shard_ops_total"); sum != 4 {
+		t.Fatalf("ops after twin applies = %v, want 4 (2 per twin)", sum)
+	}
+	if r.Size() != len(pts) || s.Size() != len(pts) {
+		t.Fatalf("sizes = %d/%d, want %d", s.Size(), r.Size(), len(pts))
+	}
+}

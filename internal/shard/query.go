@@ -4,8 +4,14 @@ import (
 	"slices"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
+
+// Sharded reports per-query cost (shards visited, candidates scanned)
+// through the obs.CostedIndex variants below; the plain core.Index
+// methods delegate with a nil cost.
+var _ obs.CostedIndex = (*Sharded)(nil)
 
 // queryScratch is one query's fan-out state, recycled through
 // Sharded.queryPool: the overlapping-shard id list, the KNN frontier, and
@@ -58,6 +64,7 @@ func (s *Sharded) RangeCount(box geom.Box) int {
 	defer s.epoch.RUnlock()
 	sc := s.getQueryScratch()
 	ids := s.part.overlapping(box, sc.ids[:0])
+	s.met.recordQuery(ids)
 	n := parallel.Reduce(len(ids), 1, 0,
 		func(i int) int {
 			sh := &s.shards[ids[i]]
@@ -80,17 +87,33 @@ func (s *Sharded) RangeCount(box geom.Box) int {
 // per-shard buffers in parallel (no contended append), which are then
 // concatenated into dst. The buffers are recycled across queries.
 func (s *Sharded) RangeList(box geom.Box, dst []geom.Point) []geom.Point {
+	return s.RangeListCost(box, dst, nil)
+}
+
+// RangeListCost implements obs.CostedIndex: RangeList that additionally
+// accounts the shards visited and candidate points reported into cost
+// (when non-nil; counts are added, not reset).
+func (s *Sharded) RangeListCost(box geom.Box, dst []geom.Point, cost *obs.QueryCost) []geom.Point {
 	s.epoch.RLock()
 	defer s.epoch.RUnlock()
 	sc := s.getQueryScratch()
 	defer s.putQueryScratch(sc)
 	ids := s.part.overlapping(box, sc.ids[:0])
 	sc.ids = ids[:0]
+	s.met.recordQuery(ids)
+	if cost != nil {
+		cost.Shards += len(ids)
+	}
 	if len(ids) == 0 {
 		return dst
 	}
 	if len(ids) == 1 {
-		return s.shardRangeList(ids[0], box, dst)
+		before := len(dst)
+		dst = s.shardRangeList(ids[0], box, dst)
+		if cost != nil {
+			cost.Candidates += len(dst) - before
+		}
+		return dst
 	}
 	for len(sc.bufs) < len(ids) {
 		sc.bufs = append(sc.bufs, nil)
@@ -101,6 +124,9 @@ func (s *Sharded) RangeList(box geom.Box, dst []geom.Point) []geom.Point {
 	})
 	for _, b := range bufs {
 		dst = append(dst, b...)
+		if cost != nil {
+			cost.Candidates += len(b)
+		}
 	}
 	return dst
 }
@@ -139,6 +165,13 @@ func (s *Sharded) shardKNN(id int, q geom.Point, k int, dst []geom.Point) []geom
 // as soon as the k-th candidate so far beats the next shard's lower
 // bound — distant shards are never touched.
 func (s *Sharded) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
+	return s.KNNCost(q, k, dst, nil)
+}
+
+// KNNCost implements obs.CostedIndex: KNN that additionally accounts
+// the shards expanded and candidate points merged into cost (when
+// non-nil; counts are added, not reset).
+func (s *Sharded) KNNCost(q geom.Point, k int, dst []geom.Point, cost *obs.QueryCost) []geom.Point {
 	if k <= 0 {
 		return dst
 	}
@@ -174,14 +207,30 @@ func (s *Sharded) KNN(q geom.Point, k int, dst []geom.Point) []geom.Point {
 
 	h := geom.GetKNNHeap(k)
 	buf := sc.buf
+	m := s.met
+	expanded := 0
 	for _, e := range frontier {
 		if h.Full() && e.dist2 > h.Bound() {
 			break
 		}
 		buf = s.shardKNN(e.id, q, k, buf[:0])
+		expanded++
+		if m != nil {
+			m.queries[e.id].Inc()
+			m.knnExp[e.id].Inc()
+		}
+		if cost != nil {
+			cost.Candidates += len(buf)
+		}
 		for _, p := range buf {
 			h.Push(p, geom.Dist2(p, q, dims))
 		}
+	}
+	if m != nil {
+		m.fanout.Observe(int64(expanded))
+	}
+	if cost != nil {
+		cost.Shards += expanded
 	}
 	sc.buf = buf
 	dst = h.Append(dst)

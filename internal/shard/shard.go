@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -69,6 +71,16 @@ type Options struct {
 	// snapshot-mode Collection/Store is already read off a published
 	// version, so shard-level snapshots are for standalone Sharded use.
 	Snapshot bool
+	// Obs, when set, registers per-shard load metrics (batch ops applied,
+	// queries touched, KNN expansions, published epoch — all labeled
+	// shard="i"), the query fan-out histogram, and records a
+	// flush-pipeline span per batch into the registry's trace ring.
+	// Replicas made by NewReplica share the originals' series (physical
+	// applies on either twin count once); recording is atomics only, so
+	// the zero-alloc batch and query guarantees hold. Leave nil to pay
+	// nothing. Register at most one Sharded (plus its replicas) per
+	// registry.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +140,11 @@ type Sharded struct {
 	// their own), so steady-state flushes and queries reuse their buffers.
 	diffPool  sync.Pool
 	queryPool sync.Pool
+
+	// met is the observability hook set, nil unless Options.Obs was
+	// given. Replicas share their original's met (NewReplica), so one
+	// logical index registers its per-shard series exactly once.
+	met *shardMetrics
 }
 
 // shardSlot is one region's index and its lock. In locked mode idx holds
@@ -153,6 +170,17 @@ var _ core.Replicator = (*Sharded)(nil)
 func New(opts Options) *Sharded {
 	opts = opts.withDefaults()
 	opts.validate()
+	s := newSharded(opts)
+	if opts.Obs != nil {
+		s.met = newShardMetrics(opts.Obs, s)
+	}
+	return s
+}
+
+// newSharded builds the index without touching the registry — replicas
+// go through here so their series register exactly once, on the
+// original. opts must already carry defaults and have been validated.
+func newSharded(opts Options) *Sharded {
 	s := &Sharded{
 		opts:   opts,
 		part:   newPartition(opts.Dims, opts.Universe, opts.Shards, opts.Strategy, opts.CellsPerShard),
@@ -175,7 +203,15 @@ func New(opts Options) *Sharded {
 // NewReplica implements core.Replicator: a Sharded can always construct
 // a fresh, empty, identically configured twin of itself, so wrapping one
 // in a snapshot-mode Store/Collection/Server needs no explicit factory.
-func (s *Sharded) NewReplica() core.Index { return New(s.opts) }
+// The replica shares the original's metric series rather than
+// re-registering them: per-shard op counts then aggregate physical
+// applies across both twins, and query counts stay exact because only
+// the published twin is queried.
+func (s *Sharded) NewReplica() core.Index {
+	r := newSharded(s.opts)
+	r.met = s.met
+	return r
+}
 
 // child returns shard i's index for metadata reads (Name): the published
 // version in snapshot mode, the single copy otherwise.
@@ -376,6 +412,21 @@ func (s *Sharded) BatchDiff(ins, del []geom.Point) {
 	s.epoch.RLock()
 	defer s.epoch.RUnlock()
 	part := s.part
+	m := s.met
+	var span obs.FlushSpan
+	var clk time.Time
+	if m != nil {
+		clk = time.Now()
+		// The shard layer nets nothing — its window was already netted a
+		// layer up — so raw equals netted; StageNet is the parallel
+		// partitioning of the batch into per-shard sub-batches.
+		span = obs.FlushSpan{
+			Layer:     "shard",
+			Start:     clk.UnixNano(),
+			RawOps:    len(ins) + len(del),
+			NettedOps: len(ins) + len(del),
+		}
+	}
 	sc := s.getDiffScratch()
 	sc.ins = grown(sc.ins, len(ins))
 	sc.del = grown(sc.del, len(del))
@@ -384,6 +435,9 @@ func (s *Sharded) BatchDiff(ins, del []geom.Point) {
 		func() { insOff = parallel.SieveWith(&sc.insSieve, ins, sc.ins, part.shards, part.shardOf) },
 		func() { delOff = parallel.SieveWith(&sc.delSieve, del, sc.del, part.shards, part.shardOf) },
 	)
+	if m != nil {
+		clk = span.Stamp(obs.StageNet, clk)
+	}
 	parallel.ForEach(part.shards, 1, func(i int) {
 		subIns := sc.ins[insOff[i]:insOff[i+1]]
 		subDel := sc.del[delOff[i]:delOff[i+1]]
@@ -392,6 +446,9 @@ func (s *Sharded) BatchDiff(ins, del []geom.Point) {
 			// published version is already current, and its saved
 			// sub-batch stays pending for the next catch-up.
 			return
+		}
+		if m != nil {
+			m.ops[i].Add(uint64(len(subIns) + len(subDel)))
 		}
 		sh := &s.shards[i]
 		sh.mu.Lock()
@@ -413,6 +470,12 @@ func (s *Sharded) BatchDiff(ins, del []geom.Point) {
 		}
 		sh.mu.Unlock()
 	})
+	if m != nil {
+		span.Stamp(obs.StageApply, clk)
+		m.flushes.Add(1)
+		m.flushDur.Record(span.Dur())
+		m.trace.Record(span)
+	}
 	s.putDiffScratch(sc)
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // The snapshot-read (epoch-pinned) variant of the Store test suite: same
@@ -152,6 +153,7 @@ func TestSnapshotFlushZeroAllocWarm(t *testing.T) {
 	s := New(core.NewNull(2), Options{
 		MaxBatch: 1 << 20,
 		Snapshot: func() core.Index { return core.NewNull(2) },
+		Obs:      obs.New(),
 	})
 	window := func() {
 		s.BatchInsert(pts)

@@ -45,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/epoch"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // DefaultMaxBatch is the coalescing threshold used when Options.MaxBatch
@@ -81,6 +82,13 @@ type Options struct {
 	// The wrapped index must be empty at New. Leave nil for the classic
 	// single-copy RWMutex mode.
 	Snapshot func() core.Index
+	// Obs, when set, registers the Store's metrics (flush counters, flush
+	// duration histogram, epoch gauges, all labeled layer="store") and
+	// records a flush-pipeline span per flush into the registry's trace
+	// ring. Recording is atomics into preallocated storage — the
+	// zero-alloc flush guarantee holds with a live registry. Leave nil to
+	// pay nothing.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -152,6 +160,13 @@ type Store struct {
 	inserted  atomic.Uint64
 	deleted   atomic.Uint64
 	cancelled atomic.Uint64
+	rawOps    atomic.Uint64
+
+	// met is the observability hook set, nil unless Options.Obs was
+	// given. met.span is the persistent flush-span scratch, guarded by
+	// flushMu like the rest of the flush state, so recording a span never
+	// allocates.
+	met *storeMetrics
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -182,6 +197,9 @@ func New(idx core.Index, opts Options) *Store {
 		s.snap.enabled = true
 		s.snap.mgr.Init(epoch.NewVersion(idx))
 		s.snap.standby = epoch.NewVersion(mirror)
+	}
+	if s.opts.Obs != nil {
+		s.met = newStoreMetrics(s.opts.Obs, s)
 	}
 	if s.opts.FlushInterval > 0 {
 		s.wg.Add(1)
@@ -294,13 +312,25 @@ func (s *Store) Flush() int {
 	s.pend.ops = sc.spare
 	sc.spare = nil
 	s.pend.Unlock()
+	m := s.met
+	var clk time.Time
+	if m != nil {
+		clk = time.Now()
+		m.span = obs.FlushSpan{Layer: "store", Start: clk.UnixNano()}
+	}
 	ins, del, cancelled := sc.net(ops)
+	if m != nil {
+		clk = m.span.Stamp(obs.StageNet, clk)
+	}
 	if s.snap.enabled {
-		s.commitSnapshot(ins, del)
+		s.commitSnapshot(ins, del, clk)
 	} else {
 		s.rw.Lock()
 		s.idx.BatchDiff(ins, del)
 		s.rw.Unlock()
+		if m != nil {
+			m.span.Stamp(obs.StageApply, clk)
+		}
 	}
 	// ins/del alias sc buffers; the index must not have retained them
 	// (the core.Index batch contract), so they are reusable next flush —
@@ -310,6 +340,17 @@ func (s *Store) Flush() int {
 	s.cancelled.Add(uint64(cancelled))
 	s.inserted.Add(uint64(len(ins)))
 	s.deleted.Add(uint64(len(del)))
+	s.rawOps.Add(uint64(len(ops)))
+	if m != nil {
+		m.span.RawOps = len(ops)
+		m.span.NettedOps = len(ins) + len(del)
+		m.span.Cancelled = cancelled
+		if s.snap.enabled {
+			m.span.Epoch = s.snap.mgr.Epoch()
+		}
+		m.flushDur.Record(m.span.Dur())
+		m.trace.Record(m.span)
+	}
 	return len(ins) + len(del)
 }
 
@@ -320,14 +361,28 @@ func (s *Store) Flush() int {
 // the next standby. Readers running concurrently pin whichever version
 // is current and never block. ins/del alias the netting scratch, so the
 // window is copied into the saved buffers before the scratch is reused.
-func (s *Store) commitSnapshot(ins, del []geom.Point) {
+// clk is the flush-span clock (only read when metrics are attached).
+func (s *Store) commitSnapshot(ins, del []geom.Point, clk time.Time) {
+	m := s.met
 	st := s.snap.standby
 	st.Data.BatchDiff(s.snap.savedIns, s.snap.savedDel)
+	if m != nil {
+		clk = m.span.Stamp(obs.StageReplay, clk)
+	}
 	st.Data.BatchDiff(ins, del)
 	s.snap.savedIns = append(s.snap.savedIns[:0], ins...)
 	s.snap.savedDel = append(s.snap.savedDel[:0], del...)
+	if m != nil {
+		clk = m.span.Stamp(obs.StageApply, clk)
+	}
 	prev := s.snap.mgr.Publish(st)
+	if m != nil {
+		clk = m.span.Stamp(obs.StagePublish, clk)
+	}
 	s.snap.mgr.WaitDrained(prev)
+	if m != nil {
+		m.span.Stamp(obs.StageDrain, clk)
+	}
 	s.snap.standby = prev
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sfc"
 	"repro/internal/spactree"
@@ -383,7 +384,7 @@ func TestStoreImplementsIndex(t *testing.T) {
 func TestFlushZeroAllocWarm(t *testing.T) {
 	pts := uniquePoints(512, 7)
 	t.Run("single-kind windows", func(t *testing.T) {
-		s := New(core.NewNull(2), Options{MaxBatch: 1 << 20})
+		s := New(core.NewNull(2), Options{MaxBatch: 1 << 20, Obs: obs.New()})
 		window := func() {
 			s.BatchInsert(pts)
 			s.Flush()
@@ -396,7 +397,7 @@ func TestFlushZeroAllocWarm(t *testing.T) {
 		}
 	})
 	t.Run("netted mixed window", func(t *testing.T) {
-		s := New(core.NewNull(2), Options{MaxBatch: 1 << 20})
+		s := New(core.NewNull(2), Options{MaxBatch: 1 << 20, Obs: obs.New()})
 		window := func() {
 			for _, p := range pts {
 				s.Insert(p)

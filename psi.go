@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/logtree"
+	"repro/internal/obs"
 	"repro/internal/orthtree"
 	"repro/internal/pkdtree"
 	"repro/internal/rtree"
@@ -351,6 +352,23 @@ type ServerStats = service.StatsPayload
 //	s := psi.NewServer(psi.NewSharded(psi.NewSPaCH, 2, u, 0), psi.ServerOptions{})
 //	s.Start(":7501", ":7502")
 func NewServer(idx Index, opts ServerOptions) *Server { return service.New(idx, opts) }
+
+// Metrics is a process-wide observability registry (internal/obs): a
+// zero-allocation metric surface — atomic counters, gauges, power-of-two
+// latency histograms, a flush-span trace ring — that every layer records
+// into when handed one via its Options.Obs field (ShardedOptions,
+// StoreOptions, CollectionOptions, ServerOptions). A Server exposes its
+// registry as Prometheus text on /metrics; see docs/observability.md for
+// the metric catalog.
+type Metrics = obs.Registry
+
+// MetricsLabel is one key="value" label on a registered metric series.
+type MetricsLabel = obs.Label
+
+// NewMetrics builds an empty registry. Hand the same registry to every
+// layer of one serving stack (and at most one stack per registry — series
+// names would collide otherwise).
+func NewMetrics() *Metrics { return obs.New() }
 
 // ServiceClient is a minimal psid protocol client: one connection, one
 // request in flight, concurrency-safe. Open one per serving goroutine.
