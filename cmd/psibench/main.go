@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig3", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|concurrent|shard|fleet|service|alloc|churn|obs|all")
+	exp := flag.String("exp", "fig3", "experiment: fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|concurrent|shard|fleet|service|alloc|churn|obs|wal|all")
 	n := flag.Int("n", 1_000_000, "dataset size (paper: 1e9)")
 	knnq := flag.Int("knnq", 0, "number of kNN queries (default n/100)")
 	rangeq := flag.Int("rangeq", 200, "number of range queries")
@@ -78,12 +78,13 @@ func main() {
 		"alloc":      bench.Alloc,
 		"churn":      bench.Churn,
 		"obs":        bench.Obs,
+		"wal":        bench.WAL,
 	}
 	if *jsonPath != "" {
 		bench.StartJSON(*exp, cfg)
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "concurrent", "shard", "fleet", "service", "alloc", "churn", "obs"} {
+		for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "concurrent", "shard", "fleet", "service", "alloc", "churn", "obs", "wal"} {
 			run[name](cfg)
 		}
 	} else if f, ok := run[*exp]; ok {

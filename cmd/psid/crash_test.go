@@ -1,0 +1,227 @@
+package main
+
+// The kill-and-restart oracle: the test the WAL exists to pass. A real
+// psid process (this test binary re-execed into run(), the standard
+// helper-process pattern) serves with -wal and -fsync always while
+// writer clients churn SETs, recording the last acknowledged position
+// per ID. The process is SIGKILLed mid-churn — no drain, no final
+// flush, exactly a crash — restarted over the same directory, and every
+// acknowledged write must come back. A write whose connection died
+// before the ack is the one allowed ambiguity: it may have committed or
+// not, so either its value or the previous acked one is accepted.
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/service"
+)
+
+// TestCrashHelperProcess is not a test: it is psid. When the oracle
+// re-execs the test binary with PSID_CRASH_HELPER=1, this function
+// rebuilds os.Args from the marshalled arg list and hands control to
+// run(), so the child is byte-for-byte the production main path —
+// including the graceful-shutdown wiring the oracle bypasses with
+// SIGKILL.
+func TestCrashHelperProcess(t *testing.T) {
+	if os.Getenv("PSID_CRASH_HELPER") != "1" {
+		t.Skip("helper process for the crash oracle; not a standalone test")
+	}
+	var args []string
+	if err := json.Unmarshal([]byte(os.Getenv("PSID_CRASH_ARGS")), &args); err != nil {
+		fmt.Fprintf(os.Stderr, "helper: bad PSID_CRASH_ARGS: %v\n", err)
+		os.Exit(2)
+	}
+	os.Args = append([]string{"psid"}, args...)
+	// Fresh flag set: the test binary's CommandLine is full of -test.*
+	// definitions that are not on the rewritten command line.
+	flag.CommandLine = flag.NewFlagSet("psid", flag.ExitOnError)
+	os.Exit(run())
+}
+
+var servingRE = regexp.MustCompile(`^psid: serving .* on (127\.0\.0\.1:\d+)`)
+
+// startPsid re-execs this test binary as a psid serving on an ephemeral
+// port with the given WAL directory, and returns the process and its
+// bound address (parsed from the serving line, which also carries the
+// recovery summary).
+func startPsid(t *testing.T, walDir string, extra ...string) (*exec.Cmd, string, string) {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-http", "",
+		"-wal", walDir, "-fsync", "always",
+		"-maxbatch", "64", "-drain", "10s",
+	}, extra...)
+	enc, err := json.Marshal(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashHelperProcess$")
+	cmd.Env = append(os.Environ(), "PSID_CRASH_HELPER=1", "PSID_CRASH_ARGS="+string(enc))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(15 * time.Second)
+	lineCh := make(chan string, 16)
+	go func() {
+		defer close(lineCh)
+		for sc.Scan() {
+			lineCh <- sc.Text()
+		}
+	}()
+	for {
+		select {
+		case line, ok := <-lineCh:
+			if !ok {
+				cmd.Process.Kill()
+				t.Fatal("psid exited before its serving line")
+			}
+			if m := servingRE.FindStringSubmatch(line); m != nil {
+				// Keep draining stdout so the child never blocks on a
+				// full pipe.
+				go func() {
+					for range lineCh {
+					}
+				}()
+				return cmd, m[1], line
+			}
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatal("timed out waiting for the psid serving line")
+		}
+	}
+}
+
+// ackLog is one writer's view of what the server owes it: the last
+// acknowledged position per ID, plus the single write whose ack never
+// arrived (connection died mid-round-trip — the only op allowed to land
+// on either side of the crash).
+type ackLog struct {
+	acked    map[string]geom.Point
+	inFlight map[string]geom.Point
+}
+
+func TestKillRecoveryOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	dir := t.TempDir()
+	cmd, addr, _ := startPsid(t, dir)
+
+	// Churn: 4 writers on disjoint ID ranges, each cycling 50 IDs
+	// through moving positions, recording every ack.
+	const writers = 4
+	logs := make([]*ackLog, writers)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := range writers {
+		logs[w] = &ackLog{acked: make(map[string]geom.Point), inFlight: make(map[string]geom.Point)}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := service.Dial(addr)
+			if err != nil {
+				t.Errorf("writer %d: dial: %v", w, err)
+				return
+			}
+			defer c.Close()
+			al := logs[w]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := fmt.Sprintf("w%d-%d", w, i%50)
+				p := geom.Pt2(int64(w*1000+i), int64(i%997))
+				if err := c.Set(id, []int64{p[0], p[1]}); err != nil {
+					// The kill raced this round trip: the op may or may
+					// not have committed before the process died.
+					al.inFlight[id] = p
+					return
+				}
+				al.acked[id] = p
+			}
+		}()
+	}
+
+	// Let the churn build real state, then kill without ceremony.
+	time.Sleep(700 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	close(stop)
+	wg.Wait()
+
+	var total int
+	for _, al := range logs {
+		total += len(al.acked)
+	}
+	if total == 0 {
+		t.Fatal("no writes were acknowledged before the kill; oracle proved nothing")
+	}
+
+	// Restart over the same directory: recovery must replay every
+	// acknowledged write (fsync=always: ack means on disk).
+	cmd2, addr2, serving := startPsid(t, dir)
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	t.Logf("restart: %s", serving)
+	c, err := service.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for w, al := range logs {
+		for id, want := range al.acked {
+			got, found, err := c.Get(id)
+			if err != nil {
+				t.Fatalf("GET %s: %v", id, err)
+			}
+			if amb, ok := al.inFlight[id]; ok {
+				// The unacknowledged overwrite may have won instead.
+				if found && (geom.Pt2(got[0], got[1]) == want || geom.Pt2(got[0], got[1]) == amb) {
+					continue
+				}
+				t.Errorf("writer %d: %s = %v (found=%t), want %v or in-flight %v", w, id, got, found, want, amb)
+				continue
+			}
+			if !found || geom.Pt2(got[0], got[1]) != want {
+				t.Errorf("writer %d: acknowledged write lost: %s = %v (found=%t), want %v", w, id, got, found, want)
+			}
+		}
+		// An ID whose only write was in flight may exist or not, but if
+		// it exists it must hold the in-flight value.
+		for id, amb := range al.inFlight {
+			if _, wasAcked := al.acked[id]; wasAcked {
+				continue
+			}
+			got, found, err := c.Get(id)
+			if err != nil {
+				t.Fatalf("GET %s: %v", id, err)
+			}
+			if found && geom.Pt2(got[0], got[1]) != amb {
+				t.Errorf("writer %d: %s = %v, want absent or in-flight %v", w, id, got, amb)
+			}
+		}
+	}
+}

@@ -3,7 +3,7 @@
 // STATS / FLUSH / SLOWLOG — over a newline-delimited JSON protocol on
 // TCP, with HTTP probe endpoints on the -http listener:
 //
-//	/healthz          liveness probe (200 "ok")
+//	/healthz          liveness probe (200 "ok"; 503 while draining or after a WAL failure)
 //	/stats            STATS payload as JSON
 //	/metrics          Prometheus text exposition (docs/observability.md)
 //	/debug/flushtrace recent flush-pipeline spans as JSON
@@ -24,9 +24,21 @@
 // parallel. -pprof mounts net/http/pprof under /debug/pprof/ on the
 // -http listener and adds GC counters to /stats, so allocation and CPU
 // profiles can be captured from a live server (README "Performance").
-// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting,
-// drain in-flight commands, apply a final flush so every acknowledged
-// write is committed, and print the serving counters.
+//
+// -wal DIR makes acknowledged writes survive restarts: every committed
+// flush window is journaled to DIR before it is applied, a periodic full
+// snapshot truncates the log, and startup recovers snapshot + log —
+// including after a crash that tore the final record. -fsync picks the
+// durability policy (always | never | a sync interval like 100ms; see
+// docs/durability.md for what each promises), -snapshot-interval the
+// snapshot cadence. Without -wal the server is memory-only.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
+// in-flight commands, apply a final flush so every acknowledged write is
+// committed (and, with -wal, snapshotted), and print the serving
+// counters. Every exit path after startup runs the same shutdown — a
+// fatal serving error (say, a dead WAL disk) drains and closes the log
+// too, rather than aborting mid-flush.
 //
 // Benchmark a running psid with cmd/psiload.
 package main
@@ -44,11 +56,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/service"
+	"repro/internal/wal"
 
 	psi "repro"
 )
 
-func main() {
+// main is a thin os.Exit shell around run: deferred cleanups (and the
+// graceful-shutdown path) must not be skipped by a direct os.Exit in the
+// middle of serving logic.
+func main() { os.Exit(run()) }
+
+func run() int {
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"psid — Ψ-Lib geospatial server (protocol reference: docs/protocol.md)\n\nUsage: psid [flags]\n\n")
@@ -67,18 +85,26 @@ func main() {
 	lockedReads := flag.Bool("locked-reads", false, "disable epoch-pinned snapshot reads: queries take the read lock and can wait behind a flush (A/B baseline)")
 	slowlog := flag.Duration("slowlog", 0, "slow-query threshold: commands slower than this are retained in the slow-query log (SLOWLOG command, /debug/slowlog); 0 disables")
 	slowlogSize := flag.Int("slowlog-size", service.DefaultSlowLogSize, "slow-query log ring capacity")
+	walDir := flag.String("wal", "", "write-ahead log directory: journal committed flush windows and recover them on restart (docs/durability.md); empty serves memory-only")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always (ack = on disk), never, or a sync interval like 100ms (bounded loss window)")
+	snapEvery := flag.Duration("snapshot-interval", service.DefaultWALSnapshotInterval, "WAL snapshot-and-truncate cadence bounding restart replay time")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
 	if *dims != 2 && *dims != 3 {
 		fmt.Fprintf(os.Stderr, "psid: -dims must be 2 or 3, got %d\n", *dims)
-		os.Exit(2)
+		return 2
 	}
 	universe := geom.UniverseBox(*dims, *side)
 	mk := func(dims int, u geom.Box) core.Index { return psi.ByName(*index, dims, u) }
 	if mk(*dims, universe) == nil {
 		fmt.Fprintf(os.Stderr, "psid: unknown index %q (see psibench table names)\n", *index)
-		os.Exit(2)
+		return 2
+	}
+	fsyncPolicy, fsyncInterval, err := wal.ParseFsync(*fsync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psid: %v\n", err)
+		return 2
 	}
 	reg := psi.NewMetrics()
 	var idx core.Index
@@ -101,21 +127,39 @@ func main() {
 
 	if *pprofOn && *httpAddr == "" {
 		fmt.Fprintln(os.Stderr, "psid: -pprof requires the -http listener")
-		os.Exit(2)
+		return 2
 	}
-	s := service.New(idx, service.Options{
-		MaxBatch:        *maxBatch,
-		FlushInterval:   *flushEvery,
-		MaxLineBytes:    *maxLine,
-		EnablePprof:     *pprofOn,
-		DisableSnapshot: *lockedReads,
-		Obs:             reg,
-		SlowLog:         *slowlog,
-		SlowLogSize:     *slowlogSize,
+	s, err := service.NewDurable(idx, service.Options{
+		MaxBatch:            *maxBatch,
+		FlushInterval:       *flushEvery,
+		MaxLineBytes:        *maxLine,
+		EnablePprof:         *pprofOn,
+		DisableSnapshot:     *lockedReads,
+		Obs:                 reg,
+		SlowLog:             *slowlog,
+		SlowLogSize:         *slowlogSize,
+		WALDir:              *walDir,
+		WALFsync:            fsyncPolicy,
+		WALFsyncInterval:    fsyncInterval,
+		WALSnapshotInterval: *snapEvery,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psid: %v\n", err)
+		return 1
+	}
+	// From here on every exit goes through shutdown: the final flush
+	// (and WAL snapshot + close) must run on fatal errors too, or the
+	// durability the -wal flag promises ends at the first panic-free
+	// error path that calls os.Exit.
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		return s.Shutdown(ctx)
+	}
 	if err := s.Start(*addr, *httpAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "psid: %v\n", err)
-		os.Exit(1)
+		shutdown() // closes the collection and the WAL cleanly
+		return 1
 	}
 	reads := "snapshot"
 	if *lockedReads {
@@ -125,15 +169,32 @@ func main() {
 	if h := s.HTTPAddr(); h != nil {
 		fmt.Printf(" (http %s)", h)
 	}
-	fmt.Printf(", %d cores\n", runtime.NumCPU())
+	fmt.Printf(", %d cores", runtime.NumCPU())
+	if *walDir != "" {
+		rec := s.WALRecovered()
+		fmt.Printf(", wal %s (fsync %s, recovered %d objects from %d records",
+			*walDir, fsyncPolicy, rec.Objects, rec.Records)
+		if rec.TruncatedBytes > 0 {
+			fmt.Printf(", truncated %d-byte torn tail", rec.TruncatedBytes)
+		}
+		fmt.Printf(")")
+	}
+	fmt.Println()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	got := <-sig
-	fmt.Printf("psid: %s — draining (timeout %s)\n", got, *drain)
-	ctx, cancel := context.WithTimeout(context.Background(), *drain)
-	defer cancel()
-	shutdownErr := s.Shutdown(ctx)
+	code := 0
+	select {
+	case got := <-sig:
+		fmt.Printf("psid: %s — draining (timeout %s)\n", got, *drain)
+	case err := <-s.Fatal():
+		// The WAL failed mid-serve: durable acks are already being
+		// refused; drain, flush, and exit non-zero so the supervisor
+		// restarts onto (or replaces) the bad disk.
+		fmt.Fprintf(os.Stderr, "psid: fatal: %v — draining (timeout %s)\n", err, *drain)
+		code = 1
+	}
+	shutdownErr := shutdown()
 	st := s.Stats()
 	var served, errs uint64
 	for _, op := range st.Ops {
@@ -147,6 +208,7 @@ func main() {
 		// final flush still ran, but exit non-zero so supervisors (and
 		// the CI smoke) can tell a forced stop from a graceful one.
 		fmt.Fprintf(os.Stderr, "psid: forced shutdown after drain timeout: %v\n", shutdownErr)
-		os.Exit(1)
+		return 1
 	}
+	return code
 }

@@ -16,9 +16,18 @@
 //
 // psiload exits non-zero on transport failures or when any request
 // returned a protocol error, so it doubles as a CI smoke check.
+//
+// The -final / -verify pair is the durability oracle for psid -wal:
+// -final FILE records every object's last acknowledged position to FILE
+// after the run; -verify FILE (instead of a run) GETs each recorded
+// object and exits non-zero if any acknowledged write is missing or
+// moved. Kill -9 the server between the two and the pair proves the WAL
+// holds (docs/durability.md; the CI crash smoke is exactly this
+// sequence).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -49,7 +58,28 @@ func main() {
 	csvPath := flag.String("csv", "", "also write the per-op report to this CSV file")
 	scrape := flag.String("scrape", "", "psid /metrics URL (e.g. http://127.0.0.1:7502/metrics); scraped before and after the run to report server-side deltas (flushes, netting ratio, per-shard op spread)")
 	mix := flag.String("mix", "", "workload preset: 'churn' = flush-heavy mover mix (90% SET, long hops) that keeps the server's index under continuous batch churn — the workload psibench -exp churn measures in-process; explicitly set flags override preset values")
+	finalPath := flag.String("final", "", "after the run, write every object's last acknowledged position to this JSON file (the durability oracle's write side)")
+	verifyPath := flag.String("verify", "", "skip the load run; GET every object recorded in this JSON file (written by -final) and exit non-zero on any lost or moved acknowledged write")
 	flag.Parse()
+
+	if *verifyPath != "" {
+		raw, err := os.ReadFile(*verifyPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psiload: %v\n", err)
+			os.Exit(1)
+		}
+		var final map[string][]int64
+		if err := json.Unmarshal(raw, &final); err != nil {
+			fmt.Fprintf(os.Stderr, "psiload: parsing %s: %v\n", *verifyPath, err)
+			os.Exit(1)
+		}
+		if err := service.VerifyFinal(*addr, final); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("psiload: verified %d acknowledged writes against %s\n", len(final), *addr)
+		return
+	}
 
 	if *mix != "" {
 		set := map[string]bool{}
@@ -95,6 +125,7 @@ func main() {
 		BoxFrac:    *boxFrac,
 		K:          *k,
 		Seed:       *seed,
+		TrackFinal: *finalPath != "",
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "psiload: %v\n", err)
@@ -123,6 +154,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "psiload: closing CSV: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *finalPath != "" {
+		b, err := json.Marshal(rep.Final)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psiload: encoding final state: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*finalPath, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "psiload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("psiload: recorded %d final positions to %s\n", len(rep.Final), *finalPath)
 	}
 	if rep.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "psiload: %d requests returned errors\n", rep.Errors)

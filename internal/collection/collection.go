@@ -41,6 +41,7 @@ package collection
 
 import (
 	"fmt"
+	"iter"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // DefaultMaxBatch is the coalescing threshold used when Options.MaxBatch
@@ -113,11 +115,16 @@ type Stats struct {
 	Moved     uint64 // objects relocated (Set on a live ID, position changed)
 	Removed   uint64 // objects deleted from the index
 	Cancelled uint64 // enqueued ops superseded in-window by a later op on the same ID
-	Pending   int    // ops enqueued but not yet flushed
-	Objects   int    // live objects in the committed (published) state
-	Epoch     uint64 // published snapshot epoch (0 in locked mode)
-	Versions  int    // live state versions: 2 in snapshot mode, 1 locked
-	RetireLag uint64 // published epochs whose displaced version has not drained
+	// JournalErrors counts failed journal-hook calls (windows that
+	// committed in memory but could not be confirmed durable). Zero
+	// when no hook is installed; any nonzero value means durability is
+	// compromised until the WAL is repaired.
+	JournalErrors uint64
+	Pending       int    // ops enqueued but not yet flushed
+	Objects       int    // live objects in the committed (published) state
+	Epoch         uint64 // published snapshot epoch (0 in locked mode)
+	Versions      int    // live state versions: 2 in snapshot mode, 1 locked
+	RetireLag     uint64 // published epochs whose displaced version has not drained
 }
 
 // Entry is one resolved query hit: a live object and its indexed
@@ -180,6 +187,13 @@ type Collection[ID comparable] struct {
 	scratch   collScratch[ID]
 	revFree   [][]ID
 	queryPool sync.Pool
+
+	// journal is the durability commit hook (SetJournal), called under
+	// flushMu with every committed netted window before it is applied.
+	// journalErrs counts hook failures (the hook itself keeps the first
+	// error sticky; see wal.Log).
+	journal     func(ops []wal.Op[ID]) error
+	journalErrs atomic.Uint64
 
 	flushes   atomic.Uint64
 	inserted  atomic.Uint64
@@ -247,6 +261,9 @@ type collScratch[ID comparable] struct {
 	spare    []op[ID]
 	final    map[ID]op[ID]
 	ins, del []geom.Point
+	// jops is the journal hook's window buffer, rebuilt from the
+	// netting map each flush so journaling allocates nothing warm.
+	jops []wal.Op[ID]
 }
 
 // queryScratch is one query's resolution state: the raw geometric hits
@@ -312,32 +329,87 @@ func (c *Collection[ID]) flushLoop() {
 	}
 }
 
-// Close stops the background flusher (if any), applies all pending ops,
-// and closes the inner index when it has a Close method of its own (a
-// wrapped Store's background flusher, for example — the Collection owns
-// idx, so nobody else can stop it). The Collection remains usable after
-// Close — only the periodic flushing ends. Close is idempotent.
+// Close stops the background flusher (if any), applies all pending ops
+// as a final flush (journaled like any other window when a hook is
+// installed), and closes the inner index when it has a Close method of
+// its own (a wrapped Store's background flusher, for example — the
+// Collection owns idx, so nobody else can stop it). The whole sequence
+// runs exactly once: the ticker goroutine is fully stopped before the
+// final flush, and the inner close happens under the flush lock, so no
+// flush — ticker tick, concurrent Close, or a racing Set-triggered
+// flush — can apply to a half-closed index. Close is idempotent; the
+// Collection remains queryable afterwards (only the periodic flushing
+// ends — a wrapped Store stays usable after its own Close, per its
+// contract).
 func (c *Collection[ID]) Close() {
 	c.closeOnce.Do(func() {
 		close(c.stop)
+		// The ticker goroutine has exited before the final flush below:
+		// a tick can never flush after the inner index is closed.
 		c.wg.Wait()
-	})
-	c.Flush()
-	if c.snap.enabled {
-		// Both twins may wrap closable layers; flushMu keeps the
-		// current/standby pair stable while they are closed.
+		c.Flush()
 		c.flushMu.Lock()
 		defer c.flushMu.Unlock()
-		for _, st := range []*collState[ID]{c.snap.mgr.Current().Data, c.snap.standby.Data} {
-			if cl, ok := st.idx.(interface{ Close() }); ok {
-				cl.Close()
+		if c.snap.enabled {
+			// Both twins may wrap closable layers; flushMu keeps the
+			// current/standby pair stable while they are closed.
+			for _, st := range []*collState[ID]{c.snap.mgr.Current().Data, c.snap.standby.Data} {
+				if cl, ok := st.idx.(interface{ Close() }); ok {
+					cl.Close()
+				}
+			}
+			return
+		}
+		if cl, ok := c.idx.(interface{ Close() }); ok {
+			cl.Close()
+		}
+	})
+}
+
+// SetJournal installs (or, with nil, removes) the durability commit
+// hook: every subsequent flush calls fn under the flush lock with the
+// committed netted window — at most one op per ID — before the window
+// is applied or published. wal.Log.AppendWindow is the intended hook;
+// the slice is reused across flushes and must not be retained. Install
+// it before the ops that need journaling are flushed — the service
+// layer installs it between crash-recovery replay (whose windows are
+// already on disk and must not be re-journaled) and serving. Hook
+// errors are counted in Stats.JournalErrors; see Flush for why they do
+// not abort the commit.
+func (c *Collection[ID]) SetJournal(fn func(ops []wal.Op[ID]) error) {
+	c.flushMu.Lock()
+	c.journal = fn
+	c.flushMu.Unlock()
+}
+
+// Checkpoint runs fn while the flush pipeline is quiescent: no window
+// can commit (or be journaled) until fn returns. fn receives the
+// committed object count and an iterator over the committed forward
+// table — exactly the fold of every journaled window — which is what a
+// WAL snapshot must capture for its seq to line up with the log
+// (internal/service pairs Checkpoint with wal.Log.WriteSnapshot). fn
+// must not call back into the Collection (Flush, Set-triggered
+// flushes, and Close all take the same lock) and must not retain the
+// iterator past its return. Pending (unflushed, unjournaled) ops are
+// deliberately excluded.
+func (c *Collection[ID]) Checkpoint(fn func(objects int, entries iter.Seq2[ID, geom.Point])) {
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+	st := c.live
+	if c.snap.enabled {
+		st = c.snap.mgr.Current().Data
+	}
+	// Only flushes write fwd and flushMu excludes them all; concurrent
+	// readers share fwd without a lock in snapshot mode and under
+	// RLocks (which do not exclude us) in locked mode — either way a
+	// read-only walk here is race-free.
+	fn(len(st.fwd), func(yield func(ID, geom.Point) bool) {
+		for id, p := range st.fwd {
+			if !yield(id, p) {
+				return
 			}
 		}
-		return
-	}
-	if cl, ok := c.idx.(interface{ Close() }); ok {
-		cl.Close()
-	}
+	})
 }
 
 // Name labels the Collection after its inner index.
@@ -463,6 +535,28 @@ func (c *Collection[ID]) Flush() int {
 	c.cancelled.Add(uint64(cancelled))
 	if m != nil {
 		clk = m.span.Stamp(obs.StageNet, clk)
+	}
+
+	// Journal the committed window before applying it (write-ahead):
+	// under the always-fsync policy a caller's Flush returns — and the
+	// service acknowledges — only after the window is on disk. A hook
+	// failure is counted, not fatal here: the in-memory commit proceeds
+	// so the triple stays consistent, and the durable-ack layer above
+	// decides whether to keep acknowledging (it does not; see
+	// internal/service).
+	if c.journal != nil {
+		jops := sc.jops[:0]
+		for _, o := range final {
+			jops = append(jops, wal.Op[ID]{ID: o.id, P: o.p, Del: o.del})
+		}
+		if err := c.journal(jops); err != nil {
+			c.journalErrs.Add(1)
+		}
+		clear(jops) // drop ID values so recycled capacity pins nothing
+		sc.jops = jops[:0]
+		if m != nil {
+			clk = m.span.Stamp(obs.StageLog, clk)
+		}
 	}
 
 	var applied int
@@ -860,13 +954,14 @@ func (c *Collection[ID]) Pending() int {
 // lifetime counters (identical at every flush boundary).
 func (c *Collection[ID]) Stats() Stats {
 	st := Stats{
-		Flushes:   c.flushes.Load(),
-		Inserted:  c.inserted.Load(),
-		Moved:     c.moved.Load(),
-		Removed:   c.removed.Load(),
-		Cancelled: c.cancelled.Load(),
-		Pending:   c.Pending(),
-		Versions:  1,
+		Flushes:       c.flushes.Load(),
+		Inserted:      c.inserted.Load(),
+		Moved:         c.moved.Load(),
+		Removed:       c.removed.Load(),
+		Cancelled:     c.cancelled.Load(),
+		JournalErrors: c.journalErrs.Load(),
+		Pending:       c.Pending(),
+		Versions:      1,
 	}
 	st.Objects = int(st.Inserted) - int(st.Removed)
 	if c.snap.enabled {

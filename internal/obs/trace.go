@@ -24,6 +24,10 @@ const (
 	// to the surviving (ins, del) batches — for the shard layer, the
 	// parallel partitioning of the batch into per-shard sub-batches.
 	StageNet = iota
+	// StageLog is the durability commit: encoding the netted window
+	// into the write-ahead log and (policy permitting) fsyncing it —
+	// zero when the layer runs without a WAL.
+	StageLog
 	// StageReplay is the standby catch-up: re-applying the previously
 	// committed window to the off-line twin (snapshot mode only).
 	StageReplay
@@ -40,7 +44,7 @@ const (
 )
 
 // StageNames maps stage indices to their short names, in order.
-var StageNames = [NumStages]string{"net", "replay", "apply", "publish", "drain"}
+var StageNames = [NumStages]string{"net", "log", "replay", "apply", "publish", "drain"}
 
 // FlushSpan is one recorded flush. Layer identifies the recorder
 // ("store", "collection", "shard"); Stages holds per-stage wall time in

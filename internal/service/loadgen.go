@@ -52,6 +52,14 @@ type LoadOptions struct {
 	BoxFrac float64
 	K       int   // NEARBY k; default 10
 	Seed    int64 // default 42
+
+	// TrackFinal records the last acknowledged position of every object
+	// this run SET, into LoadReport.Final. Each connection owns a
+	// disjoint ID slice, so the map is exact, not racy. The
+	// crash-recovery smoke uses it: run with -final, kill the server
+	// without ceremony, restart, and VerifyFinal must find every
+	// acknowledged write.
+	TrackFinal bool
 }
 
 func (o LoadOptions) withDefaults() (LoadOptions, error) {
@@ -120,6 +128,9 @@ type LoadReport struct {
 	// Server carries the server-side /metrics deltas when the caller
 	// scraped around the run (psiload -scrape); nil otherwise.
 	Server *ServerDelta
+	// Final maps every SET object ID to its last acknowledged
+	// coordinates (LoadOptions.TrackFinal; nil otherwise).
+	Final map[string][]int64
 }
 
 // loadOps are the command classes the generator issues.
@@ -157,9 +168,10 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	}()
 
 	type connStats struct {
-		lat  [len(loadOps)]obs.Hist
-		errs [len(loadOps)]uint64
-		err  error
+		lat   [len(loadOps)]obs.Hist
+		errs  [len(loadOps)]uint64
+		err   error
+		final map[string][]int64
 	}
 	stats := make([]connStats, o.Conns)
 	deadline := time.Time{}
@@ -228,6 +240,17 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 						p[d] = v
 					}
 					err = c.Set(ids[j], p)
+					if err == nil && o.TrackFinal {
+						if st.final == nil {
+							st.final = make(map[string][]int64, len(ids))
+						}
+						cp := st.final[ids[j]]
+						if cp == nil {
+							cp = make([]int64, len(p))
+							st.final[ids[j]] = cp
+						}
+						copy(cp, p) // p is mutated in place next hop
+					}
 				case r < o.SetFrac+o.NearbyFrac:
 					op = 1
 					_, err = c.Nearby(pos[j], o.K)
@@ -268,6 +291,14 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		}
 	}
 	rep := &LoadReport{Elapsed: elapsed, Conns: o.Conns}
+	if o.TrackFinal {
+		rep.Final = make(map[string][]int64)
+		for i := range stats {
+			for id, p := range stats[i].final {
+				rep.Final[id] = p
+			}
+		}
+	}
 	var total obs.Hist
 	for k, name := range loadOps {
 		n := merged[k].Count()
@@ -285,6 +316,51 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		return nil, firstErr // nothing succeeded: surface the transport error
 	}
 	return rep, firstErr
+}
+
+// VerifyFinal dials addr and GETs every recorded object, requiring the
+// exact acknowledged position. It is the read side of
+// LoadOptions.TrackFinal: run a tracked load against a durable server,
+// kill and restart it, then VerifyFinal proves no acknowledged write
+// was lost (psiload -verify; the CI crash smoke is exactly this).
+func VerifyFinal(addr string, final map[string][]int64) error {
+	c, err := Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	var missing, wrong int
+	var firstBad string
+	for id, want := range final {
+		got, found, err := c.Get(id)
+		if err != nil {
+			return fmt.Errorf("psiload: GET %s: %w", id, err)
+		}
+		bad := false
+		if !found {
+			missing++
+			bad = true
+		} else if len(got) != len(want) {
+			wrong++
+			bad = true
+		} else {
+			for d := range want {
+				if got[d] != want[d] {
+					wrong++
+					bad = true
+					break
+				}
+			}
+		}
+		if bad && firstBad == "" {
+			firstBad = fmt.Sprintf("%s = %v (found=%t), want %v", id, got, found, want)
+		}
+	}
+	if missing > 0 || wrong > 0 {
+		return fmt.Errorf("psiload: %d of %d acknowledged writes lost (%d missing, %d wrong); first: %s",
+			missing+wrong, len(final), missing, wrong, firstBad)
+	}
+	return nil
 }
 
 func opLoad(name string, h *obs.Hist, errs uint64, elapsed time.Duration) OpLoad {

@@ -65,6 +65,13 @@ const (
 	// CodeShutdown means the server is draining and no longer accepts
 	// commands on this connection.
 	CodeShutdown = "shutdown"
+	// CodeUnavailable means the server cannot honor the command's
+	// contract right now — today, a SET/DEL under -fsync always after
+	// the write-ahead log has failed: the op may be in memory, but the
+	// durability receipt the ack stands for cannot be issued. The
+	// server also turns its health probe red (see /healthz); clients
+	// should fail over rather than retry.
+	CodeUnavailable = "unavailable"
 )
 
 // Request is one command line. Unused fields are omitted per op; see the
@@ -164,6 +171,35 @@ type StatsPayload struct {
 	// briefly stops the world, so they are opt-in like the profile
 	// endpoints.
 	GC *GCStats `json:"gc,omitempty"`
+	// WAL carries the durability counters when the server runs with a
+	// write-ahead log (psid -wal); omitted otherwise.
+	WAL *WALStats `json:"wal,omitempty"`
+}
+
+// WALStats is the durability block of /stats, present when the server
+// runs with Options.WALDir. Counter semantics follow wal.Stats; the
+// recovery fields are the boot-time summary and never change while the
+// process lives.
+type WALStats struct {
+	Policy string `json:"policy"` // fsync policy: always / 100ms / never
+	// DurableAcks reports whether SET/DEL acknowledgments imply
+	// on-disk durability (true only under fsync=always).
+	DurableAcks bool `json:"durable_acks"`
+	// Failed is the sticky WAL-failure flag: once true, durable acks
+	// are refused and /healthz serves 503.
+	Failed        bool   `json:"failed"`
+	Seq           uint64 `json:"seq"`            // last journaled window
+	SnapshotSeq   uint64 `json:"snapshot_seq"`   // window the snapshot covers
+	LogBytes      int64  `json:"log_bytes"`      // current wal.log size
+	Appends       uint64 `json:"appends"`        // windows journaled this process
+	AppendedBytes uint64 `json:"appended_bytes"` // record bytes written this process
+	Fsyncs        uint64 `json:"fsyncs"`
+	Snapshots     uint64 `json:"snapshots"`
+	Errors        uint64 `json:"errors"` // WAL-level write/sync/snapshot failures
+	// JournalErrors counts flush windows the Collection committed in
+	// memory but could not confirm durable (should track Errors).
+	JournalErrors uint64      `json:"journal_errors"`
+	Recovery      WALRecovery `json:"recovery"`
 }
 
 // GCStats is the runtime memory/GC snapshot served in /stats under

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // DefaultMaxLineBytes caps one request line when Options.MaxLineBytes is
@@ -85,6 +86,29 @@ type Options struct {
 	SlowLog time.Duration
 	// SlowLogSize is the ring capacity; <= 0 selects DefaultSlowLogSize.
 	SlowLogSize int
+	// WALDir, when non-empty, puts a write-ahead log under the
+	// Collection: every committed flush window is journaled to
+	// WALDir/wal.log before it is applied, startup recovers the logged
+	// state (snapshot + log replay, truncating a torn tail), and a
+	// background loop snapshots the full state every WALSnapshotInterval
+	// to bound replay time. Empty (the default) serves memory-only, the
+	// pre-WAL behavior. Use NewDurable to surface WAL open/recovery
+	// errors instead of New's panic.
+	WALDir string
+	// WALFsync is the append durability policy (wal.FsyncAlways /
+	// FsyncInterval / FsyncNever — cmd/psid parses -fsync into this).
+	// Under FsyncAlways the server flushes after every SET/DEL before
+	// acknowledging, so "acknowledged" means "on disk"; the other
+	// policies acknowledge from memory and bound the loss window
+	// instead (docs/durability.md has the per-policy contract).
+	WALFsync wal.FsyncPolicy
+	// WALFsyncInterval is the FsyncInterval cadence; <= 0 selects
+	// wal.DefaultInterval. Ignored by the other policies.
+	WALFsyncInterval time.Duration
+	// WALSnapshotInterval is the snapshot-and-truncate cadence; <= 0
+	// selects DefaultWALSnapshotInterval. Idle ticks (no appends since
+	// the last snapshot) are skipped.
+	WALSnapshotInterval time.Duration
 }
 
 // DefaultSlowLogSize is the slow-query ring capacity used when
@@ -94,6 +118,10 @@ const DefaultSlowLogSize = 128
 // DefaultFlushInterval is the background flush cadence used when
 // Options.FlushInterval is zero.
 const DefaultFlushInterval = 2 * time.Millisecond
+
+// DefaultWALSnapshotInterval is the WAL snapshot cadence used when
+// Options.WALSnapshotInterval is unset.
+const DefaultWALSnapshotInterval = time.Minute
 
 func (o Options) withDefaults() Options {
 	if o.MaxLineBytes <= 0 {
@@ -109,6 +137,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SlowLogSize <= 0 {
 		o.SlowLogSize = DefaultSlowLogSize
+	}
+	if o.WALSnapshotInterval <= 0 {
+		o.WALSnapshotInterval = DefaultWALSnapshotInterval
 	}
 	return o
 }
@@ -134,6 +165,16 @@ type Server struct {
 	conns   map[net.Conn]struct{}
 	closing atomic.Bool
 	wg      sync.WaitGroup // accept loop + one entry per live connection
+
+	// Durability state, zero-valued when WALDir is unset (wal == nil).
+	wal         *wal.Log[string]
+	recovered   WALRecovery
+	durableAcks bool        // fsync=always: flush (and so journal+fsync) before acking SET/DEL
+	walFailed   atomic.Bool // sticky: a journal append, fsync, or snapshot failed
+	fatal       chan error  // first WAL failure, for the binary's select loop
+	snapStop    chan struct{}
+	snapWG      sync.WaitGroup
+	walOnce     sync.Once // WAL teardown (Shutdown may be called twice)
 }
 
 // New wraps idx (which must start empty) in a Server. Like
@@ -143,28 +184,15 @@ type Server struct {
 // enqueueing. When idx implements core.Replicator (and DisableSnapshot
 // is unset), queries ride the epoch-pinned snapshot path: NEARBY/WITHIN
 // never wait behind a flush, and /stats reports the epoch counters.
+//
+// New panics if WAL setup fails — only possible with Options.WALDir set
+// (an unreadable directory, a corrupt snapshot). Durable configurations
+// should call NewDurable and handle the error.
 func New(idx core.Index, opts Options) *Server {
-	opts = opts.withDefaults()
-	copts := collection.Options{
-		MaxBatch:       opts.MaxBatch,
-		FlushInterval:  opts.FlushInterval,
-		DisableScratch: opts.DisableScratch,
-		Obs:            opts.Obs,
+	s, err := NewDurable(idx, opts)
+	if err != nil {
+		panic(err)
 	}
-	if r, ok := idx.(core.Replicator); ok && !opts.DisableSnapshot {
-		copts.Snapshot = r.NewReplica
-	}
-	s := &Server{
-		opts:  opts,
-		dims:  idx.Dims(),
-		coll:  collection.New[string](idx, copts),
-		reg:   opts.Obs,
-		conns: make(map[net.Conn]struct{}),
-	}
-	if opts.SlowLog > 0 {
-		s.slow = obs.NewSlowLog(opts.SlowLogSize)
-	}
-	s.registerMetrics(s.reg)
 	return s
 }
 
@@ -297,7 +325,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.http != nil {
 		s.http.Shutdown(ctx)
 	}
-	s.coll.Close() // stops the background flusher and applies the final flush
+	s.coll.Close() // stops the background flusher and applies the final (journaled) flush
+	// With a WAL: snapshot the final state and truncate the log, so a
+	// clean restart replays nothing, then close the log (which syncs —
+	// even fsync=never loses nothing on a graceful exit).
+	s.closeWAL()
 	return err
 }
 
@@ -493,12 +525,18 @@ func (s *Server) dispatch(line []byte, cs *connState, cost *obs.QueryCost) (int,
 			return idx, errResultf(CodeBadRequest, "SET %q: %v", req.ID, err)
 		}
 		s.coll.Set(req.ID, p)
+		if r := s.commitDurable(); r != nil {
+			return idx, *r
+		}
 		return idx, result{ok: true}
 	case OpDel:
 		if req.ID == "" {
 			return idx, errResult(CodeBadRequest, "DEL: missing id")
 		}
 		s.coll.Remove(req.ID)
+		if r := s.commitDurable(); r != nil {
+			return idx, *r
+		}
 		return idx, result{ok: true}
 	case OpGet:
 		if req.ID == "" {
@@ -608,6 +646,24 @@ func (s *Server) Stats() StatsPayload {
 		BadLines:  s.met.badLines.Load(),
 		Ops:       s.met.snapshot(),
 	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		st.WAL = &WALStats{
+			Policy:        ws.Policy,
+			DurableAcks:   s.durableAcks,
+			Failed:        s.walFailed.Load(),
+			Seq:           ws.Seq,
+			SnapshotSeq:   ws.SnapshotSeq,
+			LogBytes:      ws.LogBytes,
+			Appends:       ws.Appends,
+			AppendedBytes: ws.AppendedBytes,
+			Fsyncs:        ws.Fsyncs,
+			Snapshots:     ws.Snapshots,
+			Errors:        ws.Errors,
+			JournalErrors: cs.JournalErrors,
+			Recovery:      s.recovered,
+		}
+	}
 	if s.opts.EnablePprof {
 		var m runtime.MemStats
 		runtime.ReadMemStats(&m)
@@ -673,6 +729,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		w.Write(marshalLine(map[string]any{"ok": false, "state": "draining"}))
 		return
 	}
+	// A failed WAL means acknowledged writes may no longer be durable:
+	// the server is up but should be rotated out, so health goes red.
+	if s.walFailed.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write(marshalLine(map[string]any{"ok": false, "state": "wal_failed"}))
+		return
+	}
 	w.Write(marshalLine(map[string]any{"ok": true, "uptime_s": time.Since(s.start).Seconds()}))
 }
 
@@ -697,6 +760,7 @@ type flushSpanJSON struct {
 	Layer         string `json:"layer"`
 	StartUnixNano int64  `json:"start_unix_nano"`
 	NetNs         int64  `json:"net_ns"`
+	LogNs         int64  `json:"log_ns"`
 	ReplayNs      int64  `json:"replay_ns"`
 	ApplyNs       int64  `json:"apply_ns"`
 	PublishNs     int64  `json:"publish_ns"`
@@ -718,6 +782,7 @@ func (s *Server) handleFlushTrace(w http.ResponseWriter, r *http.Request) {
 			Layer:         sp.Layer,
 			StartUnixNano: sp.Start,
 			NetNs:         sp.Stages[obs.StageNet],
+			LogNs:         sp.Stages[obs.StageLog],
 			ReplayNs:      sp.Stages[obs.StageReplay],
 			ApplyNs:       sp.Stages[obs.StageApply],
 			PublishNs:     sp.Stages[obs.StagePublish],

@@ -1,0 +1,172 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/geom"
+)
+
+// On-disk format. Both files open with an 8-byte magic so a foreign or
+// misplaced file fails loudly instead of replaying as garbage.
+//
+// wal.log:
+//
+//	"PSIWAL1\n"
+//	record*        where record = u32le payloadLen | u32le crc32(payload) | payload
+//
+// A record payload is one committed window:
+//
+//	uvarint seq | uvarint nOps | op*
+//	op = flags byte (bit0: delete) | codec-encoded ID | 3 × varint coord (omitted for deletes)
+//
+// Coordinates are signed varints (zigzag) over all geom.MaxDims slots —
+// unused dimensions are zero by the library-wide point convention and
+// cost one byte each. CRC is IEEE CRC-32 over the payload only, so a
+// torn length prefix and a torn payload fail the same way: checksum
+// mismatch or short read, both handled by truncation at recovery.
+//
+// wal.snap:
+//
+//	"PSISNP1\n"
+//	uvarint seq | uvarint n | n × (codec-encoded ID | 3 × varint coord)
+//	u32le crc32(everything after the magic)
+//
+// The snapshot is replaced atomically (write-temp, fsync, rename), so a
+// reader never sees a partial one; a checksum mismatch therefore means
+// bit rot, which fails Open rather than being silently truncated.
+const (
+	logMagic  = "PSIWAL1\n"
+	snapMagic = "PSISNP1\n"
+	magicLen  = 8
+	frameLen  = 8 // u32le payload length + u32le payload CRC
+)
+
+// Op is one entry of a committed window: a last-write-wins Set of ID to
+// P, or (Del) a removal. The window invariant — at most one op per ID,
+// produced by the Collection's netting — is what makes replay exact.
+type Op[ID comparable] struct {
+	ID  ID
+	P   geom.Point
+	Del bool
+}
+
+// Codec encodes IDs for the wire. Implementations must be stateless
+// and self-delimiting: DecodeID reads exactly the bytes AppendID wrote.
+type Codec[ID comparable] interface {
+	// AppendID appends id's encoding to dst and returns the extended
+	// slice (the dst-append contract used across the repo).
+	AppendID(dst []byte, id ID) []byte
+	// DecodeID decodes one ID from the front of src, returning the ID
+	// and the bytes consumed. It must error (never panic) on any
+	// malformed input — recovery feeds it CRC-valid but potentially
+	// hostile bytes, and the fuzz target feeds it worse.
+	DecodeID(src []byte) (id ID, n int, err error)
+}
+
+// StringCodec is the Codec for string IDs (the psid wire protocol's ID
+// type): uvarint length followed by the raw bytes.
+type StringCodec struct{}
+
+// AppendID implements Codec.
+func (StringCodec) AppendID(dst []byte, id string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(id)))
+	return append(dst, id...)
+}
+
+// DecodeID implements Codec.
+func (StringCodec) DecodeID(src []byte) (string, int, error) {
+	ln, n := binary.Uvarint(src)
+	if n <= 0 {
+		return "", 0, fmt.Errorf("wal: truncated ID length")
+	}
+	if ln > uint64(len(src)-n) {
+		return "", 0, fmt.Errorf("wal: ID length %d overruns the record", ln)
+	}
+	return string(src[n : n+int(ln)]), n + int(ln), nil
+}
+
+// putFrame fills the 8-byte record header for payload.
+func putFrame(hdr, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+}
+
+// encodeWindow appends one window payload to dst.
+func encodeWindow[ID comparable](dst []byte, codec Codec[ID], seq uint64, ops []Op[ID]) []byte {
+	dst = binary.AppendUvarint(dst, seq)
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+	for i := range ops {
+		o := &ops[i]
+		var flags byte
+		if o.Del {
+			flags = 1
+		}
+		dst = append(dst, flags)
+		dst = codec.AppendID(dst, o.ID)
+		if !o.Del {
+			for d := 0; d < geom.MaxDims; d++ {
+				dst = binary.AppendVarint(dst, o.P[d])
+			}
+		}
+	}
+	return dst
+}
+
+// decodeWindow decodes one CRC-validated window payload into dst
+// (reused across records during replay). Every malformed shape —
+// truncated varints, overrunning IDs, unknown flag bits, trailing
+// bytes — is an error; the caller treats it as corruption and
+// truncates. It never panics: the payload passed its checksum, but the
+// checksum only proves the bytes are what was written, not that a
+// well-formed writer wrote them.
+func decodeWindow[ID comparable](payload []byte, codec Codec[ID], dst []Op[ID]) (seq uint64, ops []Op[ID], err error) {
+	seq, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, dst, fmt.Errorf("wal: truncated window seq")
+	}
+	rest := payload[n:]
+	nOps, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, dst, fmt.Errorf("wal: truncated op count")
+	}
+	rest = rest[n:]
+	if nOps > uint64(len(rest)) { // every op costs >= 1 byte: cheap bound before allocating
+		return 0, dst, fmt.Errorf("wal: op count %d overruns the record", nOps)
+	}
+	ops = dst
+	for i := uint64(0); i < nOps; i++ {
+		if len(rest) == 0 {
+			return 0, dst, fmt.Errorf("wal: truncated op %d", i)
+		}
+		flags := rest[0]
+		if flags > 1 {
+			return 0, dst, fmt.Errorf("wal: unknown op flags %#x", flags)
+		}
+		rest = rest[1:]
+		var o Op[ID]
+		o.Del = flags == 1
+		var idLen int
+		o.ID, idLen, err = codec.DecodeID(rest)
+		if err != nil {
+			return 0, dst, err
+		}
+		rest = rest[idLen:]
+		if !o.Del {
+			for d := 0; d < geom.MaxDims; d++ {
+				v, n := binary.Varint(rest)
+				if n <= 0 {
+					return 0, dst, fmt.Errorf("wal: truncated coordinate")
+				}
+				o.P[d] = v
+				rest = rest[n:]
+			}
+		}
+		ops = append(ops, o)
+	}
+	if len(rest) != 0 {
+		return 0, dst, fmt.Errorf("wal: %d trailing bytes after %d ops", len(rest), nOps)
+	}
+	return seq, ops, nil
+}

@@ -1,0 +1,312 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"iter"
+	"os"
+	"path/filepath"
+
+	"repro/internal/geom"
+)
+
+// Recovery is what Open salvaged from disk: the folded state plus
+// enough accounting to log and assert on. Entries is the ready-to-load
+// dataset — the snapshot with the replayed log tail already applied.
+type Recovery[ID comparable] struct {
+	// Entries maps every surviving live ID to its last durable
+	// position.
+	Entries map[ID]geom.Point
+	// Seq is the highest recovered window sequence number (appends
+	// continue from Seq+1).
+	Seq uint64
+	// SnapshotSeq and SnapshotObjects describe the loaded snapshot
+	// (zero when none existed).
+	SnapshotSeq     uint64
+	SnapshotObjects int
+	// Records is the number of valid log records read (including any
+	// at or below SnapshotSeq, which are skipped as already folded).
+	Records int
+	// TruncatedBytes is the size of the torn or corrupt log tail that
+	// was cut off, zero for a clean log. A tear is expected after a
+	// crash mid-append and is not an error: everything before it is
+	// CRC-intact, and under FsyncAlways nothing after it was ever
+	// acknowledged.
+	TruncatedBytes int64
+}
+
+// readSnapshot loads the snapshot file into rec, if one exists. The
+// file is rename-atomic, so any validation failure here is bit rot or
+// foreign data — a hard error, never a truncation.
+func readSnapshot[ID comparable](path string, codec Codec[ID], rec *Recovery[ID]) error {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if len(b) < magicLen+4 || string(b[:magicLen]) != snapMagic {
+		return fmt.Errorf("wal: %s: bad snapshot header", path)
+	}
+	body, trailer := b[magicLen:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return fmt.Errorf("wal: %s: snapshot checksum mismatch", path)
+	}
+	seq, n := binary.Uvarint(body)
+	if n <= 0 {
+		return fmt.Errorf("wal: %s: truncated snapshot seq", path)
+	}
+	body = body[n:]
+	count, n := binary.Uvarint(body)
+	if n <= 0 {
+		return fmt.Errorf("wal: %s: truncated snapshot count", path)
+	}
+	body = body[n:]
+	for i := uint64(0); i < count; i++ {
+		id, idLen, err := codec.DecodeID(body)
+		if err != nil {
+			return fmt.Errorf("wal: %s: entry %d: %w", path, i, err)
+		}
+		body = body[idLen:]
+		var p geom.Point
+		for d := 0; d < geom.MaxDims; d++ {
+			v, n := binary.Varint(body)
+			if n <= 0 {
+				return fmt.Errorf("wal: %s: entry %d: truncated coordinate", path, i)
+			}
+			p[d] = v
+			body = body[n:]
+		}
+		rec.Entries[id] = p
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("wal: %s: %d trailing bytes after %d entries", path, len(body), count)
+	}
+	rec.SnapshotSeq = seq
+	rec.Seq = seq
+	rec.SnapshotObjects = int(count)
+	return nil
+}
+
+// replayLog folds the log tail into rec, creating the file when absent.
+// Records must carry strictly increasing seqs; those at or below the
+// snapshot seq are already folded and skipped (a crash between the
+// snapshot rename and the log rotation leaves exactly that overlap).
+// The first torn or corrupt record truncates the file there — recovery
+// keeps the longest valid prefix and the log is again append-clean.
+func replayLog[ID comparable](path string, codec Codec[ID], maxRec int, rec *Recovery[ID]) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if os.IsNotExist(err) {
+		nf, err := createLogFile(path)
+		if err != nil {
+			return err
+		}
+		return nf.Close()
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Seek(0, 2)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	var magic [magicLen]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != logMagic {
+		// The log is created and rotated rename-atomically, so a short
+		// or foreign header cannot be a crash artifact of ours: refuse
+		// to append over it.
+		return fmt.Errorf("wal: %s: bad log header", path)
+	}
+	good := int64(magicLen) // offset after the last valid record
+	var hdr [frameLen]byte
+	var payload []byte
+	var ops []Op[ID]
+	lastSeq := uint64(0)
+	torn := false
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				break // clean end on a record boundary
+			}
+			if err == io.ErrUnexpectedEOF {
+				torn = true
+				break
+			}
+			return fmt.Errorf("wal: %w", err)
+		}
+		ln := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if int(ln) > maxRec {
+			torn = true // a garbage length prefix, not a real record
+			break
+		}
+		if cap(payload) < int(ln) {
+			payload = make([]byte, ln)
+		}
+		payload = payload[:ln]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				torn = true
+				break
+			}
+			return fmt.Errorf("wal: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			torn = true
+			break
+		}
+		seq, decoded, err := decodeWindow(payload, codec, ops[:0])
+		if err != nil || seq == 0 || seq <= lastSeq {
+			torn = true // CRC-valid but malformed or out of order: same treatment
+			break
+		}
+		ops = decoded
+		lastSeq = seq
+		rec.Records++
+		if seq > rec.SnapshotSeq {
+			for i := range ops {
+				if ops[i].Del {
+					delete(rec.Entries, ops[i].ID)
+				} else {
+					rec.Entries[ops[i].ID] = ops[i].P
+				}
+			}
+			rec.Seq = seq
+		}
+		good += int64(frameLen) + int64(ln)
+	}
+	if torn {
+		rec.TruncatedBytes = size - good
+		if err := f.Truncate(good); err != nil {
+			return fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// createLogFile creates an empty log (header only) atomically — write
+// temp, fsync, rename, fsync directory — and returns a handle
+// positioned to append. Rename-atomicity means wal.log, whenever it
+// exists, always has a complete header.
+func createLogFile(path string) (*os.File, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.WriteString(logMagic); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// The handle follows the inode through the rename, so it now
+	// appends to the freshly installed wal.log.
+	return f, nil
+}
+
+// writeSnapshotFile streams one snapshot to path atomically.
+func writeSnapshotFile[ID comparable](path string, codec Codec[ID], seq uint64, n int, entries iter.Seq2[ID, geom.Point]) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+	bw := bufio.NewWriterSize(f, 1<<20)
+	crc := crc32.NewIEEE()
+	// Everything after the magic flows through the writer and the
+	// checksum together; the trailer seals it.
+	mw := io.MultiWriter(bw, crc)
+	if _, err := bw.WriteString(snapMagic); err != nil {
+		f.Close()
+		return err
+	}
+	var buf []byte
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	if _, err := mw.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	count := 0
+	werr := error(nil)
+	for id, p := range entries {
+		buf = codec.AppendID(buf[:0], id)
+		for d := 0; d < geom.MaxDims; d++ {
+			buf = binary.AppendVarint(buf, p[d])
+		}
+		if _, werr = mw.Write(buf); werr != nil {
+			break
+		}
+		count++
+	}
+	if werr != nil {
+		f.Close()
+		return werr
+	}
+	if count != n {
+		f.Close()
+		return fmt.Errorf("wal: snapshot iterator yielded %d entries, want %d", count, n)
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	if _, err := bw.Write(trailer[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: syncing %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,469 @@
+// Package wal is the durability layer under psi.Collection: an
+// append-only write-ahead log of committed flush windows, plus periodic
+// full snapshots that truncate it. The Collection's netted per-flush
+// window — last-write-wins per ID, at most one op per object — is
+// already an ordered, idempotent replication unit, so the log needs no
+// op-level framing of its own: one length-prefixed, CRC32-guarded
+// record per committed window, replayed in sequence order at startup.
+//
+// Files (one generation, in the WAL directory):
+//
+//	wal.snap  full state at some window seq S: every live (ID, point)
+//	wal.log   the windows committed after S, one record each
+//
+// Recovery (Open) loads the latest valid snapshot, replays the log tail
+// with seq > S, and — because a crash can land mid-write — truncates a
+// torn or corrupt final record instead of failing: everything before
+// the tear is intact by CRC, everything after it was never
+// acknowledged under the always-fsync policy. Both files are replaced
+// atomically (write-temp, fsync, rename, fsync directory), so a crash
+// during a snapshot or log rotation leaves the previous generation
+// untouched.
+//
+// Durability is governed by the fsync policy: FsyncAlways syncs every
+// appended window before the append returns (acknowledged == durable),
+// FsyncInterval syncs on a timer (bounded loss window), FsyncNever
+// leaves syncing to the kernel (contents survive process crashes but
+// not host crashes). docs/durability.md spells out the guarantee per
+// policy; cmd/psid exposes the choice as -fsync.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"iter"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// FsyncPolicy selects when appended windows are forced to stable
+// storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs inside every AppendWindow: when the append
+	// returns, the window is on disk. The only policy under which an
+	// acknowledged write is guaranteed to survive power loss.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval marks appended windows dirty and syncs on a timer
+	// (Options.Interval): at most one interval of acknowledged writes
+	// can be lost to a host crash. Process crashes lose nothing — the
+	// data is already in the page cache.
+	FsyncInterval
+	// FsyncNever never calls fsync on append (Close still syncs).
+	// Survives process crashes, not host crashes.
+	FsyncNever
+)
+
+// String returns the policy's -fsync spelling.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// ParseFsync parses a -fsync flag value: "always", "never", or a
+// duration ("100ms") selecting FsyncInterval at that cadence.
+func ParseFsync(s string) (FsyncPolicy, time.Duration, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, 0, nil
+	case "never":
+		return FsyncNever, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("wal: bad fsync policy %q (want always, never, or a positive duration)", s)
+	}
+	return FsyncInterval, d, nil
+}
+
+// DefaultInterval is the FsyncInterval cadence when Options.Interval is
+// unset.
+const DefaultInterval = 100 * time.Millisecond
+
+// DefaultMaxRecordBytes bounds one record's payload on both ends: an
+// encoder refusing larger windows and a decoder treating larger length
+// prefixes as corruption. Far above any real window (a window op is
+// tens of bytes).
+const DefaultMaxRecordBytes = 1 << 30
+
+// maxRetainedBuf caps the append scratch kept between windows: one
+// enormous window must not pin its encode buffer forever.
+const maxRetainedBuf = 1 << 22
+
+// ErrClosed is returned by appends and snapshots after Close.
+var ErrClosed = errors.New("wal: closed")
+
+// Options tunes a Log. The zero value is usable: FsyncAlways, default
+// interval and record bound, no metrics.
+type Options struct {
+	// Fsync is the append durability policy (see the policy constants).
+	Fsync FsyncPolicy
+	// Interval is the FsyncInterval cadence; <= 0 selects
+	// DefaultInterval. Ignored by the other policies.
+	Interval time.Duration
+	// MaxRecordBytes bounds one record payload (encode and decode);
+	// <= 0 selects DefaultMaxRecordBytes.
+	MaxRecordBytes int
+	// Obs, when set, registers the WAL series (psi_wal_*: append and
+	// fsync counters, log size and seq gauges, fsync latency
+	// histogram). Recording is atomics only — appends stay
+	// allocation-free with a live registry.
+	Obs *obs.Registry
+	// OnError receives errors from the background fsync loop (the
+	// FsyncInterval policy's timer goroutine — there is no caller to
+	// return them to). Synchronous append/snapshot errors are returned
+	// to the caller and not reported here. The callback runs on the
+	// loop goroutine and must not call back into the Log.
+	OnError func(error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = DefaultInterval
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	return o
+}
+
+// Log is one open WAL generation: the append handle on wal.log plus the
+// snapshot machinery. Create one with Open; all methods are safe for
+// concurrent use (appends, snapshots, and the fsync timer serialize on
+// one mutex — the Collection already serializes appends under its flush
+// lock, so the mutex is uncontended in practice).
+type Log[ID comparable] struct {
+	dir   string
+	codec Codec[ID]
+	opts  Options
+
+	mu     sync.Mutex // guards f, buf, err, closed, and file mutation order
+	f      *os.File
+	buf    []byte
+	err    error // sticky: after a failed write/fsync, durability is gone
+	closed bool
+
+	seq      atomic.Uint64 // last appended window seq
+	snapSeq  atomic.Uint64 // window seq covered by the durable snapshot
+	logBytes atomic.Int64
+
+	appends   atomic.Uint64
+	bytes     atomic.Uint64
+	fsyncs    atomic.Uint64
+	snapshots atomic.Uint64
+	errors    atomic.Uint64
+	dirty     atomic.Bool // unsynced appends (FsyncInterval)
+
+	fsyncDur *obs.Hist // nil without a registry
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+const (
+	logName  = "wal.log"
+	snapName = "wal.snap"
+)
+
+// Open opens (creating if absent) the WAL in dir and runs recovery:
+// the returned Recovery holds the surviving state — snapshot plus
+// replayed log tail, with any torn final record truncated — and the
+// Log is positioned to append the next window. A hard error (an
+// unreadable directory, a corrupt snapshot, a log with a foreign
+// header) fails Open rather than silently serving an empty dataset.
+func Open[ID comparable](dir string, codec Codec[ID], opts Options) (*Log[ID], *Recovery[ID], error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	rec := &Recovery[ID]{Entries: make(map[ID]geom.Point)}
+	if err := readSnapshot(filepath.Join(dir, snapName), codec, rec); err != nil {
+		return nil, nil, err
+	}
+	logPath := filepath.Join(dir, logName)
+	if err := replayLog(logPath, codec, opts.MaxRecordBytes, rec); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	size, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log[ID]{dir: dir, codec: codec, opts: opts, f: f, stop: make(chan struct{})}
+	l.seq.Store(rec.Seq)
+	l.snapSeq.Store(rec.SnapshotSeq)
+	l.logBytes.Store(size)
+	if opts.Obs != nil {
+		l.registerMetrics(opts.Obs)
+	}
+	if opts.Fsync == FsyncInterval {
+		l.wg.Add(1)
+		go l.fsyncLoop()
+	}
+	return l, rec, nil
+}
+
+// AppendWindow appends one committed flush window — the Collection's
+// netted ops, at most one per ID — as a single framed record, and (under
+// FsyncAlways) syncs it to disk before returning. Windows are assigned
+// consecutive sequence numbers; replay applies them in order, so the
+// caller must append windows in commit order (the Collection's flush
+// lock already guarantees this). The ops slice is not retained.
+func (l *Log[ID]) AppendWindow(ops []Op[ID]) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		// A previous write or fsync failed: the tail of the log is in an
+		// unknown state, so no further append may claim durability.
+		return l.err
+	}
+	seq := l.seq.Load() + 1
+	buf := l.buf
+	if cap(buf) < frameLen {
+		buf = make([]byte, frameLen)
+	} else {
+		buf = buf[:frameLen] // putFrame overwrites all 8 bytes below
+	}
+	buf = encodeWindow(buf, l.codec, seq, ops)
+	payload := buf[frameLen:]
+	if len(payload) > l.opts.MaxRecordBytes {
+		return fmt.Errorf("wal: window of %d ops encodes to %d bytes, above the %d-byte record bound",
+			len(ops), len(payload), l.opts.MaxRecordBytes)
+	}
+	putFrame(buf[:frameLen], payload)
+	if _, err := l.f.Write(buf); err != nil {
+		l.fail(err)
+		return l.err
+	}
+	if cap(buf) <= maxRetainedBuf {
+		l.buf = buf[:0]
+	} else {
+		l.buf = nil
+	}
+	l.seq.Store(seq)
+	l.logBytes.Add(int64(len(buf)))
+	l.appends.Add(1)
+	l.bytes.Add(uint64(len(buf)))
+	switch l.opts.Fsync {
+	case FsyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	case FsyncInterval:
+		l.dirty.Store(true)
+	}
+	return nil
+}
+
+// Sync forces appended windows to disk regardless of policy (graceful
+// shutdown uses it so even FsyncNever loses nothing on a clean exit).
+func (l *Log[ID]) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	return l.syncLocked()
+}
+
+// syncLocked fsyncs the log file and records the latency (mu held).
+func (l *Log[ID]) syncLocked() error {
+	t0 := time.Now()
+	if err := l.f.Sync(); err != nil {
+		l.fail(err)
+		return l.err
+	}
+	l.fsyncs.Add(1)
+	l.dirty.Store(false)
+	if l.fsyncDur != nil {
+		l.fsyncDur.Record(time.Since(t0))
+	}
+	return nil
+}
+
+// fail records a write/fsync failure: the first error sticks (every
+// later append returns it) so an acknowledgement can never be issued
+// over a log whose tail state is unknown.
+func (l *Log[ID]) fail(err error) {
+	l.errors.Add(1)
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: %w", err)
+	}
+}
+
+func (l *Log[ID]) fsyncLoop() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if !l.dirty.Load() {
+				continue
+			}
+			l.mu.Lock()
+			var err error
+			if !l.closed && l.err == nil {
+				err = l.syncLocked()
+			}
+			l.mu.Unlock()
+			if err != nil && l.opts.OnError != nil {
+				l.opts.OnError(err)
+			}
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// WriteSnapshot atomically replaces the snapshot with the given state —
+// n entries pushed by the iterator — and truncates the log by rotating
+// in a fresh one, bounding replay time and disk use. The state must be
+// exactly the fold of every appended window (Collection.Checkpoint
+// provides it under the flush lock, so no window can commit mid-
+// snapshot). A crash at any point leaves a recoverable pair: both
+// replacements are write-temp, fsync, rename.
+func (l *Log[ID]) WriteSnapshot(n int, entries iter.Seq2[ID, geom.Point]) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	seq := l.seq.Load()
+	if err := writeSnapshotFile(filepath.Join(l.dir, snapName), l.codec, seq, n, entries); err != nil {
+		l.fail(err)
+		return l.err
+	}
+	// The snapshot at seq is durable: every logged window is now
+	// redundant, so rotate in an empty log. A crash before the rotation
+	// rename replays the old log over the snapshot — records with
+	// seq <= snapSeq are skipped, so the overlap is harmless.
+	nf, err := createLogFile(filepath.Join(l.dir, logName))
+	if err != nil {
+		l.fail(err)
+		return l.err
+	}
+	l.f.Close()
+	l.f = nf
+	l.logBytes.Store(magicLen)
+	l.snapSeq.Store(seq)
+	l.snapshots.Add(1)
+	return nil
+}
+
+// AppendsSinceSnapshot returns the number of windows appended since the
+// last durable snapshot — zero means a snapshot would be a no-op, which
+// the service's timer loop uses to skip idle rewrites.
+func (l *Log[ID]) AppendsSinceSnapshot() uint64 {
+	return l.seq.Load() - l.snapSeq.Load()
+}
+
+// Close syncs and closes the log (stopping the fsync timer first).
+// Idempotent; appends after Close return ErrClosed.
+func (l *Log[ID]) Close() error {
+	l.stopOnce.Do(func() { close(l.stop) })
+	l.wg.Wait()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.err == nil {
+		err = l.f.Sync()
+		if err == nil {
+			l.fsyncs.Add(1)
+		}
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats is a point-in-time snapshot of the log's counters, assembled
+// from atomics (safe to sample during an append or snapshot).
+type Stats struct {
+	Seq           uint64 // last appended window seq
+	SnapshotSeq   uint64 // window seq the durable snapshot covers
+	LogBytes      int64  // current wal.log size
+	Appends       uint64 // windows appended this process
+	AppendedBytes uint64 // record bytes appended this process
+	Fsyncs        uint64
+	Snapshots     uint64 // snapshots written this process
+	Errors        uint64 // write/fsync/snapshot failures
+	Policy        string
+}
+
+// Stats returns the current counters.
+func (l *Log[ID]) Stats() Stats {
+	return Stats{
+		Seq:           l.seq.Load(),
+		SnapshotSeq:   l.snapSeq.Load(),
+		LogBytes:      l.logBytes.Load(),
+		Appends:       l.appends.Load(),
+		AppendedBytes: l.bytes.Load(),
+		Fsyncs:        l.fsyncs.Load(),
+		Snapshots:     l.snapshots.Load(),
+		Errors:        l.errors.Load(),
+		Policy:        l.opts.Fsync.String(),
+	}
+}
+
+// registerMetrics exposes the WAL series on reg. Everything reads the
+// Log's own atomics; nothing here runs on the append path.
+func (l *Log[ID]) registerMetrics(reg *obs.Registry) {
+	layer := obs.Label{Key: "layer", Value: "wal"}
+	reg.CounterFunc("psi_wal_appends_total",
+		"Committed flush windows appended to the write-ahead log.",
+		l.appends.Load, layer)
+	reg.CounterFunc("psi_wal_bytes_total",
+		"Record bytes appended to the write-ahead log.",
+		l.bytes.Load, layer)
+	reg.CounterFunc("psi_wal_fsync_total",
+		"fsync calls issued by the write-ahead log.",
+		l.fsyncs.Load, layer)
+	reg.CounterFunc("psi_wal_snapshots_total",
+		"Full snapshots written (each truncates the log).",
+		l.snapshots.Load, layer)
+	reg.CounterFunc("psi_wal_errors_total",
+		"Write, fsync, and snapshot failures (the first one sticks).",
+		l.errors.Load, layer)
+	reg.GaugeFunc("psi_wal_seq",
+		"Last appended window sequence number.",
+		func() float64 { return float64(l.seq.Load()) }, layer)
+	reg.GaugeFunc("psi_wal_log_bytes",
+		"Current size of wal.log (falls to the header at each snapshot).",
+		func() float64 { return float64(l.logBytes.Load()) }, layer)
+	l.fsyncDur = reg.Histogram("psi_wal_fsync_duration_ns",
+		"fsync latency in nanoseconds.", layer)
+}

@@ -1,0 +1,449 @@
+package wal
+
+import (
+	"maps"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+)
+
+func openT(t *testing.T, dir string, opts Options) (*Log[string], *Recovery[string]) {
+	t.Helper()
+	l, rec, err := Open[string](dir, StringCodec{}, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func closeT(t *testing.T, l *Log[string]) {
+	t.Helper()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// fold applies windows to a model map the way recovery should.
+func fold(m map[string]geom.Point, ops []Op[string]) {
+	for _, o := range ops {
+		if o.Del {
+			delete(m, o.ID)
+		} else {
+			m[o.ID] = o.P
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openT(t, dir, Options{Fsync: FsyncAlways})
+	if len(rec.Entries) != 0 || rec.Seq != 0 {
+		t.Fatalf("fresh dir recovered %d entries, seq %d", len(rec.Entries), rec.Seq)
+	}
+	want := map[string]geom.Point{}
+	windows := [][]Op[string]{
+		{{ID: "a", P: geom.Pt2(1, 2)}, {ID: "b", P: geom.Pt2(3, 4)}},
+		{{ID: "a", P: geom.Pt2(5, 6)}, {ID: "c", P: geom.Pt3(7, 8, 9)}},
+		{{ID: "b", Del: true}, {ID: "id with spaces and ünïcode", P: geom.Pt2(-10, 1<<40)}},
+		{}, // an empty window must round-trip too
+	}
+	for _, w := range windows {
+		if err := l.AppendWindow(w); err != nil {
+			t.Fatalf("AppendWindow: %v", err)
+		}
+		fold(want, w)
+	}
+	if got := l.Stats(); got.Appends != 4 || got.Seq != 4 || got.Fsyncs < 4 {
+		t.Fatalf("stats after 4 windows: %+v", got)
+	}
+	closeT(t, l)
+
+	l2, rec2 := openT(t, dir, Options{})
+	defer closeT(t, l2)
+	if !maps.Equal(rec2.Entries, want) {
+		t.Fatalf("recovered %v, want %v", rec2.Entries, want)
+	}
+	if rec2.Seq != 4 || rec2.Records != 4 || rec2.TruncatedBytes != 0 {
+		t.Fatalf("recovery accounting: %+v", rec2)
+	}
+	// Appends continue the sequence.
+	if err := l2.AppendWindow(windows[0]); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if got := l2.Stats().Seq; got != 5 {
+		t.Fatalf("seq after recovered append = %d, want 5", got)
+	}
+}
+
+// TestTornTail chops every possible suffix off a valid log and checks
+// that recovery keeps the longest valid record prefix, truncates the
+// rest, and leaves the log append-clean.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncNever})
+	windows := [][]Op[string]{
+		{{ID: "a", P: geom.Pt2(1, 2)}},
+		{{ID: "b", P: geom.Pt2(3, 4)}},
+		{{ID: "a", Del: true}, {ID: "c", P: geom.Pt2(5, 6)}},
+	}
+	// Record the file size after each window so the expected surviving
+	// prefix for any cut point is known exactly.
+	bounds := []int64{magicLen}
+	states := []map[string]geom.Point{{}}
+	model := map[string]geom.Point{}
+	for _, w := range windows {
+		if err := l.AppendWindow(w); err != nil {
+			t.Fatal(err)
+		}
+		fold(model, w)
+		bounds = append(bounds, l.Stats().LogBytes)
+		states = append(states, maps.Clone(model))
+	}
+	closeT(t, l)
+	full, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != bounds[len(bounds)-1] {
+		t.Fatalf("log is %d bytes, stats said %d", len(full), bounds[len(bounds)-1])
+	}
+
+	for cut := int(bounds[0]); cut < len(full); cut++ {
+		// How many whole records survive a file of length cut?
+		keep := 0
+		for keep+1 < len(bounds) && bounds[keep+1] <= int64(cut) {
+			keep++
+		}
+		dir2 := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir2, logName), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, rec := openT(t, dir2, Options{Fsync: FsyncNever})
+		if !maps.Equal(rec.Entries, states[keep]) {
+			t.Fatalf("cut %d: recovered %v, want %v", cut, rec.Entries, states[keep])
+		}
+		wantTrunc := int64(cut) - bounds[keep]
+		if rec.TruncatedBytes != wantTrunc {
+			t.Fatalf("cut %d: truncated %d bytes, want %d", cut, rec.TruncatedBytes, wantTrunc)
+		}
+		// The tear is gone: appending and re-recovering must be clean.
+		if err := l2.AppendWindow([]Op[string]{{ID: "z", P: geom.Pt2(9, 9)}}); err != nil {
+			t.Fatalf("cut %d: append after truncation: %v", cut, err)
+		}
+		closeT(t, l2)
+		_, rec2 := openT(t, dir2, Options{Fsync: FsyncNever})
+		if rec2.TruncatedBytes != 0 {
+			t.Fatalf("cut %d: second recovery truncated again (%d bytes)", cut, rec2.TruncatedBytes)
+		}
+		if p, ok := rec2.Entries["z"]; !ok || p != geom.Pt2(9, 9) {
+			t.Fatalf("cut %d: post-truncation append lost: %v", cut, rec2.Entries)
+		}
+	}
+}
+
+// TestCorruptMidRecord flips one byte inside the middle record: the
+// prefix before it survives, everything from the corruption on is
+// dropped — a mid-log flip is indistinguishable from a tear.
+func TestCorruptMidRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncNever})
+	for i, w := range [][]Op[string]{
+		{{ID: "a", P: geom.Pt2(1, 1)}},
+		{{ID: "b", P: geom.Pt2(2, 2)}},
+		{{ID: "c", P: geom.Pt2(3, 3)}},
+	} {
+		if err := l.AppendWindow(w); err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+	}
+	firstEnd := magicLen + frameLen + len(encodeWindow(nil, StringCodec{}, 1, []Op[string]{{ID: "a", P: geom.Pt2(1, 1)}}))
+	closeT(t, l)
+	path := filepath.Join(dir, logName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[firstEnd+frameLen+2] ^= 0xff // inside record 2's payload
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openT(t, dir, Options{Fsync: FsyncNever})
+	defer closeT(t, l2)
+	want := map[string]geom.Point{"a": geom.Pt2(1, 1)}
+	if !maps.Equal(rec.Entries, want) {
+		t.Fatalf("recovered %v, want only the pre-corruption prefix %v", rec.Entries, want)
+	}
+	if rec.TruncatedBytes == 0 {
+		t.Fatal("corruption not reported as truncation")
+	}
+}
+
+// TestSeqRegressionTruncates hand-writes a log whose records go 5 then
+// 3: replay must keep the first and cut the regression, never apply
+// out-of-order history.
+func TestSeqRegressionTruncates(t *testing.T) {
+	dir := t.TempDir()
+	frame := func(seq uint64, ops []Op[string]) []byte {
+		payload := encodeWindow(nil, StringCodec{}, seq, ops)
+		rec := make([]byte, frameLen, frameLen+len(payload))
+		rec = append(rec, payload...)
+		putFrame(rec[:frameLen], rec[frameLen:])
+		return rec
+	}
+	var b []byte
+	b = append(b, logMagic...)
+	b = append(b, frame(5, []Op[string]{{ID: "a", P: geom.Pt2(1, 1)}})...)
+	b = append(b, frame(3, []Op[string]{{ID: "b", P: geom.Pt2(2, 2)}})...)
+	if err := os.WriteFile(filepath.Join(dir, logName), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec := openT(t, dir, Options{Fsync: FsyncNever})
+	defer closeT(t, l)
+	if _, ok := rec.Entries["b"]; ok {
+		t.Fatal("out-of-order record was replayed")
+	}
+	if rec.Seq != 5 || rec.TruncatedBytes == 0 {
+		t.Fatalf("recovery: %+v", rec)
+	}
+}
+
+func TestSnapshotRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncAlways})
+	model := map[string]geom.Point{}
+	w1 := []Op[string]{{ID: "a", P: geom.Pt2(1, 2)}, {ID: "b", P: geom.Pt2(3, 4)}}
+	w2 := []Op[string]{{ID: "b", Del: true}, {ID: "c", P: geom.Pt2(5, 6)}}
+	if err := l.AppendWindow(w1); err != nil {
+		t.Fatal(err)
+	}
+	fold(model, w1)
+	preBytes := l.Stats().LogBytes
+	if err := l.WriteSnapshot(len(model), maps.All(model)); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	st := l.Stats()
+	if st.LogBytes != magicLen || st.SnapshotSeq != 1 || st.Snapshots != 1 {
+		t.Fatalf("after snapshot: %+v (pre-snapshot log was %d bytes)", st, preBytes)
+	}
+	if got := l.AppendsSinceSnapshot(); got != 0 {
+		t.Fatalf("AppendsSinceSnapshot = %d after snapshot", got)
+	}
+	if err := l.AppendWindow(w2); err != nil {
+		t.Fatal(err)
+	}
+	fold(model, w2)
+	closeT(t, l)
+
+	_, rec := openT(t, dir, Options{Fsync: FsyncNever})
+	if !maps.Equal(rec.Entries, model) {
+		t.Fatalf("recovered %v, want %v", rec.Entries, model)
+	}
+	if rec.SnapshotSeq != 1 || rec.SnapshotObjects != 2 || rec.Seq != 2 || rec.Records != 1 {
+		t.Fatalf("recovery accounting: %+v", rec)
+	}
+}
+
+// TestSnapshotLogOverlap simulates a crash between the snapshot rename
+// and the log rotation: the log still holds records at or below the
+// snapshot seq. Replay must skip them (they are already folded in) and
+// apply only the genuine tail.
+func TestSnapshotLogOverlap(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncNever})
+	model := map[string]geom.Point{}
+	w1 := []Op[string]{{ID: "a", P: geom.Pt2(1, 1)}}
+	w2 := []Op[string]{{ID: "a", P: geom.Pt2(2, 2)}, {ID: "b", P: geom.Pt2(3, 3)}}
+	for _, w := range [][]Op[string]{w1, w2} {
+		if err := l.AppendWindow(w); err != nil {
+			t.Fatal(err)
+		}
+		fold(model, w)
+	}
+	logPath := filepath.Join(dir, logName)
+	preRotation, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(len(model), maps.All(model)); err != nil {
+		t.Fatal(err)
+	}
+	w3 := []Op[string]{{ID: "c", P: geom.Pt2(4, 4)}}
+	if err := l.AppendWindow(w3); err != nil {
+		t.Fatal(err)
+	}
+	fold(model, w3)
+	postRotation, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeT(t, l)
+	// Reconstruct the crash state: old log (seqs 1-2, both <= the
+	// snapshot's seq 2) plus the post-rotation tail record (seq 3).
+	combined := append(append([]byte{}, preRotation...), postRotation[magicLen:]...)
+	if err := os.WriteFile(logPath, combined, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openT(t, dir, Options{Fsync: FsyncNever})
+	defer closeT(t, l2)
+	if !maps.Equal(rec.Entries, model) {
+		t.Fatalf("recovered %v, want %v", rec.Entries, model)
+	}
+	if rec.Records != 3 || rec.Seq != 3 || rec.TruncatedBytes != 0 {
+		t.Fatalf("recovery accounting: %+v", rec)
+	}
+}
+
+func TestBadHeaders(t *testing.T) {
+	t.Run("log", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, logName), []byte("NOTAWAL\nxxxx"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Open[string](dir, StringCodec{}, Options{}); err == nil {
+			t.Fatal("Open accepted a foreign log file")
+		}
+	})
+	t.Run("snapshot", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, snapName), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Open[string](dir, StringCodec{}, Options{}); err == nil {
+			t.Fatal("Open accepted a corrupt snapshot")
+		}
+	})
+	t.Run("snapshot-crc", func(t *testing.T) {
+		dir := t.TempDir()
+		l, _ := openT(t, dir, Options{Fsync: FsyncNever})
+		m := map[string]geom.Point{"a": geom.Pt2(1, 2)}
+		if err := l.AppendWindow([]Op[string]{{ID: "a", P: geom.Pt2(1, 2)}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.WriteSnapshot(1, maps.All(m)); err != nil {
+			t.Fatal(err)
+		}
+		closeT(t, l)
+		path := filepath.Join(dir, snapName)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[magicLen+1] ^= 0x01
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// A snapshot is rename-atomic, so corruption is bit rot: hard
+		// error, never a silent empty dataset.
+		if _, _, err := Open[string](dir, StringCodec{}, Options{}); err == nil ||
+			!strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("Open on rotted snapshot: %v", err)
+		}
+	})
+}
+
+func TestFsyncInterval(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncInterval, Interval: time.Millisecond})
+	if err := l.AppendWindow([]Op[string]{{ID: "a", P: geom.Pt2(1, 2)}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval fsync never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	closeT(t, l)
+	_, rec := openT(t, dir, Options{})
+	if len(rec.Entries) != 1 {
+		t.Fatalf("recovered %v", rec.Entries)
+	}
+}
+
+func TestClosed(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncNever})
+	closeT(t, l)
+	closeT(t, l) // idempotent
+	if err := l.AppendWindow(nil); err != ErrClosed {
+		t.Fatalf("append after close: %v", err)
+	}
+	if err := l.WriteSnapshot(0, maps.All(map[string]geom.Point{})); err != ErrClosed {
+		t.Fatalf("snapshot after close: %v", err)
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	for _, tc := range []struct {
+		in     string
+		policy FsyncPolicy
+		iv     time.Duration
+		ok     bool
+	}{
+		{"always", FsyncAlways, 0, true},
+		{"never", FsyncNever, 0, true},
+		{"100ms", FsyncInterval, 100 * time.Millisecond, true},
+		{"2s", FsyncInterval, 2 * time.Second, true},
+		{"0s", 0, 0, false},
+		{"-1s", 0, 0, false},
+		{"sometimes", 0, 0, false},
+		{"", 0, 0, false},
+	} {
+		p, iv, err := ParseFsync(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && (p != tc.policy || iv != tc.iv)) {
+			t.Errorf("ParseFsync(%q) = %v, %v, %v; want %v, %v, ok=%t", tc.in, p, iv, err, tc.policy, tc.iv, tc.ok)
+		}
+	}
+}
+
+// TestWALAppendZeroAllocWarm pins the acceptance criterion that the WAL
+// adds no per-op allocations beyond its (persistent) record encode
+// buffer: a warm AppendWindow allocates nothing.
+func TestWALAppendZeroAllocWarm(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncNever})
+	defer closeT(t, l)
+	ops := []Op[string]{
+		{ID: "obj-0000001", P: geom.Pt2(123456, 789012)},
+		{ID: "obj-0000002", P: geom.Pt2(345678, 901234)},
+		{ID: "obj-0000003", Del: true},
+	}
+	if err := l.AppendWindow(ops); err != nil { // warm the encode buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := l.AppendWindow(ops); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm AppendWindow allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkAppendWindow(b *testing.B) {
+	for _, policy := range []FsyncPolicy{FsyncNever, FsyncAlways} {
+		b.Run(policy.String(), func(b *testing.B) {
+			l, _, err := Open[string](b.TempDir(), StringCodec{}, Options{Fsync: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			ops := make([]Op[string], 64)
+			for i := range ops {
+				ops[i] = Op[string]{ID: "obj-0000000", P: geom.Pt2(int64(i)*1000, int64(i)*2000)}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.AppendWindow(ops); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -32,10 +32,14 @@
 // Collection (NewCollection), which nets per-ID moves into batch diffs
 // and resolves geometric queries back to IDs. To put the whole stack
 // behind a socket, wrap it in a Server (NewServer) — the psid protocol
-// served by cmd/psid. ARCHITECTURE.md maps the layers.
+// served by cmd/psid — and to make acknowledged writes survive
+// restarts, give the server a write-ahead log (NewDurableServer).
+// ARCHITECTURE.md maps the layers.
 package psi
 
 import (
+	"time"
+
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -49,6 +53,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/spactree"
 	"repro/internal/store"
+	"repro/internal/wal"
 	"repro/internal/workload"
 	"repro/internal/zdtree"
 )
@@ -331,10 +336,11 @@ func NewCollection[ID comparable](idx Index, opts CollectionOptions) *Collection
 type Server = service.Server
 
 // ServerOptions tunes a Server: the Collection coalescing knobs
-// (MaxBatch, FlushInterval), the request line-length cap, and
-// DisableSnapshot to fall back to locked reads. The zero value is usable
-// and, unlike a bare Collection, defaults to a 2ms background flush so
-// acknowledged writes never stay invisible.
+// (MaxBatch, FlushInterval), the request line-length cap,
+// DisableSnapshot to fall back to locked reads, and the WAL knobs
+// (WALDir, WALFsync, WALSnapshotInterval — see NewDurableServer). The
+// zero value is usable and, unlike a bare Collection, defaults to a 2ms
+// background flush so acknowledged writes never stay invisible.
 type ServerOptions = service.Options
 
 // ServerStats is the STATS/GET-/stats payload: collection counters plus
@@ -352,6 +358,46 @@ type ServerStats = service.StatsPayload
 //	s := psi.NewServer(psi.NewSharded(psi.NewSPaCH, 2, u, 0), psi.ServerOptions{})
 //	s.Start(":7501", ":7502")
 func NewServer(idx Index, opts ServerOptions) *Server { return service.New(idx, opts) }
+
+// NewDurableServer is NewServer plus crash durability: with
+// opts.WALDir set it recovers the collection from the directory's
+// write-ahead log (snapshot + committed-window replay, truncating a
+// torn tail after a crash), journals every committed flush window from
+// then on, and snapshots periodically to truncate the log. Under the
+// WALFsyncAlways policy, SET/DEL acknowledgements wait for the journal
+// fsync — "ok" means on disk — and a failed WAL turns the server
+// fail-stop (writes error with code "unavailable", Fatal() fires).
+// docs/durability.md has the on-disk format and the per-policy
+// guarantee; cmd/psid exposes the knobs as -wal, -fsync and
+// -snapshot-interval. It returns an error when recovery fails (a
+// corrupt snapshot, an unreadable directory) rather than serving
+// silently empty.
+func NewDurableServer(idx Index, opts ServerOptions) (*Server, error) {
+	return service.NewDurable(idx, opts)
+}
+
+// WALFsyncPolicy selects when journaled flush windows are forced to
+// stable storage (ServerOptions.WALFsync).
+type WALFsyncPolicy = wal.FsyncPolicy
+
+// WAL fsync policies, in decreasing strength: Always syncs inside every
+// committed window (acknowledged == on disk, the only policy that
+// survives power loss), Interval syncs on a timer
+// (ServerOptions.WALFsyncInterval — at most one interval lost to a host
+// crash), Never leaves syncing to the kernel (survives process crashes
+// only). docs/durability.md spells out each guarantee.
+const (
+	WALFsyncAlways   = wal.FsyncAlways
+	WALFsyncInterval = wal.FsyncInterval
+	WALFsyncNever    = wal.FsyncNever
+)
+
+// ParseWALFsync parses a psid -fsync flag value — "always", "never", or
+// a sync cadence like "100ms" (selecting WALFsyncInterval) — into the
+// policy and interval for ServerOptions.
+func ParseWALFsync(s string) (WALFsyncPolicy, time.Duration, error) {
+	return wal.ParseFsync(s)
+}
 
 // Metrics is a process-wide observability registry (internal/obs): a
 // zero-allocation metric surface — atomic counters, gauges, power-of-two
