@@ -169,7 +169,11 @@ func (s *Server) snapshotLoop(interval time.Duration) {
 // SnapshotWAL writes a full-state WAL snapshot now and truncates the
 // log. The state is captured under the Collection's flush lock
 // (Collection.Checkpoint), so it is exactly the fold of every journaled
-// window. Errors if the server runs without a WAL.
+// window — which also means no flush (and under fsync=always, no
+// SET/DEL ack) can complete until the snapshot is on disk; the write
+// stall grows with dataset size (docs/durability.md, "Snapshots and log
+// truncation", covers sizing -snapshot-interval around it). Errors if
+// the server runs without a WAL.
 func (s *Server) SnapshotWAL() error {
 	if s.wal == nil {
 		return errors.New("psid: no write-ahead log configured")

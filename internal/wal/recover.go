@@ -96,8 +96,15 @@ func readSnapshot[ID comparable](path string, codec Codec[ID], rec *Recovery[ID]
 // Records must carry strictly increasing seqs; those at or below the
 // snapshot seq are already folded and skipped (a crash between the
 // snapshot rename and the log rotation leaves exactly that overlap).
-// The first torn or corrupt record truncates the file there — recovery
-// keeps the longest valid prefix and the log is again append-clean.
+//
+// A bad record (short, CRC-mismatched, or malformed) is classified by
+// what follows it: if any complete, CRC-valid, well-formed record with
+// a higher seq exists later in the file, the damage cannot be a torn
+// append — valid data was written after it — so this is real corruption
+// and replayLog fails rather than silently dropping journaled windows.
+// Otherwise it is the expected crash tear and the file is truncated
+// there: recovery keeps the longest valid prefix and the log is again
+// append-clean.
 func replayLog[ID comparable](path string, codec Codec[ID], maxRec int, rec *Recovery[ID]) error {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if os.IsNotExist(err) {
@@ -145,7 +152,9 @@ func replayLog[ID comparable](path string, codec Codec[ID], maxRec int, rec *Rec
 		}
 		ln := binary.LittleEndian.Uint32(hdr[0:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if int(ln) > maxRec {
+		// Compare widened: on a 32-bit platform int(ln) could wrap
+		// negative, slip past the bound, and panic the allocation below.
+		if uint64(ln) > uint64(maxRec) {
 			torn = true // a garbage length prefix, not a real record
 			break
 		}
@@ -185,6 +194,14 @@ func replayLog[ID comparable](path string, codec Codec[ID], maxRec int, rec *Rec
 		good += int64(frameLen) + int64(ln)
 	}
 	if torn {
+		validOff, found, err := scanForValidRecord(f, good, size, codec, maxRec, lastSeq)
+		if err != nil {
+			return err
+		}
+		if found {
+			return fmt.Errorf("wal: %s: bad record at offset %d followed by a valid record at offset %d — real corruption, not a torn tail; refusing to drop journaled windows",
+				path, good, validOff)
+		}
 		rec.TruncatedBytes = size - good
 		if err := f.Truncate(good); err != nil {
 			return fmt.Errorf("wal: truncating torn tail: %w", err)
@@ -194,6 +211,44 @@ func replayLog[ID comparable](path string, codec Codec[ID], maxRec int, rec *Rec
 		}
 	}
 	return nil
+}
+
+// scanForValidRecord reports whether any complete, CRC-valid,
+// well-formed record with seq > lastSeq starts anywhere in [from, size)
+// of f, trying every byte offset (a corrupted length prefix makes the
+// real frame boundaries unknowable). The bad record at `from` itself can
+// never match: it already failed the length, CRC, or decode check —
+// and a seq-regressed record fails the seq > lastSeq bar, so a
+// regression with nothing after it stays a truncation, matching replay.
+// Zero-filled tails (a crash that allocated blocks without writing
+// them) parse as ln=0 with a CRC that trivially matches the empty
+// payload, but decodeWindow rejects the empty window, so they never
+// count as valid data. The tail is read into memory: it is at most one
+// partial record after a real crash, and the corruption path is a rare
+// one-time startup cost.
+func scanForValidRecord[ID comparable](f *os.File, from, size int64, codec Codec[ID], maxRec int, lastSeq uint64) (int64, bool, error) {
+	tail := make([]byte, size-from)
+	if _, err := f.ReadAt(tail, from); err != nil {
+		return 0, false, fmt.Errorf("wal: %w", err)
+	}
+	var ops []Op[ID]
+	for off := 0; off+frameLen <= len(tail); off++ {
+		ln := binary.LittleEndian.Uint32(tail[off : off+4])
+		if uint64(ln) > uint64(maxRec) || uint64(ln) > uint64(len(tail)-off-frameLen) {
+			continue
+		}
+		payload := tail[off+frameLen : off+frameLen+int(ln)]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(tail[off+4:off+8]) {
+			continue
+		}
+		seq, decoded, err := decodeWindow(payload, codec, ops[:0])
+		ops = decoded[:0]
+		if err != nil || seq <= lastSeq {
+			continue
+		}
+		return from + int64(off), true, nil
+	}
+	return 0, false, nil
 }
 
 // createLogFile creates an empty log (header only) atomically — write

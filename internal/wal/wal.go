@@ -15,7 +15,9 @@
 // with seq > S, and — because a crash can land mid-write — truncates a
 // torn or corrupt final record instead of failing: everything before
 // the tear is intact by CRC, everything after it was never
-// acknowledged under the always-fsync policy. Both files are replaced
+// acknowledged under the always-fsync policy. A bad record with a
+// valid record after it is not a tear — it is corruption of journaled
+// history, and Open fails rather than dropping it. Both files are replaced
 // atomically (write-temp, fsync, rename, fsync directory), so a crash
 // during a snapshot or log rotation leaves the previous generation
 // untouched.
@@ -249,8 +251,13 @@ func (l *Log[ID]) AppendWindow(ops []Op[ID]) error {
 	buf = encodeWindow(buf, l.codec, seq, ops)
 	payload := buf[frameLen:]
 	if len(payload) > l.opts.MaxRecordBytes {
-		return fmt.Errorf("wal: window of %d ops encodes to %d bytes, above the %d-byte record bound",
-			len(ops), len(payload), l.opts.MaxRecordBytes)
+		// Sticky like any other append failure: this window's ops will
+		// never reach the log, so letting later windows append would
+		// leave a silent gap (seqs are reassigned, so replay could not
+		// detect the missing window).
+		l.fail(fmt.Errorf("window of %d ops encodes to %d bytes, above the %d-byte record bound",
+			len(ops), len(payload), l.opts.MaxRecordBytes))
+		return l.err
 	}
 	putFrame(buf[:frameLen], payload)
 	if _, err := l.f.Write(buf); err != nil {

@@ -145,9 +145,10 @@ func TestTornTail(t *testing.T) {
 	}
 }
 
-// TestCorruptMidRecord flips one byte inside the middle record: the
-// prefix before it survives, everything from the corruption on is
-// dropped — a mid-log flip is indistinguishable from a tear.
+// TestCorruptMidRecord flips one byte inside the middle record. A valid
+// record follows the damage, so this cannot be a torn append: Open must
+// fail loudly (docs/durability.md's contract) rather than silently
+// truncate away the journaled windows after the flip.
 func TestCorruptMidRecord(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openT(t, dir, Options{Fsync: FsyncNever})
@@ -171,6 +172,45 @@ func TestCorruptMidRecord(t *testing.T) {
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		t.Fatal(err)
 	}
+	if _, _, err := Open[string](dir, StringCodec{}, Options{Fsync: FsyncNever}); err == nil ||
+		!strings.Contains(err.Error(), "corruption") {
+		t.Fatalf("Open on mid-log corruption with a valid record after it: %v, want corruption error", err)
+	}
+	// The file must be left untouched for forensics — failing Open must
+	// not truncate.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(b) {
+		t.Fatalf("failed Open changed the log from %d to %d bytes", len(b), len(after))
+	}
+}
+
+// TestCorruptFinalRecord flips one byte inside the last record: with
+// nothing valid after it, the damage is indistinguishable from a torn
+// append, so recovery keeps the prefix and truncates.
+func TestCorruptFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncNever})
+	for i, w := range [][]Op[string]{
+		{{ID: "a", P: geom.Pt2(1, 1)}},
+		{{ID: "b", P: geom.Pt2(2, 2)}},
+	} {
+		if err := l.AppendWindow(w); err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+	}
+	closeT(t, l)
+	path := filepath.Join(dir, logName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff // inside the final record's payload
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
 	l2, rec := openT(t, dir, Options{Fsync: FsyncNever})
 	defer closeT(t, l2)
 	want := map[string]geom.Point{"a": geom.Pt2(1, 1)}
@@ -178,7 +218,7 @@ func TestCorruptMidRecord(t *testing.T) {
 		t.Fatalf("recovered %v, want only the pre-corruption prefix %v", rec.Entries, want)
 	}
 	if rec.TruncatedBytes == 0 {
-		t.Fatal("corruption not reported as truncation")
+		t.Fatal("final-record corruption not reported as truncation")
 	}
 }
 
@@ -398,6 +438,26 @@ func TestParseFsync(t *testing.T) {
 		if (err == nil) != tc.ok || (tc.ok && (p != tc.policy || iv != tc.iv)) {
 			t.Errorf("ParseFsync(%q) = %v, %v, %v; want %v, %v, ok=%t", tc.in, p, iv, err, tc.policy, tc.iv, tc.ok)
 		}
+	}
+}
+
+// TestOversizedWindowFailStop pins that a window too large to journal
+// poisons the Log like any other append failure: its ops can never
+// reach the log, so later appends must be refused — otherwise seqs are
+// reassigned over the gap and replay cannot detect the missing window.
+func TestOversizedWindowFailStop(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: FsyncNever, MaxRecordBytes: 32})
+	defer closeT(t, l)
+	big := []Op[string]{{ID: strings.Repeat("x", 64), P: geom.Pt2(1, 1)}}
+	if err := l.AppendWindow(big); err == nil {
+		t.Fatal("oversized window accepted")
+	}
+	if err := l.AppendWindow([]Op[string]{{ID: "a", P: geom.Pt2(1, 1)}}); err == nil {
+		t.Fatal("append after an unjournalable window succeeded: silent seq gap")
+	}
+	if got := l.Stats().Errors; got == 0 {
+		t.Fatal("oversized window not counted in Errors")
 	}
 }
 
