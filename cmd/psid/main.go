@@ -33,6 +33,15 @@
 // docs/durability.md for what each promises), -snapshot-interval the
 // snapshot cadence. Without -wal the server is memory-only.
 //
+// -repl ADDR (requires -wal) adds a replication listener: every
+// committed WAL window streams to any psid started with
+// -replica-of ADDR, which serves the same state read-only —
+// GET/NEARBY/WITHIN work, SET/DEL/FLUSH are refused with the readonly
+// error code — bootstrapping from a full snapshot when it is too far
+// behind and resuming from its own WAL sequence after a restart. Lag is
+// visible on both sides (/stats, /healthz, psi_repl_* metrics);
+// docs/replication.md has the protocol and consistency contract.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
 // in-flight commands, apply a final flush so every acknowledged write is
 // committed (and, with -wal, snapshotted), and print the serving
@@ -88,6 +97,10 @@ func run() int {
 	walDir := flag.String("wal", "", "write-ahead log directory: journal committed flush windows and recover them on restart (docs/durability.md); empty serves memory-only")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always (ack = on disk), never, or a sync interval like 100ms (bounded loss window)")
 	snapEvery := flag.Duration("snapshot-interval", service.DefaultWALSnapshotInterval, "WAL snapshot-and-truncate cadence bounding restart replay time")
+	replListen := flag.String("repl", "", "replication listener address: stream committed WAL windows to followers (docs/replication.md); requires -wal")
+	replRetain := flag.Int("repl-retain", 0, "committed windows retained in memory for follower catch-up; a follower further behind re-bootstraps from a snapshot (0 = default)")
+	replicaOf := flag.String("replica-of", "", "run as a read-only follower of the leader's -repl listener at host:port; requires -wal")
+	replID := flag.String("repl-id", "", "stable follower identity reported to the leader (defaults to the connection's remote address)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
@@ -142,6 +155,13 @@ func run() int {
 		WALFsync:            fsyncPolicy,
 		WALFsyncInterval:    fsyncInterval,
 		WALSnapshotInterval: *snapEvery,
+		ReplListen:          *replListen,
+		ReplRetainWindows:   *replRetain,
+		ReplicaOf:           *replicaOf,
+		ReplID:              *replID,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "psid: %v\n", err)
@@ -180,6 +200,13 @@ func run() int {
 		fmt.Printf(")")
 	}
 	fmt.Println()
+	// The replication role gets its own line: subprocess tests and ops
+	// scripts parse the bound -repl address (":0" in tests) from it.
+	if a := s.ReplAddr(); a != nil {
+		fmt.Printf("psid: replication leader on %s\n", a)
+	} else if *replicaOf != "" {
+		fmt.Printf("psid: read-only replica of %s\n", *replicaOf)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

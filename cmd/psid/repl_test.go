@@ -1,0 +1,489 @@
+package main
+
+// Replication chaos oracles: real psid processes (the crash_test re-exec
+// harness) wired into leader/follower topologies, then killed and
+// partitioned without ceremony. The convergence oracle is exact because
+// writers record every acknowledged op: after quiesce, a follower must
+// hold byte-for-byte the acknowledged state — same IDs, same positions —
+// and must get there without re-bootstrapping or re-applying a window
+// when its resume point survives (kill -9, torn TCP streams). A leader
+// wipe is the one legitimate re-bootstrap, and the oracle flips to
+// asserting exactly that.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/service"
+)
+
+var replLeaderRE = regexp.MustCompile(`^psid: replication leader on (127\.0\.0\.1:\d+)`)
+
+// startLeaderPsid re-execs a psid leader with a replication listener,
+// returning the process, the command address, and the bound replication
+// address. replAddr "127.0.0.1:0" picks an ephemeral port.
+func startLeaderPsid(t *testing.T, walDir, replAddr string, extra ...string) (*exec.Cmd, string, string) {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-http", "",
+		"-wal", walDir, "-fsync", "always",
+		"-maxbatch", "64", "-drain", "10s",
+		"-repl", replAddr,
+	}, extra...)
+	enc, err := json.Marshal(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashHelperProcess$")
+	cmd.Env = append(os.Environ(), "PSID_CRASH_HELPER=1", "PSID_CRASH_ARGS="+string(enc))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(15 * time.Second)
+	lineCh := make(chan string, 16)
+	go func() {
+		defer close(lineCh)
+		for sc.Scan() {
+			lineCh <- sc.Text()
+		}
+	}()
+	var addr, repl string
+	for addr == "" || repl == "" {
+		select {
+		case line, ok := <-lineCh:
+			if !ok {
+				cmd.Process.Kill()
+				t.Fatal("psid leader exited before its serving lines")
+			}
+			if m := servingRE.FindStringSubmatch(line); m != nil {
+				addr = m[1]
+			}
+			if m := replLeaderRE.FindStringSubmatch(line); m != nil {
+				repl = m[1]
+			}
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatal("timed out waiting for the psid leader serving lines")
+		}
+	}
+	go func() { // keep draining so the child never blocks on a full pipe
+		for range lineCh {
+		}
+	}()
+	return cmd, addr, repl
+}
+
+// startFollowerPsid re-execs a psid follower of the given replication
+// address (crash_test's startPsid with the replica flags).
+func startFollowerPsid(t *testing.T, walDir, leaderRepl, id string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd, addr, _ := startPsid(t, walDir, "-replica-of", leaderRepl, "-repl-id", id)
+	return cmd, addr
+}
+
+func sigtermWait(cmd *exec.Cmd) {
+	cmd.Process.Signal(syscall.SIGTERM)
+	cmd.Wait()
+}
+
+// replStats fetches the replication block over the wire, failing the
+// test if the server does not report one.
+func replStats(t *testing.T, c *service.Client) *service.ReplPayload {
+	t.Helper()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("STATS: %v", err)
+	}
+	if st.Repl == nil {
+		t.Fatal("server reports no replication block")
+	}
+	return st.Repl
+}
+
+// waitFollowerAt polls the follower's STATS until its applied sequence
+// reaches want with zero lag.
+func waitFollowerAt(t *testing.T, fc *service.Client, want uint64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		fs := replStats(t, fc).Follower
+		if fs != nil && fs.AppliedSeq == want && fs.LagWindows == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never reached seq %d: %+v", want, fs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// leaderSeq reads the leader's replication head over the wire.
+func leaderSeq(t *testing.T, lc *service.Client) uint64 {
+	t.Helper()
+	ls := replStats(t, lc).Leader
+	if ls == nil {
+		t.Fatal("leader reports no leader block")
+	}
+	return ls.LastSeq
+}
+
+// oracleChurn drives writers of SET/DEL churn against the leader on
+// disjoint ID ranges for dur, recording every acknowledged op, and
+// returns the exact acknowledged end state. Every ack under
+// fsync=always is a committed, journaled window, so the merged map IS
+// the replicated truth.
+func oracleChurn(t *testing.T, addr string, writers, idsPerWriter int, dur time.Duration) map[string]geom.Point {
+	t.Helper()
+	type wlog struct {
+		state map[string]geom.Point
+	}
+	logs := make([]wlog, writers)
+	var wg sync.WaitGroup
+	stopAt := time.Now().Add(dur)
+	for w := range writers {
+		logs[w].state = make(map[string]geom.Point)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := service.Dial(addr)
+			if err != nil {
+				t.Errorf("writer %d: dial: %v", w, err)
+				return
+			}
+			defer c.Close()
+			st := logs[w].state
+			for i := 0; time.Now().Before(stopAt); i++ {
+				id := fmt.Sprintf("w%d-%d", w, i%idsPerWriter)
+				if i%7 == 3 { // mix deletes through the churn
+					if err := c.Del(id); err != nil {
+						t.Errorf("writer %d: DEL %s: %v", w, id, err)
+						return
+					}
+					delete(st, id)
+					continue
+				}
+				p := geom.Pt2(int64(w*10_000+i), int64(i%997))
+				if err := c.Set(id, []int64{p[0], p[1]}); err != nil {
+					t.Errorf("writer %d: SET %s: %v", w, id, err)
+					return
+				}
+				st[id] = p
+			}
+		}()
+	}
+	wg.Wait()
+	oracle := make(map[string]geom.Point)
+	for _, l := range logs {
+		for id, p := range l.state {
+			oracle[id] = p
+		}
+	}
+	if len(oracle) == 0 {
+		t.Fatal("churn acknowledged nothing; oracle proved nothing")
+	}
+	return oracle
+}
+
+// fullState reads a server's entire object set through one WITHIN over
+// the universe.
+func fullState(t *testing.T, c *service.Client) map[string]geom.Point {
+	t.Helper()
+	hits, err := c.Within([]int64{0, 0}, []int64{1_000_000_000, 1_000_000_000})
+	if err != nil {
+		t.Fatalf("WITHIN: %v", err)
+	}
+	out := make(map[string]geom.Point, len(hits))
+	for _, h := range hits {
+		out[h.ID] = geom.Pt2(h.P[0], h.P[1])
+	}
+	return out
+}
+
+// assertState requires the server's full state and per-ID GETs to match
+// the oracle exactly.
+func assertState(t *testing.T, c *service.Client, oracle map[string]geom.Point, who string) {
+	t.Helper()
+	got := fullState(t, c)
+	if len(got) != len(oracle) {
+		t.Errorf("%s: %d objects, oracle has %d", who, len(got), len(oracle))
+	}
+	for id, want := range oracle {
+		if got[id] != want {
+			t.Errorf("%s: WITHIN %s = %v, want %v", who, id, got[id], want)
+		}
+		p, found, err := c.Get(id)
+		if err != nil {
+			t.Fatalf("%s: GET %s: %v", who, id, err)
+		}
+		if !found || geom.Pt2(p[0], p[1]) != want {
+			t.Errorf("%s: GET %s = %v (found=%t), want %v", who, id, p, found, want)
+		}
+	}
+	for id := range got {
+		if _, ok := oracle[id]; !ok {
+			t.Errorf("%s: extra object %s (deleted on the leader or never acknowledged)", who, id)
+		}
+	}
+}
+
+// TestFollowerConvergenceOracle is the tentpole proof: multi-writer
+// churn (SETs and DELs) on a real leader process, two real follower
+// processes streaming it live; after quiesce both followers' full state
+// and per-ID reads exactly match the acknowledged-write oracle.
+func TestFollowerConvergenceOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	leader, addr, repl := startLeaderPsid(t, t.TempDir(), "127.0.0.1:0")
+	defer sigtermWait(leader)
+	f1, f1addr := startFollowerPsid(t, t.TempDir(), repl, "oracle-f1")
+	defer sigtermWait(f1)
+	f2, f2addr := startFollowerPsid(t, t.TempDir(), repl, "oracle-f2")
+	defer sigtermWait(f2)
+
+	oracle := oracleChurn(t, addr, 4, 50, 700*time.Millisecond)
+
+	lc, err := service.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	head := leaderSeq(t, lc)
+	for i, faddr := range []string{f1addr, f2addr} {
+		fc, err := service.Dial(faddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFollowerAt(t, fc, head, 15*time.Second)
+		assertState(t, fc, oracle, fmt.Sprintf("follower %d", i+1))
+		fc.Close()
+	}
+	// The leader itself must equal the oracle too — otherwise matching
+	// followers would only prove shared wrongness.
+	assertState(t, lc, oracle, "leader")
+}
+
+// TestChaosFollowerKill SIGKILLs a follower mid-stream. Restarted over
+// its own WAL directory it must resume from its recovered sequence —
+// zero re-bootstraps, zero duplicate windows — and converge exactly.
+func TestChaosFollowerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	leader, addr, repl := startLeaderPsid(t, t.TempDir(), "127.0.0.1:0")
+	defer sigtermWait(leader)
+	fdir := t.TempDir()
+	follower, _ := startFollowerPsid(t, fdir, repl, "chaos-kill")
+
+	done := make(chan map[string]geom.Point, 1)
+	go func() { done <- oracleChurn(t, addr, 4, 50, 900*time.Millisecond) }()
+
+	// Kill the follower while windows are in flight.
+	time.Sleep(300 * time.Millisecond)
+	if err := follower.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	follower.Wait()
+	oracle := <-done
+
+	follower2, faddr := startFollowerPsid(t, fdir, repl, "chaos-kill")
+	defer sigtermWait(follower2)
+	lc, err := service.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	fc, err := service.Dial(faddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	waitFollowerAt(t, fc, leaderSeq(t, lc), 15*time.Second)
+
+	fs := replStats(t, fc).Follower
+	if fs.Bootstraps != 0 {
+		t.Errorf("killed follower re-bootstrapped %d times; its WAL should have resumed the stream", fs.Bootstraps)
+	}
+	if fs.Duplicates != 0 {
+		t.Errorf("killed follower skipped %d duplicate windows; resume must be exact", fs.Duplicates)
+	}
+	assertState(t, fc, oracle, "restarted follower")
+}
+
+// TestChaosPartition drops the replication TCP stream mid-record via a
+// byte-limited proxy. The follower must notice, redial, resume from its
+// applied sequence, and converge without applying anything twice.
+func TestChaosPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	leader, addr, repl := startLeaderPsid(t, t.TempDir(), "127.0.0.1:0")
+	defer sigtermWait(leader)
+
+	// The proxy forwards follower<->leader; the first session's
+	// leader->follower direction is cut after 200 bytes — enough for the
+	// handshake plus a few windows, then a tear mid-frame.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var firstConn atomic.Bool
+	firstConn.Store(true)
+	go func() {
+		for {
+			down, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			up, err := net.Dial("tcp", repl)
+			if err != nil {
+				down.Close()
+				continue
+			}
+			limit := int64(-1)
+			if firstConn.CompareAndSwap(true, false) {
+				limit = 200
+			}
+			go func() {
+				go func() { io.Copy(up, down); up.Close() }() // acks upstream
+				if limit < 0 {
+					io.Copy(down, up)
+				} else {
+					io.CopyN(down, up, limit)
+				}
+				down.Close()
+				up.Close()
+			}()
+		}
+	}()
+
+	fdir := t.TempDir()
+	follower, faddr := startFollowerPsid(t, fdir, ln.Addr().String(), "chaos-part")
+	defer sigtermWait(follower)
+
+	oracle := oracleChurn(t, addr, 4, 50, 700*time.Millisecond)
+
+	lc, err := service.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	fc, err := service.Dial(faddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	waitFollowerAt(t, fc, leaderSeq(t, lc), 15*time.Second)
+
+	fs := replStats(t, fc).Follower
+	if fs.Reconnects < 1 {
+		t.Errorf("severed stream produced %d reconnects, want at least 1", fs.Reconnects)
+	}
+	if fs.Duplicates != 0 {
+		t.Errorf("re-sync skipped %d duplicate windows; the resume handshake must be exact", fs.Duplicates)
+	}
+	if fs.Bootstraps != 0 {
+		t.Errorf("re-sync bootstrapped %d times; the retained tail should have covered the gap", fs.Bootstraps)
+	}
+	assertState(t, fc, oracle, "partitioned follower")
+}
+
+// TestChaosLeaderKill SIGKILLs the leader. The follower must keep
+// serving reads of its replicated state while disconnected, refuse
+// writes, and — after the leader comes back WIPED on the same port —
+// re-bootstrap from the new incarnation's snapshot and converge on the
+// new state, discarding the old.
+func TestChaosLeaderKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	// Reserve a fixed replication port so the restarted leader binds
+	// where the follower keeps redialing.
+	rsv, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replAddr := rsv.Addr().String()
+	rsv.Close()
+
+	ldir := t.TempDir()
+	leader, addr, _ := startLeaderPsid(t, ldir, replAddr)
+	follower, faddr := startFollowerPsid(t, t.TempDir(), replAddr, "chaos-lead")
+	defer sigtermWait(follower)
+
+	oracle := oracleChurn(t, addr, 2, 40, 400*time.Millisecond)
+	lc, err := service.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := service.Dial(faddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	waitFollowerAt(t, fc, leaderSeq(t, lc), 15*time.Second)
+	lc.Close()
+
+	if err := leader.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	leader.Wait()
+
+	// Leaderless: reads still serve the replicated state, writes are
+	// still refused, the process stays healthy.
+	assertState(t, fc, oracle, "leaderless follower")
+	if resp, err := fc.Do(service.Request{Op: service.OpSet, ID: "x", P: []int64{1, 1}}); err != nil {
+		t.Fatal(err)
+	} else if resp.OK || resp.Code != service.CodeReadonly {
+		t.Fatalf("leaderless follower accepted a write: %+v", resp)
+	}
+
+	// The leader returns WIPED (rm -rf its WAL) on the same port: the
+	// follower is now ahead of an empty history and must re-bootstrap.
+	if err := os.RemoveAll(ldir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(ldir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	leader2, addr2, _ := startLeaderPsid(t, ldir, replAddr)
+	defer sigtermWait(leader2)
+	lc2, err := service.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc2.Close()
+	oracle2 := oracleChurn(t, addr2, 2, 30, 300*time.Millisecond)
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		fs := replStats(t, fc).Follower
+		if fs.Bootstraps >= 1 && fs.AppliedSeq == leaderSeq(t, lc2) && fs.LagWindows == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never re-bootstrapped onto the wiped leader: %+v", fs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	assertState(t, fc, oracle2, "re-bootstrapped follower")
+}

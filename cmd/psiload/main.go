@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/service"
@@ -58,6 +59,7 @@ func main() {
 	csvPath := flag.String("csv", "", "also write the per-op report to this CSV file")
 	scrape := flag.String("scrape", "", "psid /metrics URL (e.g. http://127.0.0.1:7502/metrics); scraped before and after the run to report server-side deltas (flushes, netting ratio, per-shard op spread)")
 	mix := flag.String("mix", "", "workload preset: 'churn' = flush-heavy mover mix (90% SET, long hops) that keeps the server's index under continuous batch churn — the workload psibench -exp churn measures in-process; explicitly set flags override preset values")
+	followers := flag.String("followers", "", "comma-separated follower addresses (psid -replica-of): NEARBY/WITHIN queries round-robin across them while SETs stay on -addr (the leader) — the replicated read-scaling mix")
 	finalPath := flag.String("final", "", "after the run, write every object's last acknowledged position to this JSON file (the durability oracle's write side)")
 	verifyPath := flag.String("verify", "", "skip the load run; GET every object recorded in this JSON file (written by -final) and exit non-zero on any lost or moved acknowledged write")
 	flag.Parse()
@@ -126,6 +128,7 @@ func main() {
 		K:          *k,
 		Seed:       *seed,
 		TrackFinal: *finalPath != "",
+		Followers:  splitAddrs(*followers),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "psiload: %v\n", err)
@@ -171,4 +174,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psiload: %d requests returned errors\n", rep.Errors)
 		os.Exit(1)
 	}
+}
+
+// splitAddrs parses the -followers list, tolerating empty segments and
+// surrounding whitespace.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }

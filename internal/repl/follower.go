@@ -1,0 +1,458 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// Applier is the follower's state sink — internal/service implements it
+// over the Collection flush commit and the follower's own WAL. The
+// Follower guarantees strict ordering into it: ApplyWindow is called
+// with contiguous ascending sequences (each exactly AppliedSeq()+1),
+// duplicates are dropped before reaching it, and a gap is a protocol
+// error that severs the connection instead of applying. Bootstrap
+// replaces the full state — its sequence may regress below AppliedSeq
+// (re-bootstrapping from a rebuilt leader), all the way to zero for an
+// empty leader. Slices passed in are reused by the Follower and must
+// not be retained.
+type Applier[ID comparable] interface {
+	AppliedSeq() uint64
+	ApplyWindow(seq uint64, ops []wal.Op[ID]) error
+	Bootstrap(seq uint64, entries []wal.Op[ID]) error
+}
+
+// FollowerOptions configures a Follower. Addr, Codec and the Applier
+// (passed to NewFollower) are required.
+type FollowerOptions[ID comparable] struct {
+	// Addr is the leader's replication listener (host:port).
+	Addr string
+	// ID is the stable follower identity sent in the FOLLOW handshake;
+	// the leader keys its per-follower metric series by it. Empty makes
+	// the leader fall back to the connection's remote address (stable
+	// enough for a quick look, wrong across reconnects).
+	ID string
+	// Codec decodes window payloads; must match the leader's.
+	Codec wal.Codec[ID]
+	// MaxFrameBytes bounds one received frame; <= 0 selects
+	// DefaultMaxFrameBytes.
+	MaxFrameBytes int
+	// DialTimeout bounds one connection attempt; <= 0 selects 5s.
+	DialTimeout time.Duration
+	// ReadTimeout bounds the silence between leader frames (pings arrive
+	// every DefaultPingInterval while idle); <= 0 selects
+	// DefaultReadTimeout.
+	ReadTimeout time.Duration
+	// BackoffMin/BackoffMax bound the reconnect backoff (doubling from
+	// min to max; reset after a healthy session); <= 0 select 50ms / 2s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Obs, when set, registers the follower's psi_repl_* series.
+	Obs *obs.Registry
+	// Logf, when set, receives one line per connect, bootstrap and
+	// session error.
+	Logf func(format string, args ...any)
+}
+
+// FollowerStatus is the follower-side replication block of /stats (and
+// the fields /healthz reports).
+type FollowerStatus struct {
+	Connected  bool   `json:"connected"`
+	LeaderSeq  uint64 `json:"leader_seq"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	// LagWindows is the last leader head this follower heard (HELLO or
+	// PING) minus its applied seq; 0 when fully caught up. While
+	// disconnected it reports the lag as of the last contact.
+	LagWindows uint64 `json:"lag_windows"`
+	Reconnects uint64 `json:"reconnects"`
+	Bootstraps uint64 `json:"bootstraps"`
+	Windows    uint64 `json:"windows_applied"`
+	Duplicates uint64 `json:"duplicates_skipped"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// Follower maintains one replication session against the leader,
+// reconnecting with backoff forever until Stop. Create with
+// NewFollower, start the loop with Start.
+type Follower[ID comparable] struct {
+	opts FollowerOptions[ID]
+	app  Applier[ID]
+
+	stop    chan struct{}
+	closing atomic.Bool
+	wg      sync.WaitGroup
+
+	mu   sync.Mutex
+	conn net.Conn // live session's conn, closed by Stop to interrupt reads
+	err  string   // last session error
+
+	connected  atomic.Bool
+	leaderSeq  atomic.Uint64
+	sessions   atomic.Uint64
+	bootstraps atomic.Uint64
+	windows    atomic.Uint64
+	duplicates atomic.Uint64
+
+	// stream-loop scratch, reused across frames (one session at a time).
+	frameBuf []byte
+	opsBuf   []wal.Op[ID]
+	ackBuf   []byte
+	seqBuf   []byte
+}
+
+// NewFollower returns a follower that has not started dialing; Start
+// launches the session loop.
+func NewFollower[ID comparable](app Applier[ID], opts FollowerOptions[ID]) *Follower[ID] {
+	if opts.MaxFrameBytes <= 0 {
+		opts.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.ReadTimeout <= 0 {
+		opts.ReadTimeout = DefaultReadTimeout
+	}
+	if opts.BackoffMin <= 0 {
+		opts.BackoffMin = 50 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 2 * time.Second
+	}
+	f := &Follower[ID]{opts: opts, app: app, stop: make(chan struct{})}
+	f.registerMetrics(opts.Obs)
+	return f
+}
+
+func (f *Follower[ID]) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("psi_repl_connected", "1 while the replication session to the leader is up.",
+		func() float64 {
+			if f.connected.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("psi_repl_leader_seq", "Leader head sequence as of the last HELLO or PING.",
+		func() float64 { return float64(f.leaderSeq.Load()) })
+	reg.GaugeFunc("psi_repl_applied_seq", "Last leader window applied locally.",
+		func() float64 { return float64(f.app.AppliedSeq()) })
+	reg.GaugeFunc("psi_repl_lag_windows", "Leader head minus applied sequence.",
+		func() float64 { return float64(f.lag()) })
+	reg.CounterFunc("psi_repl_reconnects_total", "Sessions re-established after the first.", func() uint64 {
+		if s := f.sessions.Load(); s > 0 {
+			return s - 1
+		}
+		return 0
+	})
+	reg.CounterFunc("psi_repl_bootstraps_total", "Full-state snapshot bootstraps received.", f.bootstraps.Load)
+	reg.CounterFunc("psi_repl_windows_applied_total", "Committed leader windows applied.", f.windows.Load)
+	reg.CounterFunc("psi_repl_duplicates_skipped_total", "Already-applied windows received and dropped.", f.duplicates.Load)
+}
+
+func (f *Follower[ID]) lag() uint64 {
+	head := f.leaderSeq.Load()
+	if applied := f.app.AppliedSeq(); head > applied {
+		return head - applied
+	}
+	return 0
+}
+
+// Start launches the session loop: dial, handshake, stream, reconnect
+// with backoff, forever until Stop.
+func (f *Follower[ID]) Start() {
+	f.wg.Add(1)
+	go f.run()
+}
+
+// Stop severs the session and stops reconnecting. Safe to call twice;
+// returns after the loop has fully exited (no apply is in flight).
+func (f *Follower[ID]) Stop() {
+	if !f.closing.CompareAndSwap(false, true) {
+		return
+	}
+	close(f.stop)
+	f.mu.Lock()
+	if f.conn != nil {
+		f.conn.Close()
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+// Status snapshots the follower's replication position.
+func (f *Follower[ID]) Status() FollowerStatus {
+	st := FollowerStatus{
+		Connected:  f.connected.Load(),
+		LeaderSeq:  f.leaderSeq.Load(),
+		AppliedSeq: f.app.AppliedSeq(),
+		LagWindows: f.lag(),
+		Bootstraps: f.bootstraps.Load(),
+		Windows:    f.windows.Load(),
+		Duplicates: f.duplicates.Load(),
+	}
+	if s := f.sessions.Load(); s > 0 {
+		st.Reconnects = s - 1
+	}
+	f.mu.Lock()
+	st.LastError = f.err
+	f.mu.Unlock()
+	return st
+}
+
+func (f *Follower[ID]) logf(format string, args ...any) {
+	if f.opts.Logf != nil {
+		f.opts.Logf(format, args...)
+	}
+}
+
+func (f *Follower[ID]) setErr(err error) {
+	f.mu.Lock()
+	f.err = err.Error()
+	f.mu.Unlock()
+}
+
+func (f *Follower[ID]) run() {
+	defer f.wg.Done()
+	backoff := f.opts.BackoffMin
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", f.opts.Addr, f.opts.DialTimeout)
+		if err != nil {
+			f.setErr(err)
+			if !f.sleep(backoff) {
+				return
+			}
+			backoff = min(backoff*2, f.opts.BackoffMax)
+			continue
+		}
+		f.mu.Lock()
+		if f.closing.Load() {
+			f.mu.Unlock()
+			conn.Close()
+			return
+		}
+		f.conn = conn
+		f.mu.Unlock()
+
+		start := time.Now()
+		err = f.session(conn)
+		conn.Close()
+		f.connected.Store(false)
+		f.mu.Lock()
+		f.conn = nil
+		f.mu.Unlock()
+		if f.closing.Load() {
+			return
+		}
+		if err != nil {
+			f.setErr(err)
+			f.logf("repl: session with %s failed: %v", f.opts.Addr, err)
+		}
+		// A session that survived a while earned a fresh backoff; a
+		// handshake that dies instantly keeps doubling.
+		if time.Since(start) > f.opts.BackoffMax {
+			backoff = f.opts.BackoffMin
+		}
+		if !f.sleep(backoff) {
+			return
+		}
+		backoff = min(backoff*2, f.opts.BackoffMax)
+	}
+}
+
+func (f *Follower[ID]) sleep(d time.Duration) bool {
+	select {
+	case <-f.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// session performs the handshake on an established connection and
+// consumes the stream until an error (including Stop closing the conn).
+func (f *Follower[ID]) session(conn net.Conn) error {
+	rw := deadlineRW{c: conn, rt: f.opts.ReadTimeout, wt: DefaultWriteTimeout}
+	applied := f.app.AppliedSeq()
+	hs := append([]byte(nil), Magic...)
+	hs = appendFrame(hs, fmFollow, followPayload(nil, applied, f.opts.ID))
+	if _, err := rw.Write(hs); err != nil {
+		return err
+	}
+	f.sessions.Add(1)
+	f.logf("repl: following %s from seq %d", f.opts.Addr, applied)
+	// The bufio reader sits above the deadline wrapper, so every fill
+	// rearms the read deadline.
+	return f.stream(bufio.NewReaderSize(rw, 64<<10), rw)
+}
+
+// stream consumes the leader's side of the protocol — magic, HELLO,
+// then snapshot/window/ping frames — applying windows in strict order
+// and writing ACKs to w. It is the follower's entire untrusted-input
+// surface and must never panic and never apply an invalid, duplicate or
+// out-of-order window, whatever bytes arrive (FuzzReplStream drives it
+// with adversarial streams; w errors are only possible on live
+// connections and sever the session).
+func (f *Follower[ID]) stream(r io.Reader, w io.Writer) error {
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("repl: reading magic: %w", err)
+	}
+	if string(magic[:]) != Magic {
+		return fmt.Errorf("repl: bad magic %q", magic[:])
+	}
+	typ, payload, buf, err := readFrame(r, f.opts.MaxFrameBytes, f.frameBuf)
+	f.frameBuf = buf
+	if err != nil {
+		return err
+	}
+	if typ != fmHello {
+		return fmt.Errorf("repl: expected HELLO, got frame type %#x", typ)
+	}
+	head, err := parseSeq(payload)
+	if err != nil {
+		return err
+	}
+	f.leaderSeq.Store(head)
+	f.connected.Store(true)
+
+	var snap *pendingSnap[ID]
+	for {
+		typ, payload, buf, err := readFrame(r, f.opts.MaxFrameBytes, f.frameBuf)
+		f.frameBuf = buf
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case fmPing:
+			if snap != nil {
+				return fmt.Errorf("repl: PING inside a snapshot stream")
+			}
+			head, err := parseSeq(payload)
+			if err != nil {
+				return err
+			}
+			f.leaderSeq.Store(head)
+			if err := f.ack(w, f.app.AppliedSeq()); err != nil {
+				return err
+			}
+		case fmSnapBegin:
+			if snap != nil {
+				return fmt.Errorf("repl: nested SNAP_BEGIN")
+			}
+			seq, count, err := parseSnapBegin(payload)
+			if err != nil {
+				return err
+			}
+			// The count is a hostile-input allocation bound: entries are
+			// collected incrementally, but a stream claiming more than
+			// the frame data can carry is rejected up front.
+			if count > 1<<40 {
+				return fmt.Errorf("repl: snapshot claims %d entries", count)
+			}
+			snap = &pendingSnap[ID]{seq: seq, count: count}
+		case fmSnapData:
+			if snap == nil {
+				return fmt.Errorf("repl: SNAP_DATA outside a snapshot stream")
+			}
+			seq, entries, err := wal.DecodeWindowPayload(payload, f.opts.Codec, snap.entries)
+			if err != nil {
+				return err
+			}
+			if seq != snap.seq {
+				return fmt.Errorf("repl: snapshot chunk at seq %d inside snapshot at %d", seq, snap.seq)
+			}
+			if uint64(len(entries)) > snap.count {
+				return fmt.Errorf("repl: snapshot overran its declared %d entries", snap.count)
+			}
+			for _, e := range entries[len(snap.entries):] {
+				if e.Del {
+					return fmt.Errorf("repl: delete op inside a snapshot")
+				}
+			}
+			snap.entries = entries
+		case fmSnapEnd:
+			if snap == nil {
+				return fmt.Errorf("repl: SNAP_END outside a snapshot stream")
+			}
+			count, err := parseSeq(payload)
+			if err != nil {
+				return err
+			}
+			if count != snap.count || uint64(len(snap.entries)) != count {
+				return fmt.Errorf("repl: snapshot tally mismatch: declared %d, ended with %d, received %d",
+					snap.count, count, len(snap.entries))
+			}
+			if err := f.app.Bootstrap(snap.seq, snap.entries); err != nil {
+				return fmt.Errorf("repl: bootstrap: %w", err)
+			}
+			f.bootstraps.Add(1)
+			f.logf("repl: bootstrapped %d objects at seq %d", len(snap.entries), snap.seq)
+			if err := f.ack(w, snap.seq); err != nil {
+				return err
+			}
+			snap = nil
+		case fmWindow:
+			if snap != nil {
+				return fmt.Errorf("repl: window frame inside a snapshot stream")
+			}
+			seq, ops, err := wal.DecodeWindowPayload(payload, f.opts.Codec, f.opsBuf[:0])
+			f.opsBuf = ops
+			if err != nil {
+				return err
+			}
+			applied := f.app.AppliedSeq()
+			if seq <= applied {
+				// Defensive: the resume handshake makes duplicates
+				// impossible against a correct leader, so the chaos
+				// tests assert this stays zero.
+				f.duplicates.Add(1)
+				continue
+			}
+			if seq != applied+1 {
+				return fmt.Errorf("repl: window gap: got seq %d, applied %d", seq, applied)
+			}
+			if err := f.app.ApplyWindow(seq, ops); err != nil {
+				return fmt.Errorf("repl: apply window %d: %w", seq, err)
+			}
+			f.windows.Add(1)
+			if seq > f.leaderSeq.Load() {
+				f.leaderSeq.Store(seq)
+			}
+			if err := f.ack(w, seq); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("repl: unexpected frame type %#x", typ)
+		}
+	}
+}
+
+// pendingSnap accumulates one in-flight snapshot bootstrap.
+type pendingSnap[ID comparable] struct {
+	seq     uint64
+	count   uint64
+	entries []wal.Op[ID]
+}
+
+func (f *Follower[ID]) ack(w io.Writer, seq uint64) error {
+	f.seqBuf = seqPayload(f.seqBuf, seq)
+	err := writeFrame(w, &f.ackBuf, fmAck, f.seqBuf)
+	if err != nil {
+		return fmt.Errorf("repl: writing ack: %w", err)
+	}
+	return nil
+}

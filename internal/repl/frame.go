@@ -1,0 +1,130 @@
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// frameHdrLen is the fixed frame header: type byte, u32le payload
+// length, u32le payload CRC.
+const frameHdrLen = 9
+
+// appendFrame appends one framed message to dst and returns the
+// extended slice (the library-wide dst-append contract).
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// writeFrame writes one framed message through scratch (recycled across
+// frames so steady streaming allocates nothing warm).
+func writeFrame(w io.Writer, scratch *[]byte, typ byte, payload []byte) error {
+	b := appendFrame((*scratch)[:0], typ, payload)
+	*scratch = b[:0]
+	_, err := w.Write(b)
+	return err
+}
+
+// readFrame reads one frame, reusing buf for the payload. Every way the
+// bytes can be wrong — unknown type, length beyond max, short read,
+// checksum mismatch — is an error, never a panic and never a giant
+// allocation: the length prefix is validated before any buffer grows.
+// The returned payload aliases the returned buffer and is valid until
+// the next readFrame call with it.
+func readFrame(r io.Reader, maxFrame int, buf []byte) (typ byte, payload, nbuf []byte, err error) {
+	var hdr [frameHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	typ = hdr[0]
+	if typ == 0 || typ >= fmMax {
+		return 0, nil, buf, fmt.Errorf("repl: unknown frame type %#x", typ)
+	}
+	ln := binary.LittleEndian.Uint32(hdr[1:5])
+	if uint64(ln) > uint64(maxFrame) {
+		return 0, nil, buf, fmt.Errorf("repl: %d-byte frame exceeds the %d-byte limit", ln, maxFrame)
+	}
+	if cap(buf) < int(ln) {
+		buf = make([]byte, ln)
+	}
+	payload = buf[:ln]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // a torn frame, not a clean close
+		}
+		return 0, nil, buf, err
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(hdr[5:9]); got != want {
+		return 0, nil, buf, fmt.Errorf("repl: frame checksum mismatch (crc %#x, want %#x)", got, want)
+	}
+	return typ, payload, buf, nil
+}
+
+// seqPayload encodes the single-uvarint payload shared by HELLO, PING,
+// SNAP_END and ACK frames.
+func seqPayload(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst[:0], v)
+}
+
+// parseSeq decodes a single-uvarint payload, rejecting trailing bytes.
+func parseSeq(p []byte) (uint64, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 || n != len(p) {
+		return 0, fmt.Errorf("repl: malformed sequence payload (%d bytes)", len(p))
+	}
+	return v, nil
+}
+
+// followPayload encodes the FOLLOW handshake: the follower's last
+// applied sequence and its stable identity.
+func followPayload(dst []byte, lastSeq uint64, id string) []byte {
+	dst = binary.AppendUvarint(dst[:0], lastSeq)
+	dst = binary.AppendUvarint(dst, uint64(len(id)))
+	return append(dst, id...)
+}
+
+// parseFollow decodes a FOLLOW payload.
+func parseFollow(p []byte) (lastSeq uint64, id string, err error) {
+	lastSeq, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, "", fmt.Errorf("repl: truncated FOLLOW seq")
+	}
+	p = p[n:]
+	ln, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, "", fmt.Errorf("repl: truncated FOLLOW id length")
+	}
+	p = p[n:]
+	if ln > MaxFollowerIDLen {
+		return 0, "", fmt.Errorf("repl: follower id of %d bytes exceeds the %d-byte limit", ln, MaxFollowerIDLen)
+	}
+	if ln != uint64(len(p)) {
+		return 0, "", fmt.Errorf("repl: FOLLOW id length %d does not match payload", ln)
+	}
+	return lastSeq, string(p), nil
+}
+
+// snapBeginPayload encodes SNAP_BEGIN: the sequence the snapshot covers
+// and the total entry count (SNAP_END repeats the count as a tally).
+func snapBeginPayload(dst []byte, seq uint64, count int) []byte {
+	dst = binary.AppendUvarint(dst[:0], seq)
+	return binary.AppendUvarint(dst, uint64(count))
+}
+
+// parseSnapBegin decodes a SNAP_BEGIN payload.
+func parseSnapBegin(p []byte) (seq uint64, count uint64, err error) {
+	seq, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("repl: truncated SNAP_BEGIN seq")
+	}
+	p = p[n:]
+	count, n = binary.Uvarint(p)
+	if n <= 0 || n != len(p) {
+		return 0, 0, fmt.Errorf("repl: malformed SNAP_BEGIN count")
+	}
+	return seq, count, nil
+}

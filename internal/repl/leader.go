@@ -1,0 +1,477 @@
+package repl
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// SnapshotFunc captures the leader's full committed state for a
+// follower bootstrap: the sequence the state folds (which must be
+// consistent with the hub — the service captures both under the
+// Collection's flush lock via Checkpoint) and one Set op per live
+// object. It may be called concurrently by several bootstrapping
+// followers; each call materializes its own entry slice.
+type SnapshotFunc[ID comparable] func() (seq uint64, entries []wal.Op[ID], err error)
+
+// LeaderOptions configures a Leader. Codec, Hub and Snapshot are
+// required; everything else defaults sensibly.
+type LeaderOptions[ID comparable] struct {
+	Codec    wal.Codec[ID]
+	Hub      *Hub[ID]
+	Snapshot SnapshotFunc[ID]
+	// MaxFrameBytes bounds one received frame (followers only send tiny
+	// FOLLOW/ACK frames, so this is an abuse guard); <= 0 selects
+	// DefaultMaxFrameBytes.
+	MaxFrameBytes int
+	// PingInterval is the idle heartbeat cadence; <= 0 selects
+	// DefaultPingInterval.
+	PingInterval time.Duration
+	// ReadTimeout/WriteTimeout bound one frame read (acks) and one frame
+	// write to a silent or stalled follower; <= 0 selects the defaults.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// Obs, when set, registers the leader's psi_repl_* series: aggregate
+	// connect/ship counters plus per-follower acked-seq/lag/connected
+	// gauges keyed by the identity each follower sends in its FOLLOW
+	// frame. One Leader per registry.
+	Obs *obs.Registry
+	// Logf, when set, receives one line per follower connect, disconnect
+	// and bootstrap (cmd/psid wires log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// FollowerInfo is one follower's replication position as the leader
+// sees it, served in /stats.
+type FollowerInfo struct {
+	ID        string `json:"id"`
+	Connected bool   `json:"connected"`
+	AckedSeq  uint64 `json:"acked_seq"`
+	// LagWindows is the hub head minus the acked seq: how many committed
+	// windows this follower has not confirmed applying.
+	LagWindows uint64 `json:"lag_windows"`
+}
+
+// LeaderStats is the leader-side replication block of /stats.
+type LeaderStats struct {
+	LastSeq         uint64         `json:"last_seq"`
+	Connected       int            `json:"connected"`
+	RetainedWindows int            `json:"retained_windows"`
+	RetainedBytes   int            `json:"retained_bytes"`
+	Connects        uint64         `json:"connects"`
+	SnapshotsSent   uint64         `json:"snapshots_sent"`
+	WindowsSent     uint64         `json:"windows_sent"`
+	BytesSent       uint64         `json:"bytes_sent"`
+	Followers       []FollowerInfo `json:"followers"`
+}
+
+// Leader accepts follower connections and streams them the committed
+// window tail (or a snapshot first, when they are beyond the hub's
+// retention horizon). Create one with NewLeader, bind it with Serve,
+// stop it with Close.
+type Leader[ID comparable] struct {
+	opts LeaderOptions[ID]
+
+	ln      net.Listener
+	stop    chan struct{}
+	closing atomic.Bool
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	entries map[string]*followerEntry // by follower identity, never removed (metric series live forever)
+
+	connects      atomic.Uint64
+	snapshotsSent atomic.Uint64
+	windowsSent   atomic.Uint64
+	bytesSent     atomic.Uint64
+}
+
+// followerEntry is one follower identity's persistent state: it
+// survives disconnects so the metric series (and the acked position
+// shown in /stats) carry across a follower restart.
+type followerEntry struct {
+	id        string
+	acked     atomic.Uint64
+	connected atomic.Bool
+
+	mu   sync.Mutex
+	conn net.Conn // current connection, nil when disconnected
+}
+
+// NewLeader returns an unbound leader.
+func NewLeader[ID comparable](opts LeaderOptions[ID]) *Leader[ID] {
+	if opts.MaxFrameBytes <= 0 {
+		opts.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if opts.PingInterval <= 0 {
+		opts.PingInterval = DefaultPingInterval
+	}
+	if opts.ReadTimeout <= 0 {
+		opts.ReadTimeout = DefaultReadTimeout
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = DefaultWriteTimeout
+	}
+	l := &Leader[ID]{
+		opts:    opts,
+		stop:    make(chan struct{}),
+		entries: make(map[string]*followerEntry),
+	}
+	l.registerMetrics(opts.Obs)
+	return l
+}
+
+func (l *Leader[ID]) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("psi_repl_followers_connected", "Follower connections currently streaming.",
+		func() float64 { return float64(l.connectedCount()) })
+	reg.CounterFunc("psi_repl_connects_total", "Follower connections accepted (handshake completed).",
+		l.connects.Load)
+	reg.CounterFunc("psi_repl_snapshots_sent_total", "Full-state bootstraps streamed to followers.",
+		l.snapshotsSent.Load)
+	reg.CounterFunc("psi_repl_windows_sent_total", "Committed windows shipped to followers (counted per follower).",
+		l.windowsSent.Load)
+	reg.CounterFunc("psi_repl_bytes_sent_total", "Window and snapshot payload bytes shipped to followers.",
+		l.bytesSent.Load)
+}
+
+func (l *Leader[ID]) connectedCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.entries {
+		if e.connected.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Serve accepts followers on ln until Close. It returns immediately;
+// streaming runs in per-connection goroutines.
+func (l *Leader[ID]) Serve(ln net.Listener) {
+	l.ln = ln
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed by Close
+			}
+			l.wg.Add(1)
+			go l.handleConn(conn)
+		}
+	}()
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (l *Leader[ID]) Addr() net.Addr {
+	if l.ln == nil {
+		return nil
+	}
+	return l.ln.Addr()
+}
+
+// Close stops accepting, severs every follower connection, and waits
+// for the per-connection goroutines to drain. Followers reconnect and
+// resume against the next leader incarnation on their own.
+func (l *Leader[ID]) Close() {
+	if !l.closing.CompareAndSwap(false, true) {
+		return
+	}
+	close(l.stop)
+	if l.ln != nil {
+		l.ln.Close()
+	}
+	l.mu.Lock()
+	for _, e := range l.entries {
+		e.mu.Lock()
+		if e.conn != nil {
+			e.conn.Close()
+		}
+		e.mu.Unlock()
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+}
+
+// Stats snapshots the leader-side replication counters for /stats.
+func (l *Leader[ID]) Stats() LeaderStats {
+	windows, bytes, last := l.opts.Hub.Stats()
+	st := LeaderStats{
+		LastSeq:         last,
+		RetainedWindows: windows,
+		RetainedBytes:   bytes,
+		Connects:        l.connects.Load(),
+		SnapshotsSent:   l.snapshotsSent.Load(),
+		WindowsSent:     l.windowsSent.Load(),
+		BytesSent:       l.bytesSent.Load(),
+	}
+	l.mu.Lock()
+	for _, e := range l.entries {
+		acked := e.acked.Load()
+		info := FollowerInfo{ID: e.id, Connected: e.connected.Load(), AckedSeq: acked}
+		if last > acked {
+			info.LagWindows = last - acked
+		}
+		if info.Connected {
+			st.Connected++
+		}
+		st.Followers = append(st.Followers, info)
+	}
+	l.mu.Unlock()
+	sort.Slice(st.Followers, func(i, j int) bool { return st.Followers[i].ID < st.Followers[j].ID })
+	return st
+}
+
+func (l *Leader[ID]) logf(format string, args ...any) {
+	if l.opts.Logf != nil {
+		l.opts.Logf(format, args...)
+	}
+}
+
+// entryFor returns (creating on first sight) the persistent entry for a
+// follower identity, registering its per-follower metric series once —
+// a reconnecting follower reuses its series instead of panicking the
+// registry with a duplicate registration.
+func (l *Leader[ID]) entryFor(id string) *followerEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.entries[id]; ok {
+		return e
+	}
+	e := &followerEntry{id: id}
+	l.entries[id] = e
+	if reg := l.opts.Obs; reg != nil {
+		lbl := obs.Label{Key: "follower", Value: id}
+		reg.GaugeFunc("psi_repl_follower_acked_seq", "Last window sequence this follower acknowledged applying.",
+			func() float64 { return float64(e.acked.Load()) }, lbl)
+		reg.GaugeFunc("psi_repl_follower_lag_windows", "Committed windows this follower has not acknowledged.",
+			func() float64 {
+				last := l.opts.Hub.LastSeq()
+				if acked := e.acked.Load(); last > acked {
+					return float64(last - acked)
+				}
+				return 0
+			}, lbl)
+		reg.GaugeFunc("psi_repl_follower_connected", "1 while this follower is connected.",
+			func() float64 {
+				if e.connected.Load() {
+					return 1
+				}
+				return 0
+			}, lbl)
+	}
+	return e
+}
+
+// handleConn serves one follower: handshake, optional snapshot
+// bootstrap, then the window tail until the connection dies or the
+// leader closes. The ack reader runs as a second goroutine on the same
+// connection; either side failing closes the conn, which unblocks the
+// other.
+func (l *Leader[ID]) handleConn(conn net.Conn) {
+	defer l.wg.Done()
+	defer conn.Close()
+	rw := deadlineRW{c: conn, rt: l.opts.ReadTimeout, wt: l.opts.WriteTimeout}
+
+	var magic [len(Magic)]byte
+	if _, err := readFull(rw, magic[:]); err != nil {
+		return
+	}
+	if string(magic[:]) != Magic {
+		l.logf("repl: %s: bad magic, dropping", conn.RemoteAddr())
+		return
+	}
+	typ, payload, _, err := readFrame(rw, l.opts.MaxFrameBytes, nil)
+	if err != nil || typ != fmFollow {
+		return
+	}
+	followerSeq, followerID, err := parseFollow(payload)
+	if err != nil {
+		l.logf("repl: %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if followerID == "" {
+		followerID = conn.RemoteAddr().String()
+	}
+	e := l.entryFor(followerID)
+	// Latest connection wins a contended identity: a follower that
+	// reconnects before the leader noticed the old conn die must not be
+	// refused, and two live conns sharing one series would interleave.
+	e.mu.Lock()
+	if e.conn != nil {
+		e.conn.Close()
+	}
+	e.conn = conn
+	e.mu.Unlock()
+	e.connected.Store(true)
+	e.acked.Store(followerSeq)
+	l.connects.Add(1)
+	defer func() {
+		e.mu.Lock()
+		if e.conn == conn {
+			e.conn = nil
+			e.connected.Store(false)
+		}
+		e.mu.Unlock()
+		l.logf("repl: follower %s (%s) disconnected", followerID, conn.RemoteAddr())
+	}()
+
+	var scratch []byte
+	hubLast := l.opts.Hub.LastSeq()
+	if _, err := rw.Write([]byte(Magic)); err != nil {
+		return
+	}
+	if err := writeFrame(rw, &scratch, fmHello, seqPayload(nil, hubLast)); err != nil {
+		return
+	}
+	l.logf("repl: follower %s (%s) connected at seq %d (leader at %d)",
+		followerID, conn.RemoteAddr(), followerSeq, hubLast)
+
+	// Ack reader: the only frames a follower sends after FOLLOW are
+	// ACKs. Any read error (or protocol violation) severs the conn,
+	// which the writer notices at its next write or ping tick.
+	ackDone := make(chan struct{})
+	go func() {
+		defer close(ackDone)
+		defer conn.Close()
+		var buf []byte
+		for {
+			typ, payload, nbuf, err := readFrame(rw, l.opts.MaxFrameBytes, buf)
+			if err != nil || typ != fmAck {
+				return
+			}
+			buf = nbuf
+			seq, err := parseSeq(payload)
+			if err != nil {
+				return
+			}
+			e.acked.Store(seq)
+		}
+	}()
+
+	cursor := followerSeq
+	if _, _, gap := l.opts.Hub.TailFrom(cursor, nil); gap {
+		cursor, err = l.sendSnapshot(rw, &scratch, followerID)
+		if err != nil {
+			l.logf("repl: follower %s: bootstrap failed: %v", followerID, err)
+			return
+		}
+	}
+	l.streamTail(rw, &scratch, cursor, ackDone)
+	conn.Close() // unblocks the ack reader before we wait on it
+	<-ackDone
+}
+
+// sendSnapshot captures and streams one full-state bootstrap, returning
+// the sequence the follower now stands at.
+func (l *Leader[ID]) sendSnapshot(rw deadlineRW, scratch *[]byte, followerID string) (uint64, error) {
+	seq, entries, err := l.opts.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	total := len(entries)
+	l.logf("repl: follower %s: bootstrapping with %d objects at seq %d", followerID, total, seq)
+	if err := writeFrame(rw, scratch, fmSnapBegin, snapBeginPayload(nil, seq, total)); err != nil {
+		return 0, err
+	}
+	var payload []byte
+	for len(entries) > 0 {
+		chunk := entries
+		if len(chunk) > DefaultSnapChunkOps {
+			chunk = chunk[:DefaultSnapChunkOps]
+		}
+		entries = entries[len(chunk):]
+		payload = wal.EncodeWindowPayload(payload[:0], l.opts.Codec, seq, chunk)
+		if err := writeFrame(rw, scratch, fmSnapData, payload); err != nil {
+			return 0, err
+		}
+		l.bytesSent.Add(uint64(len(payload)))
+	}
+	if err := writeFrame(rw, scratch, fmSnapEnd, seqPayload(nil, uint64(total))); err != nil {
+		return 0, err
+	}
+	l.snapshotsSent.Add(1)
+	return seq, nil
+}
+
+// streamTail ships retained windows from cursor until the connection or
+// the leader dies. A retention gap (the follower stalled long enough
+// for its next window to be evicted) severs the connection: the
+// follower reconnects and bootstraps from a snapshot.
+func (l *Leader[ID]) streamTail(rw deadlineRW, scratch *[]byte, cursor uint64, ackDone <-chan struct{}) {
+	ping := time.NewTicker(l.opts.PingInterval)
+	defer ping.Stop()
+	var frames [][]byte
+	for {
+		pulse := l.opts.Hub.Pulse() // before TailFrom: no lost wakeup
+		var gap bool
+		frames, cursor, gap = l.opts.Hub.TailFrom(cursor, frames[:0])
+		if gap {
+			l.logf("repl: follower fell behind the retention horizon at seq %d; forcing re-bootstrap", cursor)
+			return
+		}
+		for _, p := range frames {
+			if err := writeFrame(rw, scratch, fmWindow, p); err != nil {
+				return
+			}
+			l.windowsSent.Add(1)
+			l.bytesSent.Add(uint64(len(p)))
+		}
+		select {
+		case <-pulse:
+		case <-ping.C:
+			if err := writeFrame(rw, scratch, fmPing, seqPayload(nil, l.opts.Hub.LastSeq())); err != nil {
+				return
+			}
+		case <-ackDone:
+			return
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// deadlineRW arms a fresh read/write deadline per call, so a silent or
+// stalled peer is bounded without any watchdog goroutine.
+type deadlineRW struct {
+	c      net.Conn
+	rt, wt time.Duration
+}
+
+func (d deadlineRW) Read(p []byte) (int, error) {
+	if d.rt > 0 {
+		d.c.SetReadDeadline(time.Now().Add(d.rt))
+	}
+	return d.c.Read(p)
+}
+
+func (d deadlineRW) Write(p []byte) (int, error) {
+	if d.wt > 0 {
+		d.c.SetWriteDeadline(time.Now().Add(d.wt))
+	}
+	return d.c.Write(p)
+}
+
+// readFull is io.ReadFull without the package alias noise at call
+// sites that already hold a deadlineRW.
+func readFull(rw deadlineRW, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := rw.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,87 @@
+// Package repl streams committed WAL windows from a leader psid to
+// follower replicas. The unit of replication is exactly the unit of
+// durability: the netted flush window PR 8's write-ahead log journals —
+// at most one op per ID, strictly increasing sequence numbers — so a
+// follower is just a Collection replaying the same committed BatchDiff
+// windows the leader applied, and every layer above the window (epochs,
+// snapshot reads, metrics, the follower's own local WAL) works
+// unchanged.
+//
+// The wire protocol is deliberately close to the on-disk one. Both
+// sides open with an 8-byte magic; after that everything is frames:
+//
+//	type byte | u32le payloadLen | u32le crc32(payload) | payload
+//
+// A window frame's payload is byte-for-byte the wal.log record payload
+// (wal.EncodeWindowPayload), so there is one encoding and one fuzz
+// surface for state that crosses a trust boundary. The handshake is a
+// FOLLOW frame carrying the follower's last applied sequence (its WAL's
+// recovered LastSeq — resume is free) and a stable follower identity
+// for the leader's per-follower metric series. The leader answers
+// HELLO and then either streams the retained log tail or, when the
+// follower is behind the retention horizon (or ahead of a rebuilt
+// leader), a full snapshot (SNAP_BEGIN / SNAP_DATA* / SNAP_END)
+// captured under the Collection's flush lock, followed by the tail.
+// PING frames carry the leader's head sequence while idle; ACK frames
+// flow back with the follower's applied sequence and feed the leader's
+// lag gauges.
+//
+// Consistency contract: followers are eventually consistent — a window
+// is visible on a follower only after the leader committed (and, per
+// its fsync policy, journaled) it, shipped it, and the follower's own
+// flush applied it. Ordering is strict: a follower applies window seq
+// n+1 only after n, never skips, and never re-applies (duplicates are
+// counted and dropped). docs/replication.md has the full protocol and
+// failure-mode walkthrough; internal/service wires this package into
+// psid as -repl (leader) / -replica-of (follower).
+package repl
+
+import "time"
+
+// Magic opens both directions of a replication connection, versioning
+// the protocol: a follower pointed at a non-replication port (or an old
+// leader) fails loudly at byte 8 instead of misparsing frames.
+const Magic = "PSIREPL1"
+
+// Frame types. The zero value is invalid so a zeroed header never
+// passes for a frame.
+const (
+	fmFollow    byte = 1 + iota // f→l: uvarint lastSeq | uvarint idLen | id
+	fmHello                     // l→f: uvarint leaderSeq
+	fmSnapBegin                 // l→f: uvarint snapSeq | uvarint entryCount
+	fmSnapData                  // l→f: window payload at snapSeq (a chunk of entries)
+	fmSnapEnd                   // l→f: uvarint entryCount (must match SNAP_BEGIN)
+	fmWindow                    // l→f: wal window payload (uvarint seq | uvarint nOps | ops)
+	fmPing                      // l→f: uvarint leaderSeq (idle heartbeat, lag source)
+	fmAck                       // f→l: uvarint appliedSeq
+	fmMax                       // first invalid type
+)
+
+const (
+	// DefaultMaxFrameBytes caps one frame's payload. Window frames track
+	// the WAL's own record bound; snapshot chunks are capped far below
+	// this by DefaultSnapChunkOps. The limit exists so a corrupt or
+	// hostile length prefix cannot make the decoder allocate gigabytes.
+	DefaultMaxFrameBytes = 1 << 26
+
+	// DefaultSnapChunkOps is how many snapshot entries ride in one
+	// SNAP_DATA frame: big enough to amortize framing, small enough that
+	// a chunk never nears the frame limit.
+	DefaultSnapChunkOps = 4096
+
+	// DefaultPingInterval is the leader's idle heartbeat cadence.
+	DefaultPingInterval = 2 * time.Second
+
+	// DefaultReadTimeout bounds a silent peer: several missed heartbeats
+	// (leader side: several missed acks) before the connection is
+	// declared dead. Outright closes are detected immediately; the
+	// timeout only matters for links that black-hole traffic.
+	DefaultReadTimeout = 15 * time.Second
+
+	// DefaultWriteTimeout bounds one frame write to a stalled peer.
+	DefaultWriteTimeout = 10 * time.Second
+
+	// MaxFollowerIDLen caps the follower identity in the FOLLOW frame —
+	// it becomes a metric label value, not a buffer to fill.
+	MaxFollowerIDLen = 256
+)

@@ -1,0 +1,436 @@
+package repl
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"maps"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/wal"
+)
+
+// modelApplier is a map-backed Applier that enforces the ordering
+// contract the Follower promises: contiguous window sequences, with
+// Bootstrap the only way to jump (or regress).
+type modelApplier struct {
+	mu         sync.Mutex
+	seq        uint64
+	state      map[string]geom.Point
+	applies    int
+	bootstraps int
+	violation  string
+}
+
+func newModelApplier() *modelApplier {
+	return &modelApplier{state: make(map[string]geom.Point)}
+}
+
+func (m *modelApplier) AppliedSeq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq
+}
+
+func (m *modelApplier) ApplyWindow(seq uint64, ops []wal.Op[string]) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if seq != m.seq+1 {
+		m.violation = fmt.Sprintf("ApplyWindow(%d) after seq %d", seq, m.seq)
+		return fmt.Errorf("model: %s", m.violation)
+	}
+	for _, o := range ops {
+		if o.Del {
+			delete(m.state, o.ID)
+		} else {
+			m.state[o.ID] = o.P
+		}
+	}
+	m.seq = seq
+	m.applies++
+	return nil
+}
+
+func (m *modelApplier) Bootstrap(seq uint64, entries []wal.Op[string]) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.state = make(map[string]geom.Point, len(entries))
+	for _, e := range entries {
+		if e.Del {
+			m.violation = fmt.Sprintf("Bootstrap(%d) carried a delete", seq)
+			return fmt.Errorf("model: %s", m.violation)
+		}
+		m.state[e.ID] = e.P
+	}
+	m.seq = seq
+	m.bootstraps++
+	return nil
+}
+
+func (m *modelApplier) snapshot() (uint64, map[string]geom.Point) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq, maps.Clone(m.state)
+}
+
+func (m *modelApplier) violationStr() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.violation
+}
+
+func (m *modelApplier) counts() (applies, bootstraps int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.applies, m.bootstraps
+}
+
+// leaderModel plays the Collection's role on the leader side: a state
+// map whose mutations publish one window each through the hub, with the
+// snapshot capture consistent with the hub head (the mutex stands in
+// for the flush lock).
+type leaderModel struct {
+	mu    sync.Mutex
+	state map[string]geom.Point
+	hub   *Hub[string]
+}
+
+func newLeaderModel(retainWindows, retainBytes int) *leaderModel {
+	return &leaderModel{
+		state: make(map[string]geom.Point),
+		hub:   NewHub[string](wal.StringCodec{}, 0, retainWindows, retainBytes),
+	}
+}
+
+func (lm *leaderModel) commit(ops []wal.Op[string]) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, o := range ops {
+		if o.Del {
+			delete(lm.state, o.ID)
+		} else {
+			lm.state[o.ID] = o.P
+		}
+	}
+	lm.hub.Publish(lm.hub.LastSeq()+1, ops)
+}
+
+func (lm *leaderModel) snapshot() (uint64, []wal.Op[string], error) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	entries := make([]wal.Op[string], 0, len(lm.state))
+	for id, p := range lm.state {
+		entries = append(entries, wal.Op[string]{ID: id, P: p})
+	}
+	return lm.hub.LastSeq(), entries, nil
+}
+
+func startTestLeader(t *testing.T, lm *leaderModel) (*Leader[string], string) {
+	t.Helper()
+	l := NewLeader(LeaderOptions[string]{
+		Codec:        wal.StringCodec{},
+		Hub:          lm.hub,
+		Snapshot:     lm.snapshot,
+		PingInterval: 20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Serve(ln)
+	t.Cleanup(l.Close)
+	return l, ln.Addr().String()
+}
+
+func startTestFollower(t *testing.T, addr, id string, app Applier[string]) *Follower[string] {
+	t.Helper()
+	f := NewFollower(app, FollowerOptions[string]{
+		Addr:       addr,
+		ID:         id,
+		Codec:      wal.StringCodec{},
+		BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 50 * time.Millisecond,
+		Logf:       t.Logf,
+	})
+	f.Start()
+	t.Cleanup(f.Stop)
+	return f
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func checkConverged(t *testing.T, lm *leaderModel, app *modelApplier) {
+	t.Helper()
+	waitFor(t, "follower convergence", func() bool {
+		seq, _ := app.snapshot()
+		return seq == lm.hub.LastSeq()
+	})
+	_, got := app.snapshot()
+	lm.mu.Lock()
+	want := maps.Clone(lm.state)
+	lm.mu.Unlock()
+	if !maps.Equal(got, want) {
+		t.Fatalf("follower state %v, leader %v", got, want)
+	}
+	if v := app.violationStr(); v != "" {
+		t.Fatalf("ordering violation: %s", v)
+	}
+}
+
+// TestTailStreaming is the happy path: a follower connected from seq 0
+// receives every committed window in order, with no bootstrap.
+func TestTailStreaming(t *testing.T) {
+	lm := newLeaderModel(0, 0)
+	leader, addr := startTestLeader(t, lm)
+	app := newModelApplier()
+	f := startTestFollower(t, addr, "f1", app)
+
+	waitFor(t, "session", func() bool { return f.Status().Connected })
+	for i := 0; i < 50; i++ {
+		lm.commit([]wal.Op[string]{
+			{ID: fmt.Sprintf("obj-%d", i%10), P: geom.Pt2(int64(i), int64(-i))},
+		})
+	}
+	lm.commit([]wal.Op[string]{{ID: "obj-3", Del: true}})
+	checkConverged(t, lm, app)
+	if _, boots := app.counts(); boots != 0 {
+		t.Fatalf("tail-only follower bootstrapped %d times", boots)
+	}
+	st := f.Status()
+	if st.Duplicates != 0 {
+		t.Fatalf("follower skipped %d duplicates on a clean stream", st.Duplicates)
+	}
+	// Acks drain leader-side lag to zero.
+	waitFor(t, "leader lag", func() bool {
+		ls := leader.Stats()
+		return len(ls.Followers) == 1 && ls.Followers[0].LagWindows == 0
+	})
+}
+
+// TestSnapshotBootstrap forces the bootstrap path: the hub retains only
+// 2 windows, and the follower connects after 20 commits, so its resume
+// point is long evicted.
+func TestSnapshotBootstrap(t *testing.T) {
+	lm := newLeaderModel(2, 0)
+	leader, addr := startTestLeader(t, lm)
+	for i := 0; i < 20; i++ {
+		lm.commit([]wal.Op[string]{{ID: fmt.Sprintf("obj-%d", i), P: geom.Pt2(int64(i), 7)}})
+	}
+	app := newModelApplier()
+	startTestFollower(t, addr, "f1", app)
+	checkConverged(t, lm, app)
+	if _, boots := app.counts(); boots != 1 {
+		t.Fatalf("follower bootstrapped %d times, want 1", boots)
+	}
+	if got := leader.Stats().SnapshotsSent; got != 1 {
+		t.Fatalf("leader sent %d snapshots, want 1", got)
+	}
+	// Post-bootstrap commits ride the tail.
+	lm.commit([]wal.Op[string]{{ID: "post", P: geom.Pt2(1, 2)}})
+	checkConverged(t, lm, app)
+	if _, boots := app.counts(); boots != 1 {
+		t.Fatalf("post-bootstrap windows re-bootstrapped (%d)", boots)
+	}
+}
+
+// TestResumeFromSeq covers the restart contract: a follower that
+// vanishes and returns with its applied seq resumes from the retained
+// tail — no bootstrap, no duplicate applies, no gaps.
+func TestResumeFromSeq(t *testing.T) {
+	lm := newLeaderModel(0, 0)
+	_, addr := startTestLeader(t, lm)
+	app := newModelApplier()
+	f := startTestFollower(t, addr, "f1", app)
+	for i := 0; i < 10; i++ {
+		lm.commit([]wal.Op[string]{{ID: "a", P: geom.Pt2(int64(i), 0)}})
+	}
+	checkConverged(t, lm, app)
+	f.Stop()
+
+	// Windows committed while the follower is away.
+	for i := 10; i < 25; i++ {
+		lm.commit([]wal.Op[string]{{ID: "b", P: geom.Pt2(int64(i), 1)}})
+	}
+	f2 := startTestFollower(t, addr, "f1", app)
+	checkConverged(t, lm, app)
+	st := f2.Status()
+	applies, boots := app.counts()
+	if boots != 0 || st.Duplicates != 0 {
+		t.Fatalf("resume took %d bootstraps, %d duplicates; want 0/0", boots, st.Duplicates)
+	}
+	if applies != 25 {
+		t.Fatalf("follower applied %d windows, want 25", applies)
+	}
+}
+
+// TestEmptyLeaderBootstrap pins the latent-gap fix the resume handshake
+// needs: following an empty leader (no snapshot, empty log, head 0)
+// must succeed at seq 0 without error — and a follower AHEAD of that
+// empty leader must be re-bootstrapped down to zero, not left serving
+// stale state.
+func TestEmptyLeaderBootstrap(t *testing.T) {
+	lm := newLeaderModel(0, 0)
+	_, addr := startTestLeader(t, lm)
+	app := newModelApplier()
+	f := startTestFollower(t, addr, "empty-start", app)
+	waitFor(t, "session", func() bool { return f.Status().Connected })
+	if st := f.Status(); st.LeaderSeq != 0 || st.AppliedSeq != 0 || st.LagWindows != 0 {
+		t.Fatalf("empty-leader status: %+v", st)
+	}
+	if _, boots := app.counts(); boots != 0 {
+		t.Fatalf("empty leader forced %d bootstraps on an empty follower", boots)
+	}
+	// First commits flow as the plain tail.
+	lm.commit([]wal.Op[string]{{ID: "first", P: geom.Pt2(1, 1)}})
+	checkConverged(t, lm, app)
+	f.Stop()
+
+	// A follower ahead of the leader (here: a fresh empty leader while
+	// the follower kept state from the old one) must regress via
+	// snapshot, down to an empty state at seq 0.
+	lm2 := newLeaderModel(0, 0)
+	_, addr2 := startTestLeader(t, lm2)
+	f2 := startTestFollower(t, addr2, "ahead", app)
+	waitFor(t, "re-bootstrap", func() bool { _, boots := app.counts(); return boots == 1 })
+	seq, state := app.snapshot()
+	if seq != 0 || len(state) != 0 {
+		t.Fatalf("after wiped-leader re-bootstrap: seq %d, %d objects; want 0, 0", seq, len(state))
+	}
+	if st := f2.Status(); st.LagWindows != 0 {
+		t.Fatalf("lag after re-bootstrap: %+v", st)
+	}
+}
+
+// TestHubTailFrom pins the snapshot-or-tail decision logic.
+func TestHubTailFrom(t *testing.T) {
+	h := NewHub[string](wal.StringCodec{}, 5, 3, 0)
+	if _, _, gap := h.TailFrom(5, nil); gap {
+		t.Fatal("caught-up follower on a fresh hub reported a gap")
+	}
+	if _, _, gap := h.TailFrom(3, nil); !gap {
+		t.Fatal("behind-recovery follower on an empty ring must need a snapshot")
+	}
+	if _, _, gap := h.TailFrom(9, nil); !gap {
+		t.Fatal("follower ahead of the head must need a snapshot")
+	}
+	for seq := uint64(6); seq <= 10; seq++ {
+		h.Publish(seq, []wal.Op[string]{{ID: "x", P: geom.Pt2(int64(seq), 0)}})
+	}
+	// Retention 3: ring holds 8, 9, 10.
+	wins, last, gap := h.TailFrom(7, nil)
+	if gap || last != 10 || len(wins) != 3 {
+		t.Fatalf("TailFrom(7): %d wins, last %d, gap %t", len(wins), last, gap)
+	}
+	seq, _, err := wal.DecodeWindowPayload(wins[0], wal.StringCodec{}, nil)
+	if err != nil || seq != 8 {
+		t.Fatalf("first tail window decodes to seq %d (%v), want 8", seq, err)
+	}
+	if _, _, gap := h.TailFrom(6, nil); !gap {
+		t.Fatal("evicted resume point must report a gap")
+	}
+	if wins, _, gap := h.TailFrom(10, nil); gap || len(wins) != 0 {
+		t.Fatalf("caught-up TailFrom: %d wins, gap %t", len(wins), gap)
+	}
+}
+
+// TestHubByteRetention: the byte bound evicts like the window bound but
+// always keeps the newest window.
+func TestHubByteRetention(t *testing.T) {
+	h := NewHub[string](wal.StringCodec{}, 0, 1<<20, 64)
+	big := []wal.Op[string]{{ID: "padding-padding-padding", P: geom.Pt2(1, 2)}}
+	for seq := uint64(1); seq <= 10; seq++ {
+		h.Publish(seq, big)
+	}
+	windows, bytes, last := h.Stats()
+	if last != 10 || windows == 0 || bytes > 64+len(big[0].ID)+16 {
+		t.Fatalf("byte retention: %d windows, %d bytes, last %d", windows, bytes, last)
+	}
+	if windows >= 10 {
+		t.Fatalf("byte bound evicted nothing (%d windows)", windows)
+	}
+}
+
+// TestFrameRoundTrip pins the frame encoding and its rejection paths.
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello frame")
+	b := appendFrame(nil, fmWindow, payload)
+	typ, got, _, err := readFrame(bytes.NewReader(b), 1<<10, nil)
+	if err != nil || typ != fmWindow || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: typ %d, payload %q, err %v", typ, got, err)
+	}
+
+	for name, mut := range map[string]func([]byte) []byte{
+		"zero type":     func(b []byte) []byte { b[0] = 0; return b },
+		"unknown type":  func(b []byte) []byte { b[0] = fmMax; return b },
+		"crc flip":      func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b },
+		"torn payload":  func(b []byte) []byte { return b[:len(b)-2] },
+		"torn header":   func(b []byte) []byte { return b[:4] },
+		"length beyond": func(b []byte) []byte { b[1], b[2] = 0xff, 0xff; return b },
+	} {
+		bad := mut(append([]byte(nil), b...))
+		if _, _, _, err := readFrame(bytes.NewReader(bad), 1<<10, nil); err == nil {
+			t.Fatalf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestStreamRejectsGap: a window skipping ahead severs the session
+// instead of applying out of order.
+func TestStreamRejectsGap(t *testing.T) {
+	app := newModelApplier()
+	f := NewFollower(app, FollowerOptions[string]{Addr: "unused", Codec: wal.StringCodec{}})
+	var s []byte
+	s = append(s, Magic...)
+	s = appendFrame(s, fmHello, seqPayload(nil, 3))
+	s = appendFrame(s, fmWindow, wal.EncodeWindowPayload(nil, wal.StringCodec{}, 1, []wal.Op[string]{{ID: "a", P: geom.Pt2(1, 1)}}))
+	s = appendFrame(s, fmWindow, wal.EncodeWindowPayload(nil, wal.StringCodec{}, 3, []wal.Op[string]{{ID: "b", P: geom.Pt2(2, 2)}}))
+	err := f.stream(bytes.NewReader(s), nopWriter{})
+	if err == nil {
+		t.Fatal("gapped stream consumed without error")
+	}
+	if app.applies != 1 || app.violation != "" {
+		t.Fatalf("gap handling: %d applies, violation %q", app.applies, app.violation)
+	}
+}
+
+// TestStreamSkipsDuplicates: a window at or below the applied seq is
+// dropped and counted, never re-applied.
+func TestStreamSkipsDuplicates(t *testing.T) {
+	app := newModelApplier()
+	f := NewFollower(app, FollowerOptions[string]{Addr: "unused", Codec: wal.StringCodec{}})
+	w1 := wal.EncodeWindowPayload(nil, wal.StringCodec{}, 1, []wal.Op[string]{{ID: "a", P: geom.Pt2(1, 1)}})
+	var s []byte
+	s = append(s, Magic...)
+	s = appendFrame(s, fmHello, seqPayload(nil, 1))
+	s = appendFrame(s, fmWindow, w1)
+	s = appendFrame(s, fmWindow, w1) // regression: same seq again
+	s = appendFrame(s, fmWindow, wal.EncodeWindowPayload(nil, wal.StringCodec{}, 2, []wal.Op[string]{{ID: "b", P: geom.Pt2(2, 2)}}))
+	if err := f.stream(bytes.NewReader(s), nopWriter{}); err != io.EOF {
+		t.Fatalf("stream exit: %v, want EOF", err)
+	}
+	if app.applies != 2 || f.duplicates.Load() != 1 {
+		t.Fatalf("duplicate handling: %d applies, %d duplicates", app.applies, f.duplicates.Load())
+	}
+	if _, state := app.snapshot(); len(state) != 2 {
+		t.Fatalf("state after duplicate skip: %v", state)
+	}
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }

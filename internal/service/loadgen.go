@@ -60,6 +60,15 @@ type LoadOptions struct {
 	// without ceremony, restart, and VerifyFinal must find every
 	// acknowledged write.
 	TrackFinal bool
+
+	// Followers routes the read side of the mix to replicas: SETs still
+	// go to Addr (the leader — followers refuse writes), while each
+	// connection sends its NEARBY/WITHIN queries to
+	// Followers[conn % len(Followers)]. This is the replicated serving
+	// shape psid -repl / -replica-of exists for: one writer, fanned-out
+	// reads, each query seeing the replica's (bounded-lag) snapshot.
+	// Empty keeps every op on Addr.
+	Followers []string
 }
 
 func (o LoadOptions) withDefaults() (LoadOptions, error) {
@@ -151,21 +160,35 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		return nil, fmt.Errorf("psiload: no server address")
 	}
 	clients := make([]*Client, o.Conns)
+	queriers := make([]*Client, o.Conns) // where this conn's NEARBY/WITHIN go
+	closeAll := func() {
+		for i := range clients {
+			if clients[i] != nil {
+				clients[i].Close()
+			}
+			if queriers[i] != nil && queriers[i] != clients[i] {
+				queriers[i].Close()
+			}
+		}
+	}
 	for i := range clients {
 		c, err := Dial(o.Addr)
 		if err != nil {
-			for _, open := range clients[:i] {
-				open.Close()
-			}
+			closeAll()
 			return nil, err
 		}
 		clients[i] = c
-	}
-	defer func() {
-		for _, c := range clients {
-			c.Close()
+		queriers[i] = c
+		if len(o.Followers) > 0 {
+			q, err := Dial(o.Followers[i%len(o.Followers)])
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("psiload: follower %s: %w", o.Followers[i%len(o.Followers)], err)
+			}
+			queriers[i] = q
 		}
-	}()
+	}
+	defer closeAll()
 
 	type connStats struct {
 		lat   [len(loadOps)]obs.Hist
@@ -182,7 +205,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	begin := time.Now()
 	for i, c := range clients {
 		wg.Add(1)
-		go func(i int, c *Client) {
+		go func(i int, c, qc *Client) {
 			defer wg.Done()
 			st := &stats[i]
 			rng := rand.New(rand.NewSource(o.Seed + int64(i)))
@@ -253,7 +276,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 					}
 				case r < o.SetFrac+o.NearbyFrac:
 					op = 1
-					_, err = c.Nearby(pos[j], o.K)
+					_, err = qc.Nearby(pos[j], o.K)
 				default:
 					op = 2
 					lo := make([]int64, o.Dims)
@@ -262,7 +285,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 						lo[d] = max(0, pos[j][d]-half)
 						hi[d] = min(o.Side, pos[j][d]+half)
 					}
-					_, err = c.Within(lo, hi)
+					_, err = qc.Within(lo, hi)
 				}
 				st.lat[op].Record(time.Since(t0))
 				if err != nil {
@@ -273,7 +296,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 					}
 				}
 			}
-		}(i, c)
+		}(i, c, queriers[i])
 	}
 	wg.Wait()
 	elapsed := time.Since(begin)

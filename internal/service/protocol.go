@@ -72,6 +72,12 @@ const (
 	// server also turns its health probe red (see /healthz); clients
 	// should fail over rather than retry.
 	CodeUnavailable = "unavailable"
+	// CodeReadonly means the command mutates state but this server is a
+	// read-only replica (started with -replica-of): the replication
+	// stream from the leader is its only writer. Send SET/DEL/FLUSH to
+	// the leader; GET/NEARBY/WITHIN are served here from the replicated
+	// state. The connection stays usable.
+	CodeReadonly = "readonly"
 )
 
 // Request is one command line. Unused fields are omitted per op; see the
@@ -174,6 +180,10 @@ type StatsPayload struct {
 	// WAL carries the durability counters when the server runs with a
 	// write-ahead log (psid -wal); omitted otherwise.
 	WAL *WALStats `json:"wal,omitempty"`
+	// Repl carries the replication role and counters when the server
+	// runs as a leader (psid -repl) or follower (psid -replica-of);
+	// omitted otherwise.
+	Repl *ReplPayload `json:"repl,omitempty"`
 }
 
 // WALStats is the durability block of /stats, present when the server

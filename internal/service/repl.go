@@ -1,0 +1,282 @@
+package service
+
+// Replication wiring: how a Server becomes a leader (Options.ReplListen)
+// or a read-only follower (Options.ReplicaOf) of the internal/repl
+// log-shipping protocol. Both roles require the WAL — replication ships
+// exactly the committed flush windows the WAL journals, in the same
+// encoding, and a follower's resume position after a restart IS its
+// recovered WAL sequence. docs/replication.md has the full contract;
+// cmd/psid surfaces the knobs as -repl / -replica-of / -repl-id.
+//
+// Leader: the journal hook gains one step — after the WAL append, the
+// committed window is published to the repl.Hub (still under the flush
+// lock, so the hub head and the committed state can never disagree).
+// Follower bootstraps read the state through Collection.Checkpoint with
+// the hub sequence captured inside, the same lock-consistency trick.
+//
+// Follower: the repl.Follower session goroutine is the only writer.
+// The background flusher is disabled and the batch trigger pushed out
+// of reach, so flushes happen exactly when the applier calls them: one
+// per received window, journaled under the LEADER's sequence
+// (wal.Log.AppendWindowAt). Client SET/DEL/FLUSH are refused with
+// CodeReadonly; GET/NEARBY/WITHIN serve the replicated state through
+// the usual epoch-pinned snapshot path.
+
+import (
+	"errors"
+	"fmt"
+	"iter"
+	"net"
+
+	"repro/internal/geom"
+	"repro/internal/repl"
+	"repro/internal/wal"
+)
+
+// validateRepl rejects contradictory replication configurations before
+// any resource is opened.
+func (o Options) validateRepl() error {
+	if o.ReplListen != "" && o.ReplicaOf != "" {
+		return errors.New("psid: ReplListen and ReplicaOf are mutually exclusive (a server is a leader or a follower, not both)")
+	}
+	if (o.ReplListen != "" || o.ReplicaOf != "") && o.WALDir == "" {
+		return errors.New("psid: replication requires a write-ahead log (set WALDir; replication ships and resumes from journaled windows)")
+	}
+	return nil
+}
+
+// readonly reports whether this server refuses client writes (it is a
+// follower; the replication stream is the only writer).
+func (s *Server) readonly() bool { return s.opts.ReplicaOf != "" }
+
+// rejectReadonly is the dispatch guard for SET/DEL/FLUSH on a follower.
+func rejectReadonly(op string) result {
+	return errResultf(CodeReadonly, "%s: this server is a read-only replica; write to the leader", op)
+}
+
+// journalHook builds the role-appropriate durability hook installed on
+// the Collection (see openWAL for the install-after-replay ordering).
+func (s *Server) journalHook(l *wal.Log[string]) func(ops []wal.Op[string]) error {
+	switch {
+	case s.hub != nil: // leader: journal, then fan out
+		return func(ops []wal.Op[string]) error {
+			if err := l.AppendWindow(ops); err != nil {
+				s.walFail(err)
+				return err
+			}
+			// Still under the flush lock: the hub head advances in lockstep
+			// with the WAL, so a concurrent Checkpoint sees both or neither.
+			s.hub.Publish(l.LastSeq(), ops)
+			return nil
+		}
+	case s.readonly(): // follower: journal under the leader's sequence
+		return func(ops []wal.Op[string]) error {
+			// replSkipJournal/replPendingSeq are plain fields: the hook runs
+			// synchronously inside the flush that the replication applier
+			// (the only writer) itself invoked.
+			if s.replSkipJournal {
+				return nil
+			}
+			if err := l.AppendWindowAt(s.replPendingSeq, ops); err != nil {
+				s.walFail(err)
+				return err
+			}
+			return nil
+		}
+	default:
+		return func(ops []wal.Op[string]) error {
+			if err := l.AppendWindow(ops); err != nil {
+				s.walFail(err)
+				return err
+			}
+			return nil
+		}
+	}
+}
+
+// startRepl binds the replication role during Start, after openWAL has
+// recovered state: the leader listener starts accepting followers, or
+// the follower starts dialing its leader.
+func (s *Server) startRepl(logf func(format string, args ...any)) error {
+	switch {
+	case s.opts.ReplListen != "":
+		ln, err := net.Listen("tcp", s.opts.ReplListen)
+		if err != nil {
+			return fmt.Errorf("psid: listen repl %s: %w", s.opts.ReplListen, err)
+		}
+		s.replLead = repl.NewLeader(repl.LeaderOptions[string]{
+			Codec:    wal.StringCodec{},
+			Hub:      s.hub,
+			Snapshot: s.replSnapshot,
+			Obs:      s.reg,
+			Logf:     logf,
+		})
+		s.replLead.Serve(ln)
+	case s.readonly():
+		s.replFoll = repl.NewFollower[string](replApplier{s}, repl.FollowerOptions[string]{
+			Addr:  s.opts.ReplicaOf,
+			ID:    s.opts.ReplID,
+			Codec: wal.StringCodec{},
+			Obs:   s.reg,
+			Logf:  logf,
+		})
+		s.replFoll.Start()
+	}
+	return nil
+}
+
+// stopRepl is Shutdown's replication tail, run before the Collection's
+// final flush: the follower must stop first so no apply (and no journal
+// append under a leader sequence) is in flight when the WAL folds its
+// final snapshot.
+func (s *Server) stopRepl() {
+	if s.replFoll != nil {
+		s.replFoll.Stop()
+	}
+	if s.replLead != nil {
+		s.replLead.Close()
+	}
+}
+
+// ReplAddr returns the bound replication listener address (nil unless
+// this server is a leader that has Started).
+func (s *Server) ReplAddr() net.Addr {
+	if s.replLead == nil {
+		return nil
+	}
+	return s.replLead.Addr()
+}
+
+// replSnapshot is the leader's bootstrap capture: the full committed
+// state as Set ops, plus the hub sequence it folds. Checkpoint holds
+// the flush lock, and the hub only advances under that lock (the
+// journal hook), so reading the hub head inside the callback pins an
+// exactly-consistent (state, seq) pair.
+func (s *Server) replSnapshot() (uint64, []wal.Op[string], error) {
+	var seq uint64
+	var entries []wal.Op[string]
+	s.coll.Checkpoint(func(objects int, it iter.Seq2[string, geom.Point]) {
+		seq = s.hub.LastSeq()
+		entries = make([]wal.Op[string], 0, objects)
+		for id, p := range it {
+			entries = append(entries, wal.Op[string]{ID: id, P: p})
+		}
+	})
+	return seq, entries, nil
+}
+
+// replApplier adapts the Server to repl.Applier: the follower session
+// goroutine drives the Collection's flush commit with the leader's
+// windows, journaling each under the leader's sequence so the WAL's
+// recovered sequence doubles as the replication resume point.
+type replApplier struct{ s *Server }
+
+// AppliedSeq is the follower's durable position: the last leader window
+// journaled locally (which recovery restores after a crash, making the
+// resume handshake exact across restarts).
+func (a replApplier) AppliedSeq() uint64 { return a.s.wal.LastSeq() }
+
+// ApplyWindow commits one leader window: enqueue the netted ops, flush
+// (journal under seq + apply + publish epoch), and verify the journal
+// landed. The repl.Follower guarantees seq == AppliedSeq()+1.
+func (a replApplier) ApplyWindow(seq uint64, ops []wal.Op[string]) error {
+	s := a.s
+	if s.walFailed.Load() {
+		return errors.New("local wal failed; refusing to advance the replicated state")
+	}
+	if len(ops) == 0 {
+		// Nothing to flush, but the position must still advance durably or
+		// the resume handshake would re-request this window forever.
+		if err := s.wal.AppendWindowAt(seq, nil); err != nil {
+			s.walFail(err)
+			return err
+		}
+		return nil
+	}
+	s.replPendingSeq = seq
+	for _, op := range ops {
+		if op.Del {
+			s.coll.Remove(op.ID)
+		} else {
+			s.coll.Set(op.ID, op.P)
+		}
+	}
+	s.coll.Flush()
+	// The journal hook's error is counted, not returned, by Flush; the
+	// sequence check catches it exactly (the append either moved LastSeq
+	// to seq or failed).
+	if got := s.wal.LastSeq(); got != seq {
+		return fmt.Errorf("window %d did not journal (wal at %d)", seq, got)
+	}
+	return nil
+}
+
+// Bootstrap replaces the full local state with the leader's snapshot:
+// remove everything the snapshot lacks, set everything it has, commit
+// as one un-journaled flush, then persist the new baseline as a WAL
+// snapshot at the leader's sequence — which may regress below the local
+// one (a rebuilt or wiped leader), all the way to zero.
+func (a replApplier) Bootstrap(seq uint64, entries []wal.Op[string]) error {
+	s := a.s
+	if s.walFailed.Load() {
+		return errors.New("local wal failed; refusing to bootstrap")
+	}
+	keep := make(map[string]geom.Point, len(entries))
+	for _, e := range entries {
+		keep[e.ID] = e.P
+	}
+	var stale []string
+	s.coll.Checkpoint(func(objects int, it iter.Seq2[string, geom.Point]) {
+		for id := range it {
+			if _, ok := keep[id]; !ok {
+				stale = append(stale, id)
+			}
+		}
+	})
+	for _, id := range stale {
+		s.coll.Remove(id)
+	}
+	for _, e := range entries {
+		s.coll.Set(e.ID, e.P)
+	}
+	// The snapshot below persists this state wholesale; journaling the
+	// diff too would append windows at a stale (possibly higher) sequence.
+	s.replSkipJournal = true
+	s.coll.Flush()
+	s.replSkipJournal = false
+	err := s.wal.WriteSnapshotAt(seq, len(keep), func(yield func(string, geom.Point) bool) {
+		for id, p := range keep {
+			if !yield(id, p) {
+				return
+			}
+		}
+	})
+	if err != nil {
+		s.walFail(err)
+		return err
+	}
+	return nil
+}
+
+// ReplPayload is the replication block of /stats: the role plus the
+// role-specific counters.
+type ReplPayload struct {
+	// Role is "leader" or "follower".
+	Role     string               `json:"role"`
+	Leader   *repl.LeaderStats    `json:"leader,omitempty"`
+	Follower *repl.FollowerStatus `json:"follower,omitempty"`
+}
+
+// replStats snapshots the replication block (nil when the server
+// replicates nothing).
+func (s *Server) replStats() *ReplPayload {
+	switch {
+	case s.replLead != nil:
+		st := s.replLead.Stats()
+		return &ReplPayload{Role: "leader", Leader: &st}
+	case s.replFoll != nil:
+		st := s.replFoll.Status()
+		return &ReplPayload{Role: "follower", Follower: &st}
+	}
+	return nil
+}

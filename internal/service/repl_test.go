@@ -1,0 +1,248 @@
+package service
+
+// In-process replication tests: a real leader Server and follower
+// Servers wired through the TCP repl protocol, asserting role
+// enforcement, convergence, snapshot bootstrap, and restart resume.
+// The cross-process versions (kill -9, partitions) live in cmd/psid.
+
+import (
+	"fmt"
+	"iter"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/wal"
+)
+
+// startLeader runs a durable Server with a replication listener on an
+// ephemeral port. fsync=always makes every SET its own committed
+// window, so tests control the sequence count exactly.
+func startLeader(t *testing.T, dir string, opts Options) *Server {
+	t.Helper()
+	opts.ReplListen = "127.0.0.1:0"
+	if opts.WALFsync == 0 {
+		opts.WALFsync = wal.FsyncAlways
+	}
+	return startDurable(t, dir, opts)
+}
+
+// startFollowerOf runs a durable Server replicating from leader.
+func startFollowerOf(t *testing.T, dir string, leader *Server, id string) *Server {
+	t.Helper()
+	return startDurable(t, dir, Options{
+		ReplicaOf: leader.ReplAddr().String(),
+		ReplID:    id,
+	})
+}
+
+// waitConverged polls until the follower's applied sequence reaches the
+// leader's replication head (and its lag drains to zero). The applied
+// sequence advances at the journal step of the window's flush — a
+// moment before the apply publishes — so a Checkpoint barrier at the
+// end waits out any in-flight flush before callers inspect state.
+func waitConverged(t *testing.T, leader, follower *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		want := leader.Stats().Repl.Leader.LastSeq
+		st := follower.Stats().Repl.Follower
+		if st.AppliedSeq == want && st.LagWindows == 0 {
+			follower.coll.Checkpoint(func(int, iter.Seq2[string, geom.Point]) {})
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged: leader at %d, follower %+v", want, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestReplValidation(t *testing.T) {
+	if _, err := NewDurable(newTestIndex(), Options{ReplListen: "127.0.0.1:0"}); err == nil {
+		t.Fatal("leader without a WAL was accepted")
+	}
+	if _, err := NewDurable(newTestIndex(), Options{ReplicaOf: "127.0.0.1:1"}); err == nil {
+		t.Fatal("follower without a WAL was accepted")
+	}
+	if _, err := NewDurable(newTestIndex(), Options{
+		WALDir: t.TempDir(), ReplListen: "127.0.0.1:0", ReplicaOf: "127.0.0.1:1",
+	}); err == nil {
+		t.Fatal("leader+follower on one server was accepted")
+	}
+}
+
+func TestReplReadonlyFollower(t *testing.T) {
+	leader := startLeader(t, t.TempDir(), Options{})
+	lc := dialT(t, leader)
+	if err := lc.Set("a", []int64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	follower := startFollowerOf(t, t.TempDir(), leader, "ro")
+	waitConverged(t, leader, follower)
+	fc := dialT(t, follower)
+
+	for _, req := range []Request{
+		{Op: OpSet, ID: "x", P: []int64{1, 1}},
+		{Op: OpDel, ID: "a"},
+		{Op: OpFlush},
+	} {
+		resp, err := fc.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.OK || resp.Code != CodeReadonly {
+			t.Fatalf("%s on a follower: got ok=%t code=%q, want the %s error",
+				req.Op, resp.OK, resp.Code, CodeReadonly)
+		}
+	}
+	// Reads still serve the replicated state.
+	p, found, err := fc.Get("a")
+	if err != nil || !found || p[0] != 5 || p[1] != 5 {
+		t.Fatalf("GET a on follower = %v found=%t err=%v, want [5 5]", p, found, err)
+	}
+	if hits, err := fc.Nearby([]int64{0, 0}, 1); err != nil || len(hits) != 1 || hits[0].ID != "a" {
+		t.Fatalf("NEARBY on follower = %v, %v", hits, err)
+	}
+	// And the refused SET never leaked into follower state.
+	if _, found, _ := fc.Get("x"); found {
+		t.Fatal("refused SET is visible on the follower")
+	}
+}
+
+func TestReplConvergence(t *testing.T) {
+	leader := startLeader(t, t.TempDir(), Options{})
+	f1 := startFollowerOf(t, t.TempDir(), leader, "f1")
+	f2 := startFollowerOf(t, t.TempDir(), leader, "f2")
+	lc := dialT(t, leader)
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := lc.Set(fmt.Sprintf("o%02d", i), []int64{int64(i), int64(i * 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 4 {
+		if err := lc.Del(fmt.Sprintf("o%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, leader, f1)
+	waitConverged(t, leader, f2)
+
+	for _, f := range []*Server{f1, f2} {
+		fc := dialT(t, f)
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("o%02d", i)
+			p, found, err := fc.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i%4 == 0 {
+				if found {
+					t.Fatalf("%s: deleted %s still present on follower", f.opts.ReplID, id)
+				}
+				continue
+			}
+			if !found || p[0] != int64(i) || p[1] != int64(i*2) {
+				t.Fatalf("%s: GET %s = %v found=%t, want [%d %d]", f.opts.ReplID, id, p, found, i, i*2)
+			}
+		}
+		if st := f.Stats(); st.Objects != n-n/4 {
+			t.Fatalf("%s: %d objects, want %d", f.opts.ReplID, st.Objects, n-n/4)
+		}
+	}
+
+	// The leader tracks both followers by identity, fully acked.
+	ls := leader.Stats().Repl.Leader
+	if len(ls.Followers) != 2 || ls.Connected != 2 {
+		t.Fatalf("leader follower view: %+v", ls)
+	}
+	for _, fi := range ls.Followers {
+		if fi.LagWindows != 0 || fi.AckedSeq != ls.LastSeq {
+			t.Fatalf("follower %s not fully acked: %+v (leader at %d)", fi.ID, fi, ls.LastSeq)
+		}
+	}
+}
+
+// TestReplSnapshotBootstrap forces the snapshot path: the leader
+// retains almost no tail, so a follower arriving after the history is
+// evicted must bootstrap — and then ride the live tail.
+func TestReplSnapshotBootstrap(t *testing.T) {
+	leader := startLeader(t, t.TempDir(), Options{ReplRetainWindows: 2})
+	lc := dialT(t, leader)
+	for i := 0; i < 30; i++ {
+		if err := lc.Set(fmt.Sprintf("pre%02d", i), []int64{int64(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	follower := startFollowerOf(t, t.TempDir(), leader, "late")
+	waitConverged(t, leader, follower)
+	if st := follower.Stats().Repl.Follower; st.Bootstraps != 1 {
+		t.Fatalf("follower bootstraps = %d, want exactly 1", st.Bootstraps)
+	}
+	if st := follower.Stats(); st.Objects != 30 {
+		t.Fatalf("bootstrapped %d objects, want 30", st.Objects)
+	}
+
+	// Post-bootstrap traffic arrives as tail windows, not more snapshots.
+	if err := lc.Set("live", []int64{7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, leader, follower)
+	st := follower.Stats().Repl.Follower
+	if st.Bootstraps != 1 || st.Duplicates != 0 {
+		t.Fatalf("after live tail: %+v, want 1 bootstrap and 0 duplicates", st)
+	}
+	if p, found, _ := dialT(t, follower).Get("live"); !found || p[0] != 7 {
+		t.Fatalf("live write missing on follower: %v %t", p, found)
+	}
+}
+
+// TestReplFollowerRestartResume pins the resume contract: a follower
+// restarted over its own WAL directory rejoins at its recovered
+// sequence and catches up incrementally — no re-bootstrap, no window
+// applied twice.
+func TestReplFollowerRestartResume(t *testing.T) {
+	leader := startLeader(t, t.TempDir(), Options{})
+	lc := dialT(t, leader)
+	fdir := t.TempDir()
+
+	follower := startFollowerOf(t, fdir, leader, "resume")
+	for i := 0; i < 10; i++ {
+		if err := lc.Set(fmt.Sprintf("a%02d", i), []int64{int64(i), 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, leader, follower)
+	shutdownT(t, follower)
+
+	// The leader keeps committing while the follower is down.
+	for i := 0; i < 10; i++ {
+		if err := lc.Set(fmt.Sprintf("b%02d", i), []int64{int64(i), 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	follower = startFollowerOf(t, fdir, leader, "resume")
+	waitConverged(t, leader, follower)
+	// The windows counter increments just after the apply that advances
+	// AppliedSeq, so give the final bump a moment before asserting.
+	deadline := time.Now().Add(5 * time.Second)
+	for follower.Stats().Repl.Follower.Windows != 10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st := follower.Stats().Repl.Follower
+	if st.Bootstraps != 0 || st.Duplicates != 0 {
+		t.Fatalf("restart resumed with %d bootstraps / %d duplicates, want 0/0", st.Bootstraps, st.Duplicates)
+	}
+	// Exactly the missed tail was applied this session.
+	if st.Windows != 10 {
+		t.Fatalf("restart applied %d windows, want the 10 missed", st.Windows)
+	}
+	if s := follower.Stats(); s.Objects != 20 {
+		t.Fatalf("follower has %d objects after resume, want 20", s.Objects)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/repl"
 	"repro/internal/wal"
 )
 
@@ -109,6 +110,32 @@ type Options struct {
 	// selects DefaultWALSnapshotInterval. Idle ticks (no appends since
 	// the last snapshot) are skipped.
 	WALSnapshotInterval time.Duration
+	// ReplListen, when non-empty, makes this server a replication leader:
+	// Start binds a second TCP listener on this address and streams every
+	// committed WAL window to connected followers (docs/replication.md).
+	// Requires WALDir — replication ships exactly the journaled windows.
+	// Mutually exclusive with ReplicaOf.
+	ReplListen string
+	// ReplRetainWindows / ReplRetainBytes bound the leader's in-memory
+	// catch-up ring: a follower whose resume point has been evicted
+	// re-bootstraps from a full snapshot instead. <= 0 select
+	// repl.DefaultRetainWindows / repl.DefaultRetainBytes.
+	ReplRetainWindows int
+	ReplRetainBytes   int
+	// ReplicaOf, when non-empty, makes this server a read-only follower
+	// of the leader's replication listener at this host:port: it
+	// bootstraps or resumes over the wire, applies committed windows
+	// through the normal flush pipeline (journaling them to its own WAL
+	// under the leader's sequence numbers), and refuses client
+	// SET/DEL/FLUSH with CodeReadonly. Requires WALDir.
+	ReplicaOf string
+	// ReplID is the follower's stable identity in the FOLLOW handshake;
+	// the leader keys its per-follower /stats and metric series by it.
+	// Empty falls back to the connection's remote address.
+	ReplID string
+	// Logf, when set, receives replication lifecycle lines (follower
+	// connects, bootstraps, session errors). cmd/psid wires log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // DefaultSlowLogSize is the slow-query ring capacity used when
@@ -175,6 +202,17 @@ type Server struct {
 	snapStop    chan struct{}
 	snapWG      sync.WaitGroup
 	walOnce     sync.Once // WAL teardown (Shutdown may be called twice)
+
+	// Replication state (internal/service/repl.go), nil/zero unless
+	// ReplListen or ReplicaOf is set.
+	hub      *repl.Hub[string]      // leader: committed-window fan-out ring
+	replLead *repl.Leader[string]   // leader: follower listener
+	replFoll *repl.Follower[string] // follower: session loop against the leader
+	// replPendingSeq/replSkipJournal parameterize the follower's journal
+	// hook for the flush in flight; plain fields, written only by the
+	// follower session goroutine whose own Flush call runs the hook.
+	replPendingSeq  uint64
+	replSkipJournal bool
 }
 
 // New wraps idx (which must start empty) in a Server. Like
@@ -238,6 +276,13 @@ func (s *Server) Start(addr, httpAddr string) error {
 		}
 		s.http = &http.Server{Handler: mux}
 		go s.http.Serve(hln)
+	}
+	if err := s.startRepl(s.opts.Logf); err != nil {
+		ln.Close()
+		if s.httpLn != nil {
+			s.httpLn.Close()
+		}
+		return err
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -325,6 +370,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.http != nil {
 		s.http.Shutdown(ctx)
 	}
+	// Replication stops before the final flush: a follower's in-flight
+	// apply must finish (or be severed) so no journal append races the
+	// WAL's closing snapshot; a leader's streams just end, and followers
+	// resume against the next incarnation.
+	s.stopRepl()
 	s.coll.Close() // stops the background flusher and applies the final (journaled) flush
 	// With a WAL: snapshot the final state and truncate the log, so a
 	// clean restart replays nothing, then close the log (which syncs —
@@ -517,6 +567,9 @@ func (s *Server) dispatch(line []byte, cs *connState, cost *obs.QueryCost) (int,
 	}
 	switch op {
 	case OpSet:
+		if s.readonly() {
+			return idx, rejectReadonly(op)
+		}
 		if req.ID == "" {
 			return idx, errResult(CodeBadRequest, "SET: missing id")
 		}
@@ -530,6 +583,9 @@ func (s *Server) dispatch(line []byte, cs *connState, cost *obs.QueryCost) (int,
 		}
 		return idx, result{ok: true}
 	case OpDel:
+		if s.readonly() {
+			return idx, rejectReadonly(op)
+		}
 		if req.ID == "" {
 			return idx, errResult(CodeBadRequest, "DEL: missing id")
 		}
@@ -589,6 +645,12 @@ func (s *Server) dispatch(line []byte, cs *connState, cost *obs.QueryCost) (int,
 		st := s.Stats()
 		return idx, result{ok: true, stats: &st}
 	case OpFlush:
+		// A follower's flushes belong to the replication applier alone:
+		// a client-triggered flush would journal a window under a stale
+		// leader sequence.
+		if s.readonly() {
+			return idx, rejectReadonly(op)
+		}
 		return idx, result{ok: true, applied: s.coll.Flush(), hasApplied: true}
 	case OpSlowlog:
 		if s.slow == nil {
@@ -664,6 +726,7 @@ func (s *Server) Stats() StatsPayload {
 			Recovery:      s.recovered,
 		}
 	}
+	st.Repl = s.replStats()
 	if s.opts.EnablePprof {
 		var m runtime.MemStats
 		runtime.ReadMemStats(&m)
@@ -736,7 +799,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		w.Write(marshalLine(map[string]any{"ok": false, "state": "wal_failed"}))
 		return
 	}
-	w.Write(marshalLine(map[string]any{"ok": true, "uptime_s": time.Since(s.start).Seconds()}))
+	body := map[string]any{"ok": true, "uptime_s": time.Since(s.start).Seconds()}
+	// Replication position rides on health so an orchestrator (and the
+	// CI smoke) can gate on lag with one probe. A disconnected follower
+	// stays green: it serves reads from its last-applied state and
+	// reconnects on its own — staleness is visible in lag_windows, and
+	// whether to route around it is the balancer's policy call.
+	switch {
+	case s.replLead != nil:
+		body["role"] = "leader"
+		body["repl_seq"] = s.hub.LastSeq()
+	case s.replFoll != nil:
+		st := s.replFoll.Status()
+		body["role"] = "follower"
+		body["repl_connected"] = st.Connected
+		body["applied_seq"] = st.AppliedSeq
+		body["lag_windows"] = st.LagWindows
+	}
+	w.Write(marshalLine(body))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

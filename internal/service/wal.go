@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/repl"
 	"repro/internal/wal"
 )
 
@@ -49,6 +50,9 @@ type WALRecovery struct {
 // New.
 func NewDurable(idx core.Index, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	if err := opts.validateRepl(); err != nil {
+		return nil, err
+	}
 	copts := collection.Options{
 		MaxBatch:       opts.MaxBatch,
 		FlushInterval:  opts.FlushInterval,
@@ -57,6 +61,14 @@ func NewDurable(idx core.Index, opts Options) (*Server, error) {
 	}
 	if r, ok := idx.(core.Replicator); ok && !opts.DisableSnapshot {
 		copts.Snapshot = r.NewReplica
+	}
+	if opts.ReplicaOf != "" {
+		// A follower's only writer is the replication applier, which
+		// flushes each leader window itself: no background flusher, and a
+		// batch trigger no real window can reach — any other flush would
+		// split a window across two local sequences.
+		copts.FlushInterval = 0
+		copts.MaxBatch = 1 << 30
 	}
 	s := &Server{
 		opts:  opts,
@@ -105,13 +117,13 @@ func (s *Server) openWAL() error {
 		Records:        rec.Records,
 		TruncatedBytes: rec.TruncatedBytes,
 	}
-	s.coll.SetJournal(func(ops []wal.Op[string]) error {
-		if err := l.AppendWindow(ops); err != nil {
-			s.walFail(err)
-			return err
-		}
-		return nil
-	})
+	if opts.ReplListen != "" {
+		// The hub's head starts at the recovered sequence, so a follower
+		// already there resumes with an empty tail instead of a snapshot.
+		s.hub = repl.NewHub[string](wal.StringCodec{}, l.LastSeq(),
+			opts.ReplRetainWindows, opts.ReplRetainBytes)
+	}
+	s.coll.SetJournal(s.journalHook(l))
 	s.durableAcks = opts.WALFsync == wal.FsyncAlways
 	s.snapStop = make(chan struct{})
 	s.snapWG.Add(1)

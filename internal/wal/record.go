@@ -87,6 +87,24 @@ func (StringCodec) DecodeID(src []byte) (string, int, error) {
 	return string(src[n : n+int(ln)]), n + int(ln), nil
 }
 
+// EncodeWindowPayload appends the record-payload encoding of one window
+// (uvarint seq, uvarint op count, then the ops) to dst and returns the
+// extended slice. It is the exact bytes AppendWindow frames into
+// wal.log, exported so the replication layer (internal/repl) ships the
+// same encoding over the wire that the log journals to disk — one
+// format, one fuzz surface.
+func EncodeWindowPayload[ID comparable](dst []byte, codec Codec[ID], seq uint64, ops []Op[ID]) []byte {
+	return encodeWindow(dst, codec, seq, ops)
+}
+
+// DecodeWindowPayload decodes one window payload produced by
+// EncodeWindowPayload (or read CRC-valid from wal.log), appending the
+// ops to dst. It errors — never panics — on any malformed input; a
+// zero-op window is valid and decodes to no ops.
+func DecodeWindowPayload[ID comparable](payload []byte, codec Codec[ID], dst []Op[ID]) (seq uint64, ops []Op[ID], err error) {
+	return decodeWindow(payload, codec, dst)
+}
+
 // putFrame fills the 8-byte record header for payload.
 func putFrame(hdr, payload []byte) {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))

@@ -224,6 +224,12 @@ func Open[ID comparable](dir string, codec Codec[ID], opts Options) (*Log[ID], *
 	return l, rec, nil
 }
 
+// LastSeq returns the sequence number of the last appended (or
+// recovered) window — the resume point a replication follower hands the
+// leader in its FOLLOW handshake. Zero means the log has never held a
+// window: a follower there bootstraps from the beginning without error.
+func (l *Log[ID]) LastSeq() uint64 { return l.seq.Load() }
+
 // AppendWindow appends one committed flush window — the Collection's
 // netted ops, at most one per ID — as a single framed record, and (under
 // FsyncAlways) syncs it to disk before returning. Windows are assigned
@@ -233,6 +239,26 @@ func Open[ID comparable](dir string, codec Codec[ID], opts Options) (*Log[ID], *
 func (l *Log[ID]) AppendWindow(ops []Op[ID]) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendLocked(l.seq.Load()+1, ops)
+}
+
+// AppendWindowAt is AppendWindow with a caller-assigned sequence number:
+// a replication follower journals each applied leader window under the
+// leader's seq, so its recovered LastSeq is directly the resume point
+// for the next FOLLOW handshake. seq must exceed LastSeq — replay
+// requires strictly increasing seqs (gaps are legal in the file; the
+// follower's stream protocol rejects them earlier).
+func (l *Log[ID]) AppendWindowAt(seq uint64, ops []Op[ID]) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq <= l.seq.Load() {
+		return fmt.Errorf("wal: AppendWindowAt seq %d not above last seq %d", seq, l.seq.Load())
+	}
+	return l.appendLocked(seq, ops)
+}
+
+// appendLocked writes one framed window record under mu.
+func (l *Log[ID]) appendLocked(seq uint64, ops []Op[ID]) error {
 	if l.closed {
 		return ErrClosed
 	}
@@ -241,7 +267,6 @@ func (l *Log[ID]) AppendWindow(ops []Op[ID]) error {
 		// unknown state, so no further append may claim durability.
 		return l.err
 	}
-	seq := l.seq.Load() + 1
 	buf := l.buf
 	if cap(buf) < frameLen {
 		buf = make([]byte, frameLen)
@@ -358,13 +383,32 @@ func (l *Log[ID]) fsyncLoop() {
 func (l *Log[ID]) WriteSnapshot(n int, entries iter.Seq2[ID, geom.Point]) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.snapshotLocked(l.seq.Load(), n, entries)
+}
+
+// WriteSnapshotAt is WriteSnapshot with a caller-assigned sequence
+// number, and it resets the log's seq to it — even backwards. It exists
+// for one caller: a replication follower installing a leader-sent
+// bootstrap snapshot, whose seq belongs to the leader's history, not
+// this log's (a follower rejoining a rebuilt leader can legitimately
+// regress, including to seq 0 for an empty leader). The rotation makes
+// the regression safe: the log is empty afterwards, so recovery sees
+// only the snapshot seq and records above it.
+func (l *Log[ID]) WriteSnapshotAt(seq uint64, n int, entries iter.Seq2[ID, geom.Point]) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshotLocked(seq, n, entries)
+}
+
+// snapshotLocked replaces the snapshot at seq and rotates the log (mu
+// held). On success the log's seq is exactly seq.
+func (l *Log[ID]) snapshotLocked(seq uint64, n int, entries iter.Seq2[ID, geom.Point]) error {
 	if l.closed {
 		return ErrClosed
 	}
 	if l.err != nil {
 		return l.err
 	}
-	seq := l.seq.Load()
 	if err := writeSnapshotFile(filepath.Join(l.dir, snapName), l.codec, seq, n, entries); err != nil {
 		l.fail(err)
 		return l.err
@@ -381,6 +425,7 @@ func (l *Log[ID]) WriteSnapshot(n int, entries iter.Seq2[ID, geom.Point]) error 
 	l.f.Close()
 	l.f = nf
 	l.logBytes.Store(magicLen)
+	l.seq.Store(seq) // no-op for WriteSnapshot; the reset WriteSnapshotAt promises
 	l.snapSeq.Store(seq)
 	l.snapshots.Add(1)
 	return nil

@@ -507,3 +507,137 @@ func BenchmarkAppendWindow(b *testing.B) {
 		})
 	}
 }
+
+// TestLastSeq covers the replication resume handshake's source of
+// truth: zero on a log that has never held a window, advancing with
+// appends, and surviving recovery.
+func TestLastSeq(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	if got := l.LastSeq(); got != 0 {
+		t.Fatalf("fresh LastSeq = %d, want 0", got)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := l.AppendWindow([]Op[string]{{ID: "a", P: geom.Pt2(int64(i), 0)}}); err != nil {
+			t.Fatal(err)
+		}
+		if got := l.LastSeq(); got != uint64(i) {
+			t.Fatalf("LastSeq after %d appends = %d", i, got)
+		}
+	}
+	closeT(t, l)
+	l2, rec := openT(t, dir, Options{})
+	defer closeT(t, l2)
+	if l2.LastSeq() != 3 || rec.Seq != 3 {
+		t.Fatalf("recovered LastSeq = %d (rec.Seq %d), want 3", l2.LastSeq(), rec.Seq)
+	}
+}
+
+// TestAppendWindowAt checks the follower journaling primitive: windows
+// land under the leader's sequence numbers, gaps are allowed (the
+// leader's log has them after its own snapshots), regressions are not,
+// and recovery resumes from the highest journaled seq.
+func TestAppendWindowAt(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	if err := l.AppendWindowAt(7, []Op[string]{{ID: "a", P: geom.Pt2(1, 2)}}); err != nil {
+		t.Fatalf("AppendWindowAt(7): %v", err)
+	}
+	if err := l.AppendWindowAt(12, []Op[string]{{ID: "b", P: geom.Pt2(3, 4)}}); err != nil {
+		t.Fatalf("AppendWindowAt(12) across a gap: %v", err)
+	}
+	for _, seq := range []uint64{12, 5, 0} {
+		if err := l.AppendWindowAt(seq, nil); err == nil {
+			t.Fatalf("AppendWindowAt(%d) after seq 12 succeeded", seq)
+		}
+	}
+	if got := l.LastSeq(); got != 12 {
+		t.Fatalf("LastSeq = %d, want 12", got)
+	}
+	// Plain AppendWindow continues from the imposed seq.
+	if err := l.AppendWindow([]Op[string]{{ID: "c", P: geom.Pt2(5, 6)}}); err != nil {
+		t.Fatal(err)
+	}
+	closeT(t, l)
+	l2, rec := openT(t, dir, Options{})
+	defer closeT(t, l2)
+	if rec.Seq != 13 || rec.Records != 3 {
+		t.Fatalf("recovery after seq-addressed appends: %+v", rec)
+	}
+	want := map[string]geom.Point{"a": geom.Pt2(1, 2), "b": geom.Pt2(3, 4), "c": geom.Pt2(5, 6)}
+	if !maps.Equal(rec.Entries, want) {
+		t.Fatalf("recovered %v, want %v", rec.Entries, want)
+	}
+}
+
+// TestWriteSnapshotAt covers follower bootstrap: installing a
+// leader-provided snapshot may move the local sequence backwards
+// (re-bootstrapping from a wiped leader), all the way to zero for an
+// empty leader — no snapshot, empty log — which must succeed and leave
+// the follower resuming from seq 0.
+func TestWriteSnapshotAt(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := l.AppendWindow([]Op[string]{{ID: "old", P: geom.Pt2(int64(i), 0)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Regress to a lower seq with different state, as a re-bootstrap does.
+	state := map[string]geom.Point{"x": geom.Pt2(9, 9)}
+	if err := l.WriteSnapshotAt(2, len(state), maps.All(state)); err != nil {
+		t.Fatalf("WriteSnapshotAt(2): %v", err)
+	}
+	if got := l.LastSeq(); got != 2 {
+		t.Fatalf("LastSeq after regression = %d, want 2", got)
+	}
+	if err := l.AppendWindowAt(3, []Op[string]{{ID: "y", P: geom.Pt2(1, 1)}}); err != nil {
+		t.Fatalf("AppendWindowAt(3) after regression: %v", err)
+	}
+	closeT(t, l)
+	l2, rec := openT(t, dir, Options{})
+	if rec.Seq != 3 || rec.SnapshotSeq != 2 || rec.Records != 1 {
+		t.Fatalf("recovery after regression: %+v", rec)
+	}
+	want := map[string]geom.Point{"x": geom.Pt2(9, 9), "y": geom.Pt2(1, 1)}
+	if !maps.Equal(rec.Entries, want) {
+		t.Fatalf("recovered %v, want %v", rec.Entries, want)
+	}
+
+	// Empty-leader bootstrap: snapshot of nothing at seq 0.
+	if err := l2.WriteSnapshotAt(0, 0, maps.All(map[string]geom.Point{})); err != nil {
+		t.Fatalf("WriteSnapshotAt(0, empty): %v", err)
+	}
+	if got := l2.LastSeq(); got != 0 {
+		t.Fatalf("LastSeq after empty bootstrap = %d, want 0", got)
+	}
+	closeT(t, l2)
+	l3, rec3 := openT(t, dir, Options{})
+	defer closeT(t, l3)
+	if len(rec3.Entries) != 0 || rec3.Seq != 0 {
+		t.Fatalf("recovery after empty bootstrap: %+v", rec3)
+	}
+	if err := l3.AppendWindowAt(1, []Op[string]{{ID: "z", P: geom.Pt2(2, 2)}}); err != nil {
+		t.Fatalf("AppendWindowAt(1) from empty bootstrap: %v", err)
+	}
+}
+
+// TestWindowPayloadRoundTrip pins the exported payload codec to the
+// on-disk record format the replication stream reuses.
+func TestWindowPayloadRoundTrip(t *testing.T) {
+	ops := []Op[string]{
+		{ID: "a", P: geom.Pt2(1, -2)},
+		{ID: "b", Del: true},
+	}
+	payload := EncodeWindowPayload(nil, StringCodec{}, 42, ops)
+	seq, got, err := DecodeWindowPayload(payload, StringCodec{}, nil)
+	if err != nil {
+		t.Fatalf("DecodeWindowPayload: %v", err)
+	}
+	if seq != 42 || len(got) != 2 || got[0] != ops[0] || got[1] != ops[1] {
+		t.Fatalf("round trip: seq %d ops %v", seq, got)
+	}
+	if _, _, err := DecodeWindowPayload(payload[:len(payload)-1], StringCodec{}, nil); err == nil {
+		t.Fatal("truncated payload decoded without error")
+	}
+}
