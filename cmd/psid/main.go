@@ -1,6 +1,7 @@
 // Command psid is the Ψ-Lib geospatial server: it serves the
 // psi.Collection moving-object API — SET / DEL / GET / NEARBY / WITHIN /
-// STATS / FLUSH / SLOWLOG — over a newline-delimited JSON protocol on
+// STATS / FLUSH / SLOWLOG, plus the PROMOTE / DEMOTE / FOLLOW failover
+// admin commands — over a newline-delimited JSON protocol on
 // TCP, with HTTP probe endpoints on the -http listener:
 //
 //	/healthz          liveness probe (200 "ok"; 503 while draining or after a WAL failure)
@@ -41,6 +42,16 @@
 // behind and resuming from its own WAL sequence after a restart. Lag is
 // visible on both sides (/stats, /healthz, psi_repl_* metrics);
 // docs/replication.md has the protocol and consistency contract.
+//
+// Failover is first-class: the PROMOTE command flips a running follower
+// into the leader in place (bumping and journaling the leader term),
+// FOLLOW re-points a follower — or a deposed ex-leader — at a new
+// leader's address at runtime, and DEMOTE fences a leader by hand. A
+// leader that learns of a higher term refuses writes with the fenced
+// error code rather than forking history. Start a follower with both
+// -replica-of and -repl to make it a hot standby whose PROMOTE listener
+// address is pre-assigned; -max-lag turns /healthz into a 503-on-stale
+// readiness gate. docs/replication.md ("Failover") has the contract.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, drain
 // in-flight commands, apply a final flush so every acknowledged write is
@@ -99,8 +110,9 @@ func run() int {
 	snapEvery := flag.Duration("snapshot-interval", service.DefaultWALSnapshotInterval, "WAL snapshot-and-truncate cadence bounding restart replay time")
 	replListen := flag.String("repl", "", "replication listener address: stream committed WAL windows to followers (docs/replication.md); requires -wal")
 	replRetain := flag.Int("repl-retain", 0, "committed windows retained in memory for follower catch-up; a follower further behind re-bootstraps from a snapshot (0 = default)")
-	replicaOf := flag.String("replica-of", "", "run as a read-only follower of the leader's -repl listener at host:port; requires -wal")
+	replicaOf := flag.String("replica-of", "", "run as a read-only follower of the leader's -repl listener at host:port; requires -wal (combine with -repl for a hot standby: PROMOTE binds that address)")
 	replID := flag.String("repl-id", "", "stable follower identity reported to the leader (defaults to the connection's remote address)")
+	maxLag := flag.Int("max-lag", 0, "follower readiness gate: /healthz serves 503 when the replication lag exceeds this many windows (or the leader is unreachable); 0 keeps /healthz always-200")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
@@ -159,6 +171,7 @@ func run() int {
 		ReplRetainWindows:   *replRetain,
 		ReplicaOf:           *replicaOf,
 		ReplID:              *replID,
+		MaxLagWindows:       *maxLag,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
@@ -201,7 +214,9 @@ func run() int {
 	}
 	fmt.Println()
 	// The replication role gets its own line: subprocess tests and ops
-	// scripts parse the bound -repl address (":0" in tests) from it.
+	// scripts parse the bound -repl address (":0" in tests) from it. A
+	// hot standby (-replica-of plus -repl) starts as a replica; PROMOTE
+	// binds the -repl address later.
 	if a := s.ReplAddr(); a != nil {
 		fmt.Printf("psid: replication leader on %s\n", a)
 	} else if *replicaOf != "" {

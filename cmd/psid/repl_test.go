@@ -152,6 +152,15 @@ func leaderSeq(t *testing.T, lc *service.Client) uint64 {
 // the replicated truth.
 func oracleChurn(t *testing.T, addr string, writers, idsPerWriter int, dur time.Duration) map[string]geom.Point {
 	t.Helper()
+	return oracleChurnIDs(t, addr, "w", writers, idsPerWriter, dur)
+}
+
+// oracleChurnIDs is oracleChurn over a caller-chosen ID prefix, so
+// churn phases on different timelines write disjoint namespaces and
+// their oracles merge exactly (a map union cannot represent "phase 2
+// deleted a phase-1 ID", so the phases must not share IDs).
+func oracleChurnIDs(t *testing.T, addr, prefix string, writers, idsPerWriter int, dur time.Duration) map[string]geom.Point {
+	t.Helper()
 	type wlog struct {
 		state map[string]geom.Point
 	}
@@ -171,7 +180,7 @@ func oracleChurn(t *testing.T, addr string, writers, idsPerWriter int, dur time.
 			defer c.Close()
 			st := logs[w].state
 			for i := 0; time.Now().Before(stopAt); i++ {
-				id := fmt.Sprintf("w%d-%d", w, i%idsPerWriter)
+				id := fmt.Sprintf("%s%d-%d", prefix, w, i%idsPerWriter)
 				if i%7 == 3 { // mix deletes through the churn
 					if err := c.Del(id); err != nil {
 						t.Errorf("writer %d: DEL %s: %v", w, id, err)
@@ -486,4 +495,158 @@ func TestChaosLeaderKill(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	assertState(t, fc, oracle2, "re-bootstrapped follower")
+}
+
+// TestChaosPromote is the failover convergence oracle across real
+// processes and two write timelines: churn against leader L (term 0),
+// quiesce, SIGKILL L, PROMOTE standby A in place (term 1), re-point
+// follower B, churn against A — then bring L back over its own WAL as
+// a stale term-0 leader, let a higher-term follower fence it, and fold
+// it into the new timeline. Every write acknowledged by either
+// timeline's leader must survive, byte for byte, on every node of the
+// final topology. The one deliberate exception is pinned explicitly: a
+// write acknowledged by the resurrected stale leader AFTER the new
+// timeline exists is on a dead branch — fencing exists to slam that
+// window shut, and the rejoin bootstrap discards it.
+func TestChaosPromote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real server processes")
+	}
+	// Reserve the standby's promotion port: PROMOTE binds the -repl
+	// address the standby was started with, and B must know it to
+	// re-point.
+	rsv, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aRepl := rsv.Addr().String()
+	rsv.Close()
+
+	ldir := t.TempDir()
+	leader, addr, replL := startLeaderPsid(t, ldir, "127.0.0.1:0")
+	// A is a hot standby: a follower that also carries the listen
+	// address its promotion will bind.
+	a, aAddr, _ := startPsid(t, t.TempDir(), "-replica-of", replL, "-repl-id", "promo-a", "-repl", aRepl)
+	defer sigtermWait(a)
+	b, bAddr := startFollowerPsid(t, t.TempDir(), replL, "promo-b")
+	defer sigtermWait(b)
+
+	// Timeline 0: churn, then quiesce and confirm both followers hold
+	// the full acked frontier. Promoting a caught-up follower is the
+	// no-lost-acks precondition (docs/replication.md, "Failover").
+	oracle0 := oracleChurnIDs(t, addr, "t0w", 3, 40, 500*time.Millisecond)
+	lc, err := service.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head0 := leaderSeq(t, lc)
+	lc.Close()
+	ac, err := service.Dial(aAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	bc, err := service.Dial(bAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	waitFollowerAt(t, ac, head0, 15*time.Second)
+	waitFollowerAt(t, bc, head0, 15*time.Second)
+
+	// Kill -9 the leader and promote A in place — no restart: the same
+	// process flips roles, seeds its repl listener from its recovered
+	// WAL, and accepts writes.
+	if err := leader.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	leader.Wait()
+	if err := ac.Promote(""); err != nil {
+		t.Fatalf("PROMOTE: %v", err)
+	}
+	if rs := replStats(t, ac); rs.Role != "leader" || rs.Term != 1 {
+		t.Fatalf("promoted standby reports %s/term %d, want leader/term 1", rs.Role, rs.Term)
+	}
+	if err := bc.Follow(aRepl); err != nil {
+		t.Fatalf("FOLLOW b -> a: %v", err)
+	}
+
+	// Timeline 1: churn against the promoted leader on a disjoint ID
+	// namespace; the union of both oracles is the exact final truth.
+	oracle1 := oracleChurnIDs(t, aAddr, "t1w", 3, 40, 500*time.Millisecond)
+	merged := make(map[string]geom.Point, len(oracle0)+len(oracle1))
+	for id, p := range oracle0 {
+		merged[id] = p
+	}
+	for id, p := range oracle1 {
+		merged[id] = p
+	}
+
+	// The old leader comes back over its own WAL, on its old port,
+	// still believing it leads at term 0 — and still accepting writes.
+	// This is the split-brain hazard PROMOTE cannot prevent on its own.
+	leader2, addr2, _ := startLeaderPsid(t, ldir, replL)
+	defer sigtermWait(leader2)
+	lc2, err := service.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc2.Close()
+	if err := lc2.Set("split-brain", []int64{13, 13}); err != nil {
+		t.Fatalf("stale leader refused a write before fencing: %v", err)
+	}
+
+	// Fencing: the first higher-term follower that dials the stale
+	// leader deposes it. B (term 1) does; L must flip read-only with
+	// the fenced error code, without a restart.
+	if err := bc.Follow(replL); err != nil {
+		t.Fatalf("FOLLOW b -> stale leader: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := lc2.Do(service.Request{Op: service.OpSet, ID: "post-fence", P: []int64{1, 1}})
+		if err != nil {
+			t.Fatalf("SET on the stale leader: %v", err)
+		}
+		if !resp.OK && resp.Code == service.CodeFenced {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stale leader never fenced itself: last response %+v", resp)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rs := replStats(t, lc2); rs.Role != "fenced" {
+		t.Fatalf("deposed leader reports role %q, want fenced", rs.Role)
+	}
+
+	// Fold everything onto timeline 1: B back to A, and the fenced
+	// ex-leader rejoins as a follower (its stale term and the dead
+	// split-brain branch force a clean bootstrap).
+	if err := bc.Follow(aRepl); err != nil {
+		t.Fatalf("FOLLOW b -> a (repair): %v", err)
+	}
+	if err := lc2.Follow(aRepl); err != nil {
+		t.Fatalf("FOLLOW ex-leader -> a: %v", err)
+	}
+	head1 := leaderSeq(t, ac)
+	waitFollowerAt(t, bc, head1, 15*time.Second)
+	waitFollowerAt(t, lc2, head1, 15*time.Second)
+
+	// The oracle: every write acknowledged by either timeline's leader
+	// is present on every node of the final topology, and nothing else
+	// — in particular the stale write acked after the promotion is
+	// gone, discarded with its dead timeline.
+	assertState(t, ac, merged, "promoted leader")
+	assertState(t, bc, merged, "re-pointed follower")
+	assertState(t, lc2, merged, "rejoined ex-leader")
+	if _, found, _ := lc2.Get("split-brain"); found {
+		t.Error("the stale timeline's post-promotion write leaked into the rejoined ex-leader")
+	}
+	for who, c := range map[string]*service.Client{"b": bc, "ex-leader": lc2} {
+		rs := replStats(t, c)
+		if rs.Role != "follower" || rs.Term != 1 {
+			t.Errorf("%s reports %s/term %d on the final topology, want follower/term 1", who, rs.Role, rs.Term)
+		}
+	}
 }

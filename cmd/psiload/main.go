@@ -24,6 +24,20 @@
 // moved. Kill -9 the server between the two and the pair proves the WAL
 // holds (docs/durability.md; the CI crash smoke is exactly this
 // sequence).
+//
+// -mix failover is the failover chaos harness: psiload spawns its own
+// psid cluster (-psid gives the binary; a leader plus hot standbys),
+// churns writes and reads against it, and performs -handovers violent
+// handovers — kill -9 the leader mid-churn, PROMOTE the next standby
+// in place, FOLLOW-re-point the survivors, restart the victim as a
+// standby of the new timeline. It reports the write- and
+// read-unavailability windows (first error to first success, p50/p99
+// across the handovers) and exits non-zero unless every acknowledged
+// write survives on the final leader at the expected term
+// (docs/replication.md, "Failover"):
+//
+//	go build -o /tmp/psid ./cmd/psid
+//	psiload -mix failover -psid /tmp/psid -handovers 5 -csv failover.csv
 package main
 
 import (
@@ -58,7 +72,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	csvPath := flag.String("csv", "", "also write the per-op report to this CSV file")
 	scrape := flag.String("scrape", "", "psid /metrics URL (e.g. http://127.0.0.1:7502/metrics); scraped before and after the run to report server-side deltas (flushes, netting ratio, per-shard op spread)")
-	mix := flag.String("mix", "", "workload preset: 'churn' = flush-heavy mover mix (90% SET, long hops) that keeps the server's index under continuous batch churn — the workload psibench -exp churn measures in-process; explicitly set flags override preset values")
+	mix := flag.String("mix", "", "workload preset: 'churn' = flush-heavy mover mix (90% SET, long hops) that keeps the server's index under continuous batch churn — the workload psibench -exp churn measures in-process (explicitly set flags override preset values); 'failover' = self-contained failover chaos run (needs -psid; ignores -addr, spawns its own cluster, -dur is the churn time per handover)")
+	psidBin := flag.String("psid", "", "path to the psid binary the failover mix spawns (required for -mix failover)")
+	handovers := flag.Int("handovers", 5, "failover mix: number of kill-and-promote rounds")
+	nodes := flag.Int("nodes", 3, "failover mix: cluster size (leader + standbys)")
 	followers := flag.String("followers", "", "comma-separated follower addresses (psid -replica-of): NEARBY/WITHIN queries round-robin across them while SETs stay on -addr (the leader) — the replicated read-scaling mix")
 	finalPath := flag.String("final", "", "after the run, write every object's last acknowledged position to this JSON file (the durability oracle's write side)")
 	verifyPath := flag.String("verify", "", "skip the load run; GET every object recorded in this JSON file (written by -final) and exit non-zero on any lost or moved acknowledged write")
@@ -87,6 +104,15 @@ func main() {
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		switch *mix {
+		case "failover":
+			// Each handover needs its own churn slice; the default -dur
+			// (5s) is a run length, not a round length, so the failover
+			// mix defaults to 1s rounds unless -dur was set explicitly.
+			roundDur := time.Duration(0)
+			if set["dur"] {
+				roundDur = *dur
+			}
+			os.Exit(failoverMix(*psidBin, *nodes, *handovers, roundDur, *csvPath))
 		case "churn":
 			if !set["set"] {
 				*setFrac = 0.9
@@ -174,6 +200,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psiload: %d requests returned errors\n", rep.Errors)
 		os.Exit(1)
 	}
+}
+
+// failoverMix runs the self-contained failover chaos harness and
+// returns the process exit code. The orchestration narrates to stderr;
+// the report goes to stdout (and csvPath, when set).
+func failoverMix(psidBin string, nodes, handovers int, roundDur time.Duration, csvPath string) int {
+	if psidBin == "" {
+		fmt.Fprintln(os.Stderr, "psiload: -mix failover needs -psid (path to the psid binary)")
+		return 2
+	}
+	base, err := os.MkdirTemp("", "psiload-failover-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psiload: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(base)
+	rep, err := service.RunFailover(service.FailoverOptions{
+		PsidBin:   psidBin,
+		BaseDir:   base,
+		Nodes:     nodes,
+		Handovers: handovers,
+		RoundDur:  roundDur,
+		ServerOut: os.Stderr,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "psiload: "+format+"\n", args...)
+		},
+	})
+	if rep != nil {
+		rep.Format(os.Stdout)
+		if csvPath != "" {
+			f, cerr := os.Create(csvPath)
+			if cerr == nil {
+				cerr = rep.WriteCSV(f)
+				if closeErr := f.Close(); cerr == nil {
+					cerr = closeErr
+				}
+			}
+			if cerr != nil {
+				fmt.Fprintf(os.Stderr, "psiload: writing CSV: %v\n", cerr)
+				return 1
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psiload: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 // splitAddrs parses the -followers list, tolerating empty segments and

@@ -212,6 +212,18 @@ type Collection[ID comparable] struct {
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+
+	// flusher tracks the background flush goroutine so it can be stopped
+	// and restarted at runtime (a replication role flip turns interval
+	// flushing off for a follower and back on at promotion). stop is the
+	// running flusher's private stop channel, nil while no flusher runs;
+	// closed latches once Close begins so a racing StartFlusher can never
+	// add to wg after Close's Wait.
+	flusher struct {
+		sync.Mutex
+		stop   chan struct{}
+		closed bool
+	}
 }
 
 // op is one logged mutation: Set (del=false) or Remove (del=true) of id.
@@ -308,21 +320,67 @@ func New[ID comparable](idx core.Index, opts Options) *Collection[ID] {
 	if c.opts.Obs != nil {
 		c.met = newCollMetrics(c.opts.Obs, c)
 	}
-	if c.opts.FlushInterval > 0 {
-		c.wg.Add(1)
-		go c.flushLoop()
-	}
+	c.StartFlusher(c.opts.FlushInterval)
 	return c
 }
 
-func (c *Collection[ID]) flushLoop() {
+// StartFlusher starts the background interval flusher at cadence d, if
+// none is running (d <= 0 is a no-op, matching Options.FlushInterval's
+// contract). A replication follower runs without one — windows apply
+// only on the leader's schedule — and promotion calls StartFlusher to
+// restore normal serving behavior in place.
+func (c *Collection[ID]) StartFlusher(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.flusher.Lock()
+	defer c.flusher.Unlock()
+	if c.flusher.closed || c.flusher.stop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	c.flusher.stop = stop
+	c.wg.Add(1)
+	go c.flushLoop(d, stop)
+}
+
+// StopFlusher stops the background flusher and waits for it to exit (no
+// tick-driven Flush is in flight on return). A no-op when none runs.
+func (c *Collection[ID]) StopFlusher() {
+	c.flusher.Lock()
+	stop := c.flusher.stop
+	c.flusher.stop = nil
+	c.flusher.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	c.wg.Wait()
+}
+
+// SetMaxBatch changes the pending-op count that triggers a synchronous
+// flush (n <= 0 restores DefaultMaxBatch). A follower effectively
+// disables count-triggered flushes with a huge bound — only replicated
+// windows may commit — and promotion restores the configured one.
+func (c *Collection[ID]) SetMaxBatch(n int) {
+	if n <= 0 {
+		n = DefaultMaxBatch
+	}
+	c.pend.Lock()
+	c.opts.MaxBatch = n
+	c.pend.Unlock()
+}
+
+func (c *Collection[ID]) flushLoop(d time.Duration, stop chan struct{}) {
 	defer c.wg.Done()
-	t := time.NewTicker(c.opts.FlushInterval)
+	t := time.NewTicker(d)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
 			c.Flush()
+		case <-stop:
+			return
 		case <-c.stop:
 			return
 		}
@@ -343,6 +401,9 @@ func (c *Collection[ID]) flushLoop() {
 // contract).
 func (c *Collection[ID]) Close() {
 	c.closeOnce.Do(func() {
+		c.flusher.Lock()
+		c.flusher.closed = true // no StartFlusher can add to wg past this point
+		c.flusher.Unlock()
 		close(c.stop)
 		// The ticker goroutine has exited before the final flush below:
 		// a tick can never flush after the inner index is closed.

@@ -21,12 +21,15 @@ import (
 // error that severs the connection instead of applying. Bootstrap
 // replaces the full state — its sequence may regress below AppliedSeq
 // (re-bootstrapping from a rebuilt leader), all the way to zero for an
-// empty leader. Slices passed in are reused by the Follower and must
-// not be retained.
+// empty leader — and must persist the leader term it carries: Term()
+// reports the highest term adopted so far, and the Follower refuses
+// sessions from leaders below it. Slices passed in are reused by the
+// Follower and must not be retained.
 type Applier[ID comparable] interface {
 	AppliedSeq() uint64
+	Term() uint64
 	ApplyWindow(seq uint64, ops []wal.Op[ID]) error
-	Bootstrap(seq uint64, entries []wal.Op[ID]) error
+	Bootstrap(seq, term uint64, entries []wal.Op[ID]) error
 }
 
 // FollowerOptions configures a Follower. Addr, Codec and the Applier
@@ -65,6 +68,7 @@ type FollowerOptions[ID comparable] struct {
 // the fields /healthz reports).
 type FollowerStatus struct {
 	Connected  bool   `json:"connected"`
+	Leader     string `json:"leader"`
 	LeaderSeq  uint64 `json:"leader_seq"`
 	AppliedSeq uint64 `json:"applied_seq"`
 	// LagWindows is the last leader head this follower heard (HELLO or
@@ -188,10 +192,32 @@ func (f *Follower[ID]) Stop() {
 	f.wg.Wait()
 }
 
+// SetAddr re-points the follower at a new leader address at runtime: the
+// current session (if any) is severed and the reconnect loop dials the
+// new address. The service's FOLLOW admin command uses it so surviving
+// followers join a promoted leader without a restart.
+func (f *Follower[ID]) SetAddr(addr string) {
+	f.mu.Lock()
+	f.opts.Addr = addr
+	conn := f.conn
+	f.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// addr returns the current leader address (mutable via SetAddr).
+func (f *Follower[ID]) addr() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opts.Addr
+}
+
 // Status snapshots the follower's replication position.
 func (f *Follower[ID]) Status() FollowerStatus {
 	st := FollowerStatus{
 		Connected:  f.connected.Load(),
+		Leader:     f.addr(),
 		LeaderSeq:  f.leaderSeq.Load(),
 		AppliedSeq: f.app.AppliedSeq(),
 		LagWindows: f.lag(),
@@ -229,7 +255,8 @@ func (f *Follower[ID]) run() {
 			return
 		default:
 		}
-		conn, err := net.DialTimeout("tcp", f.opts.Addr, f.opts.DialTimeout)
+		addr := f.addr()
+		conn, err := net.DialTimeout("tcp", addr, f.opts.DialTimeout)
 		if err != nil {
 			f.setErr(err)
 			if !f.sleep(backoff) {
@@ -259,7 +286,7 @@ func (f *Follower[ID]) run() {
 		}
 		if err != nil {
 			f.setErr(err)
-			f.logf("repl: session with %s failed: %v", f.opts.Addr, err)
+			f.logf("repl: session with %s failed: %v", addr, err)
 		}
 		// A session that survived a while earned a fresh backoff; a
 		// handshake that dies instantly keeps doubling.
@@ -286,14 +313,14 @@ func (f *Follower[ID]) sleep(d time.Duration) bool {
 // consumes the stream until an error (including Stop closing the conn).
 func (f *Follower[ID]) session(conn net.Conn) error {
 	rw := deadlineRW{c: conn, rt: f.opts.ReadTimeout, wt: DefaultWriteTimeout}
-	applied := f.app.AppliedSeq()
+	applied, term := f.app.AppliedSeq(), f.app.Term()
 	hs := append([]byte(nil), Magic...)
-	hs = appendFrame(hs, fmFollow, followPayload(nil, applied, f.opts.ID))
+	hs = appendFrame(hs, fmFollow, followPayload(nil, applied, term, f.opts.ID))
 	if _, err := rw.Write(hs); err != nil {
 		return err
 	}
 	f.sessions.Add(1)
-	f.logf("repl: following %s from seq %d", f.opts.Addr, applied)
+	f.logf("repl: following %s from seq %d (term %d)", conn.RemoteAddr(), applied, term)
 	// The bufio reader sits above the deadline wrapper, so every fill
 	// rearms the read deadline.
 	return f.stream(bufio.NewReaderSize(rw, 64<<10), rw)
@@ -322,9 +349,15 @@ func (f *Follower[ID]) stream(r io.Reader, w io.Writer) error {
 	if typ != fmHello {
 		return fmt.Errorf("repl: expected HELLO, got frame type %#x", typ)
 	}
-	head, err := parseSeq(payload)
+	head, sessionTerm, err := parseSeqTerm(payload)
 	if err != nil {
 		return err
+	}
+	// Fencing, follower side: a leader below the term this replica has
+	// already adopted is deposed — refusing its stream is what keeps a
+	// stale timeline from ever overwriting the promoted one.
+	if local := f.app.Term(); sessionTerm < local {
+		return fmt.Errorf("repl: leader term %d below local term %d: refusing stale leader", sessionTerm, local)
 	}
 	f.leaderSeq.Store(head)
 	f.connected.Store(true)
@@ -396,11 +429,11 @@ func (f *Follower[ID]) stream(r io.Reader, w io.Writer) error {
 				return fmt.Errorf("repl: snapshot tally mismatch: declared %d, ended with %d, received %d",
 					snap.count, count, len(snap.entries))
 			}
-			if err := f.app.Bootstrap(snap.seq, snap.entries); err != nil {
+			if err := f.app.Bootstrap(snap.seq, sessionTerm, snap.entries); err != nil {
 				return fmt.Errorf("repl: bootstrap: %w", err)
 			}
 			f.bootstraps.Add(1)
-			f.logf("repl: bootstrapped %d objects at seq %d", len(snap.entries), snap.seq)
+			f.logf("repl: bootstrapped %d objects at seq %d (term %d)", len(snap.entries), snap.seq, sessionTerm)
 			if err := f.ack(w, snap.seq); err != nil {
 				return err
 			}
@@ -409,7 +442,17 @@ func (f *Follower[ID]) stream(r io.Reader, w io.Writer) error {
 			if snap != nil {
 				return fmt.Errorf("repl: window frame inside a snapshot stream")
 			}
-			seq, ops, err := wal.DecodeWindowPayload(payload, f.opts.Codec, f.opsBuf[:0])
+			winTerm, win, err := splitWindowTerm(payload)
+			if err != nil {
+				return err
+			}
+			// Fencing, frame granularity: every window carries the term
+			// it was committed under, and a mismatch with the session's
+			// HELLO term severs the connection before anything applies.
+			if winTerm != sessionTerm {
+				return fmt.Errorf("repl: window term %d does not match session term %d: severing", winTerm, sessionTerm)
+			}
+			seq, ops, err := wal.DecodeWindowPayload(win, f.opts.Codec, f.opsBuf[:0])
 			f.opsBuf = ops
 			if err != nil {
 				return err

@@ -79,33 +79,78 @@ func parseSeq(p []byte) (uint64, error) {
 	return v, nil
 }
 
+// seqTermPayload encodes the two-uvarint payload of a HELLO frame: the
+// leader's head sequence and its term.
+func seqTermPayload(dst []byte, seq, term uint64) []byte {
+	dst = binary.AppendUvarint(dst[:0], seq)
+	return binary.AppendUvarint(dst, term)
+}
+
+// parseSeqTerm decodes a two-uvarint payload, rejecting trailing bytes.
+func parseSeqTerm(p []byte) (seq, term uint64, err error) {
+	seq, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("repl: truncated seq")
+	}
+	p = p[n:]
+	term, n = binary.Uvarint(p)
+	if n <= 0 || n != len(p) {
+		return 0, 0, fmt.Errorf("repl: malformed term payload (%d trailing bytes)", len(p)-n)
+	}
+	return seq, term, nil
+}
+
 // followPayload encodes the FOLLOW handshake: the follower's last
-// applied sequence and its stable identity.
-func followPayload(dst []byte, lastSeq uint64, id string) []byte {
+// applied sequence, the highest leader term it has adopted, and its
+// stable identity.
+func followPayload(dst []byte, lastSeq, term uint64, id string) []byte {
 	dst = binary.AppendUvarint(dst[:0], lastSeq)
+	dst = binary.AppendUvarint(dst, term)
 	dst = binary.AppendUvarint(dst, uint64(len(id)))
 	return append(dst, id...)
 }
 
 // parseFollow decodes a FOLLOW payload.
-func parseFollow(p []byte) (lastSeq uint64, id string, err error) {
+func parseFollow(p []byte) (lastSeq, term uint64, id string, err error) {
 	lastSeq, n := binary.Uvarint(p)
 	if n <= 0 {
-		return 0, "", fmt.Errorf("repl: truncated FOLLOW seq")
+		return 0, 0, "", fmt.Errorf("repl: truncated FOLLOW seq")
+	}
+	p = p[n:]
+	term, n = binary.Uvarint(p)
+	if n <= 0 {
+		return 0, 0, "", fmt.Errorf("repl: truncated FOLLOW term")
 	}
 	p = p[n:]
 	ln, n := binary.Uvarint(p)
 	if n <= 0 {
-		return 0, "", fmt.Errorf("repl: truncated FOLLOW id length")
+		return 0, 0, "", fmt.Errorf("repl: truncated FOLLOW id length")
 	}
 	p = p[n:]
 	if ln > MaxFollowerIDLen {
-		return 0, "", fmt.Errorf("repl: follower id of %d bytes exceeds the %d-byte limit", ln, MaxFollowerIDLen)
+		return 0, 0, "", fmt.Errorf("repl: follower id of %d bytes exceeds the %d-byte limit", ln, MaxFollowerIDLen)
 	}
 	if ln != uint64(len(p)) {
-		return 0, "", fmt.Errorf("repl: FOLLOW id length %d does not match payload", ln)
+		return 0, 0, "", fmt.Errorf("repl: FOLLOW id length %d does not match payload", ln)
 	}
-	return lastSeq, string(p), nil
+	return lastSeq, term, string(p), nil
+}
+
+// windowPayload prefixes one wal-encoded window payload with the
+// leader's term — the fencing bit a follower checks before applying.
+func windowPayload(dst []byte, term uint64, win []byte) []byte {
+	dst = binary.AppendUvarint(dst[:0], term)
+	return append(dst, win...)
+}
+
+// splitWindowTerm strips the term prefix off a WINDOW frame payload,
+// returning the term and the wal window payload that follows.
+func splitWindowTerm(p []byte) (term uint64, win []byte, err error) {
+	term, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("repl: truncated WINDOW term")
+	}
+	return term, p[n:], nil
 }
 
 // snapBeginPayload encodes SNAP_BEGIN: the sequence the snapshot covers

@@ -18,22 +18,22 @@ import (
 // so `go test` replays them as plain tests, mirroring FuzzWALReplay.
 func fuzzSeeds() map[string][]byte {
 	codec := wal.StringCodec{}
-	win := func(seq uint64, ops ...wal.Op[string]) []byte {
-		return wal.EncodeWindowPayload(nil, codec, seq, ops)
+	win := func(term, seq uint64, ops ...wal.Op[string]) []byte {
+		return windowPayload(nil, term, wal.EncodeWindowPayload(nil, codec, seq, ops))
 	}
 	valid := append([]byte(nil), Magic...)
-	valid = appendFrame(valid, fmHello, seqPayload(nil, 2))
-	valid = appendFrame(valid, fmWindow, win(1, wal.Op[string]{ID: "a", P: geom.Pt2(10, 20)}))
-	valid = appendFrame(valid, fmWindow, win(2, wal.Op[string]{ID: "a", Del: true}, wal.Op[string]{ID: "b", P: geom.Pt3(-1, 1<<40, 7)}))
+	valid = appendFrame(valid, fmHello, seqTermPayload(nil, 2, 1))
+	valid = appendFrame(valid, fmWindow, win(1, 1, wal.Op[string]{ID: "a", P: geom.Pt2(10, 20)}))
+	valid = appendFrame(valid, fmWindow, win(1, 2, wal.Op[string]{ID: "a", Del: true}, wal.Op[string]{ID: "b", P: geom.Pt3(-1, 1<<40, 7)}))
 	valid = appendFrame(valid, fmPing, seqPayload(nil, 2))
 
 	snap := append([]byte(nil), Magic...)
-	snap = appendFrame(snap, fmHello, seqPayload(nil, 9))
+	snap = appendFrame(snap, fmHello, seqTermPayload(nil, 9, 2))
 	snap = appendFrame(snap, fmSnapBegin, snapBeginPayload(nil, 9, 3))
-	snap = appendFrame(snap, fmSnapData, win(9, wal.Op[string]{ID: "x", P: geom.Pt2(1, 1)}, wal.Op[string]{ID: "y", P: geom.Pt2(2, 2)}))
-	snap = appendFrame(snap, fmSnapData, win(9, wal.Op[string]{ID: "z", P: geom.Pt2(3, 3)}))
+	snap = appendFrame(snap, fmSnapData, wal.EncodeWindowPayload(nil, codec, 9, []wal.Op[string]{{ID: "x", P: geom.Pt2(1, 1)}, {ID: "y", P: geom.Pt2(2, 2)}}))
+	snap = appendFrame(snap, fmSnapData, wal.EncodeWindowPayload(nil, codec, 9, []wal.Op[string]{{ID: "z", P: geom.Pt2(3, 3)}}))
 	snap = appendFrame(snap, fmSnapEnd, seqPayload(nil, 3))
-	snap = appendFrame(snap, fmWindow, win(10, wal.Op[string]{ID: "x", P: geom.Pt2(5, 5)}))
+	snap = appendFrame(snap, fmWindow, win(2, 10, wal.Op[string]{ID: "x", P: geom.Pt2(5, 5)}))
 
 	crcFlip := append([]byte(nil), valid...)
 	crcFlip[len(crcFlip)-1] ^= 0x40 // corrupt the last frame's payload under its CRC
@@ -42,37 +42,44 @@ func fuzzSeeds() map[string][]byte {
 	hugeLen = append(hugeLen, fmHello, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0)
 
 	regress := append([]byte(nil), valid[:len(valid)-frameHdrLen-3]...) // valid minus the ping
-	regress = appendFrame(regress, fmWindow, win(1, wal.Op[string]{ID: "dup", P: geom.Pt2(9, 9)}))
+	regress = appendFrame(regress, fmWindow, win(1, 1, wal.Op[string]{ID: "dup", P: geom.Pt2(9, 9)}))
 
 	gap := append([]byte(nil), Magic...)
-	gap = appendFrame(gap, fmHello, seqPayload(nil, 5))
-	gap = appendFrame(gap, fmWindow, win(1, wal.Op[string]{ID: "a", P: geom.Pt2(1, 1)}))
-	gap = appendFrame(gap, fmWindow, win(5, wal.Op[string]{ID: "b", P: geom.Pt2(2, 2)}))
+	gap = appendFrame(gap, fmHello, seqTermPayload(nil, 5, 0))
+	gap = appendFrame(gap, fmWindow, win(0, 1, wal.Op[string]{ID: "a", P: geom.Pt2(1, 1)}))
+	gap = appendFrame(gap, fmWindow, win(0, 5, wal.Op[string]{ID: "b", P: geom.Pt2(2, 2)}))
 
 	badType := append([]byte(nil), Magic...)
-	badType = appendFrame(badType, fmHello, seqPayload(nil, 0))
+	badType = appendFrame(badType, fmHello, seqTermPayload(nil, 0, 0))
 	badType = appendFrame(badType, 0x7f, []byte("junk"))
 
 	snapDel := append([]byte(nil), Magic...)
-	snapDel = appendFrame(snapDel, fmHello, seqPayload(nil, 1))
+	snapDel = appendFrame(snapDel, fmHello, seqTermPayload(nil, 1, 0))
 	snapDel = appendFrame(snapDel, fmSnapBegin, snapBeginPayload(nil, 1, 1))
-	snapDel = appendFrame(snapDel, fmSnapData, win(1, wal.Op[string]{ID: "gone", Del: true}))
+	snapDel = appendFrame(snapDel, fmSnapData, wal.EncodeWindowPayload(nil, codec, 1, []wal.Op[string]{{ID: "gone", Del: true}}))
 	snapDel = appendFrame(snapDel, fmSnapEnd, seqPayload(nil, 1))
 
+	// A window whose term disagrees with the session's HELLO term — the
+	// fencing check must sever before applying.
+	termMismatch := append([]byte(nil), Magic...)
+	termMismatch = appendFrame(termMismatch, fmHello, seqTermPayload(nil, 2, 5))
+	termMismatch = appendFrame(termMismatch, fmWindow, win(3, 1, wal.Op[string]{ID: "a", P: geom.Pt2(1, 1)}))
+
 	return map[string][]byte{
-		"seed-empty":       {},
-		"seed-bad-magic":   []byte("PSIWAL1\n"),
-		"seed-magic-only":  []byte(Magic),
-		"seed-valid-tail":  valid,
-		"seed-snapshot":    snap,
-		"seed-torn-frame":  valid[:len(valid)-3],
-		"seed-torn-header": valid[:len(Magic)+4],
-		"seed-crc-flip":    crcFlip,
-		"seed-huge-len":    hugeLen,
-		"seed-regression":  regress,
-		"seed-gap":         gap,
-		"seed-bad-type":    badType,
-		"seed-snap-del":    snapDel,
+		"seed-empty":         {},
+		"seed-bad-magic":     []byte("PSIWAL1\n"),
+		"seed-magic-only":    []byte(Magic),
+		"seed-valid-tail":    valid,
+		"seed-snapshot":      snap,
+		"seed-torn-frame":    valid[:len(valid)-3],
+		"seed-torn-header":   valid[:len(Magic)+4],
+		"seed-crc-flip":      crcFlip,
+		"seed-huge-len":      hugeLen,
+		"seed-regression":    regress,
+		"seed-gap":           gap,
+		"seed-bad-type":      badType,
+		"seed-snap-del":      snapDel,
+		"seed-term-mismatch": termMismatch,
 	}
 }
 

@@ -36,6 +36,17 @@ type LeaderOptions[ID comparable] struct {
 	// write to a silent or stalled follower; <= 0 selects the defaults.
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
+	// Term supplies the leader's current term for handshakes and window
+	// frames (the service wires it to the WAL's journaled term). Nil
+	// means term 0 — a pre-failover topology where fencing never fires.
+	Term func() uint64
+	// OnDeposed is called (once per offending connection, possibly
+	// concurrently) when a follower's FOLLOW frame carries a higher term
+	// than Term(): another node has been promoted, and this leader must
+	// fence itself. The callback runs on a connection goroutine and must
+	// not block or call back into the Leader (in particular not Close —
+	// Close waits for the very goroutine the callback runs on).
+	OnDeposed func(term uint64)
 	// Obs, when set, registers the leader's psi_repl_* series: aggregate
 	// connect/ship counters plus per-follower acked-seq/lag/connected
 	// gauges keyed by the identity each follower sends in its FOLLOW
@@ -238,6 +249,14 @@ func (l *Leader[ID]) logf(format string, args ...any) {
 	}
 }
 
+// term returns the leader's current term (0 without a supplier).
+func (l *Leader[ID]) term() uint64 {
+	if l.opts.Term == nil {
+		return 0
+	}
+	return l.opts.Term()
+}
+
 // entryFor returns (creating on first sight) the persistent entry for a
 // follower identity, registering its per-follower metric series once —
 // a reconnecting follower reuses its series instead of panicking the
@@ -295,13 +314,25 @@ func (l *Leader[ID]) handleConn(conn net.Conn) {
 	if err != nil || typ != fmFollow {
 		return
 	}
-	followerSeq, followerID, err := parseFollow(payload)
+	followerSeq, followerTerm, followerID, err := parseFollow(payload)
 	if err != nil {
 		l.logf("repl: %s: %v", conn.RemoteAddr(), err)
 		return
 	}
 	if followerID == "" {
 		followerID = conn.RemoteAddr().String()
+	}
+	leaderTerm := l.term()
+	if followerTerm > leaderTerm {
+		// Fencing, leader side: this follower has adopted a newer
+		// leader's term — we are deposed. Refuse the session (no HELLO,
+		// no stream) and report upward so the service fences writes.
+		l.logf("repl: follower %s (%s) carries term %d above ours (%d): deposed",
+			followerID, conn.RemoteAddr(), followerTerm, leaderTerm)
+		if l.opts.OnDeposed != nil {
+			l.opts.OnDeposed(followerTerm)
+		}
+		return
 	}
 	e := l.entryFor(followerID)
 	// Latest connection wins a contended identity: a follower that
@@ -331,11 +362,11 @@ func (l *Leader[ID]) handleConn(conn net.Conn) {
 	if _, err := rw.Write([]byte(Magic)); err != nil {
 		return
 	}
-	if err := writeFrame(rw, &scratch, fmHello, seqPayload(nil, hubLast)); err != nil {
+	if err := writeFrame(rw, &scratch, fmHello, seqTermPayload(nil, hubLast, leaderTerm)); err != nil {
 		return
 	}
-	l.logf("repl: follower %s (%s) connected at seq %d (leader at %d)",
-		followerID, conn.RemoteAddr(), followerSeq, hubLast)
+	l.logf("repl: follower %s (%s) connected at seq %d term %d (leader at %d term %d)",
+		followerID, conn.RemoteAddr(), followerSeq, followerTerm, hubLast, leaderTerm)
 
 	// Ack reader: the only frames a follower sends after FOLLOW are
 	// ACKs. Any read error (or protocol violation) severs the conn,
@@ -359,15 +390,20 @@ func (l *Leader[ID]) handleConn(conn net.Conn) {
 		}
 	}()
 
+	// A follower on an older term must bootstrap even when its seq looks
+	// resumable: across a term boundary the sequence spaces belong to
+	// different timelines, and the snapshot is also how the follower
+	// adopts (and persists) the new term.
 	cursor := followerSeq
-	if _, _, gap := l.opts.Hub.TailFrom(cursor, nil); gap {
+	_, _, gap := l.opts.Hub.TailFrom(cursor, nil)
+	if gap || followerTerm < leaderTerm {
 		cursor, err = l.sendSnapshot(rw, &scratch, followerID)
 		if err != nil {
 			l.logf("repl: follower %s: bootstrap failed: %v", followerID, err)
 			return
 		}
 	}
-	l.streamTail(rw, &scratch, cursor, ackDone)
+	l.streamTail(rw, &scratch, leaderTerm, cursor, ackDone)
 	conn.Close() // unblocks the ack reader before we wait on it
 	<-ackDone
 }
@@ -408,10 +444,11 @@ func (l *Leader[ID]) sendSnapshot(rw deadlineRW, scratch *[]byte, followerID str
 // the leader dies. A retention gap (the follower stalled long enough
 // for its next window to be evicted) severs the connection: the
 // follower reconnects and bootstraps from a snapshot.
-func (l *Leader[ID]) streamTail(rw deadlineRW, scratch *[]byte, cursor uint64, ackDone <-chan struct{}) {
+func (l *Leader[ID]) streamTail(rw deadlineRW, scratch *[]byte, term, cursor uint64, ackDone <-chan struct{}) {
 	ping := time.NewTicker(l.opts.PingInterval)
 	defer ping.Stop()
 	var frames [][]byte
+	var wbuf []byte // term-prefixed window payload, reused across frames
 	for {
 		pulse := l.opts.Hub.Pulse() // before TailFrom: no lost wakeup
 		var gap bool
@@ -421,11 +458,12 @@ func (l *Leader[ID]) streamTail(rw deadlineRW, scratch *[]byte, cursor uint64, a
 			return
 		}
 		for _, p := range frames {
-			if err := writeFrame(rw, scratch, fmWindow, p); err != nil {
+			wbuf = windowPayload(wbuf, term, p)
+			if err := writeFrame(rw, scratch, fmWindow, wbuf); err != nil {
 				return
 			}
 			l.windowsSent.Add(1)
-			l.bytesSent.Add(uint64(len(p)))
+			l.bytesSent.Add(uint64(len(wbuf)))
 		}
 		select {
 		case <-pulse:

@@ -12,19 +12,31 @@
 //
 //	type byte | u32le payloadLen | u32le crc32(payload) | payload
 //
-// A window frame's payload is byte-for-byte the wal.log record payload
-// (wal.EncodeWindowPayload), so there is one encoding and one fuzz
-// surface for state that crosses a trust boundary. The handshake is a
-// FOLLOW frame carrying the follower's last applied sequence (its WAL's
-// recovered LastSeq — resume is free) and a stable follower identity
-// for the leader's per-follower metric series. The leader answers
-// HELLO and then either streams the retained log tail or, when the
-// follower is behind the retention horizon (or ahead of a rebuilt
-// leader), a full snapshot (SNAP_BEGIN / SNAP_DATA* / SNAP_END)
-// captured under the Collection's flush lock, followed by the tail.
-// PING frames carry the leader's head sequence while idle; ACK frames
-// flow back with the follower's applied sequence and feed the leader's
-// lag gauges.
+// A window frame's payload is a uvarint leader term followed
+// byte-for-byte by the wal.log record payload (wal.EncodeWindowPayload),
+// so there is one window encoding and one fuzz surface for state that
+// crosses a trust boundary. The handshake is a FOLLOW frame carrying
+// the follower's last applied sequence (its WAL's recovered LastSeq —
+// resume is free), the highest leader term it has adopted, and a stable
+// follower identity for the leader's per-follower metric series. The
+// leader answers HELLO (its head sequence and its term) and then either
+// streams the retained log tail or, when the follower is behind the
+// retention horizon (or ahead of a rebuilt leader, or carries an older
+// term), a full snapshot (SNAP_BEGIN / SNAP_DATA* / SNAP_END) captured
+// under the Collection's flush lock, followed by the tail. PING frames
+// carry the leader's head sequence while idle; ACK frames flow back
+// with the follower's applied sequence and feed the leader's lag
+// gauges.
+//
+// Terms fence deposed leaders. The term is a monotonic promotion
+// counter journaled in the WAL snapshot: a follower refuses a HELLO
+// whose term is below its own, refuses any WINDOW frame whose term
+// differs from the session's HELLO term (severing the session without
+// applying), and adopts a higher term only through a snapshot bootstrap
+// — which persists it. A leader that receives a FOLLOW carrying a
+// higher term than its own has been deposed: it refuses the session and
+// reports the term upward (LeaderOptions.OnDeposed) so the service can
+// fence itself read-only.
 //
 // Consistency contract: followers are eventually consistent — a window
 // is visible on a follower only after the leader committed (and, per
@@ -40,18 +52,19 @@ import "time"
 
 // Magic opens both directions of a replication connection, versioning
 // the protocol: a follower pointed at a non-replication port (or an old
-// leader) fails loudly at byte 8 instead of misparsing frames.
-const Magic = "PSIREPL1"
+// leader speaking the term-less v1 protocol) fails loudly at byte 8
+// instead of misparsing frames.
+const Magic = "PSIREPL2"
 
 // Frame types. The zero value is invalid so a zeroed header never
 // passes for a frame.
 const (
-	fmFollow    byte = 1 + iota // f→l: uvarint lastSeq | uvarint idLen | id
-	fmHello                     // l→f: uvarint leaderSeq
+	fmFollow    byte = 1 + iota // f→l: uvarint lastSeq | uvarint term | uvarint idLen | id
+	fmHello                     // l→f: uvarint leaderSeq | uvarint leaderTerm
 	fmSnapBegin                 // l→f: uvarint snapSeq | uvarint entryCount
 	fmSnapData                  // l→f: window payload at snapSeq (a chunk of entries)
 	fmSnapEnd                   // l→f: uvarint entryCount (must match SNAP_BEGIN)
-	fmWindow                    // l→f: wal window payload (uvarint seq | uvarint nOps | ops)
+	fmWindow                    // l→f: uvarint term | wal window payload (uvarint seq | uvarint nOps | ops)
 	fmPing                      // l→f: uvarint leaderSeq (idle heartbeat, lag source)
 	fmAck                       // f→l: uvarint appliedSeq
 	fmMax                       // first invalid type

@@ -20,6 +20,7 @@ import (
 type modelApplier struct {
 	mu         sync.Mutex
 	seq        uint64
+	term       uint64
 	state      map[string]geom.Point
 	applies    int
 	bootstraps int
@@ -34,6 +35,12 @@ func (m *modelApplier) AppliedSeq() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.seq
+}
+
+func (m *modelApplier) Term() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.term
 }
 
 func (m *modelApplier) ApplyWindow(seq uint64, ops []wal.Op[string]) error {
@@ -55,7 +62,7 @@ func (m *modelApplier) ApplyWindow(seq uint64, ops []wal.Op[string]) error {
 	return nil
 }
 
-func (m *modelApplier) Bootstrap(seq uint64, entries []wal.Op[string]) error {
+func (m *modelApplier) Bootstrap(seq, term uint64, entries []wal.Op[string]) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.state = make(map[string]geom.Point, len(entries))
@@ -67,6 +74,7 @@ func (m *modelApplier) Bootstrap(seq uint64, entries []wal.Op[string]) error {
 		m.state[e.ID] = e.P
 	}
 	m.seq = seq
+	m.term = term
 	m.bootstraps++
 	return nil
 }
@@ -396,9 +404,9 @@ func TestStreamRejectsGap(t *testing.T) {
 	f := NewFollower(app, FollowerOptions[string]{Addr: "unused", Codec: wal.StringCodec{}})
 	var s []byte
 	s = append(s, Magic...)
-	s = appendFrame(s, fmHello, seqPayload(nil, 3))
-	s = appendFrame(s, fmWindow, wal.EncodeWindowPayload(nil, wal.StringCodec{}, 1, []wal.Op[string]{{ID: "a", P: geom.Pt2(1, 1)}}))
-	s = appendFrame(s, fmWindow, wal.EncodeWindowPayload(nil, wal.StringCodec{}, 3, []wal.Op[string]{{ID: "b", P: geom.Pt2(2, 2)}}))
+	s = appendFrame(s, fmHello, seqTermPayload(nil, 3, 0))
+	s = appendFrame(s, fmWindow, windowPayload(nil, 0, wal.EncodeWindowPayload(nil, wal.StringCodec{}, 1, []wal.Op[string]{{ID: "a", P: geom.Pt2(1, 1)}})))
+	s = appendFrame(s, fmWindow, windowPayload(nil, 0, wal.EncodeWindowPayload(nil, wal.StringCodec{}, 3, []wal.Op[string]{{ID: "b", P: geom.Pt2(2, 2)}})))
 	err := f.stream(bytes.NewReader(s), nopWriter{})
 	if err == nil {
 		t.Fatal("gapped stream consumed without error")
@@ -413,13 +421,13 @@ func TestStreamRejectsGap(t *testing.T) {
 func TestStreamSkipsDuplicates(t *testing.T) {
 	app := newModelApplier()
 	f := NewFollower(app, FollowerOptions[string]{Addr: "unused", Codec: wal.StringCodec{}})
-	w1 := wal.EncodeWindowPayload(nil, wal.StringCodec{}, 1, []wal.Op[string]{{ID: "a", P: geom.Pt2(1, 1)}})
+	w1 := windowPayload(nil, 0, wal.EncodeWindowPayload(nil, wal.StringCodec{}, 1, []wal.Op[string]{{ID: "a", P: geom.Pt2(1, 1)}}))
 	var s []byte
 	s = append(s, Magic...)
-	s = appendFrame(s, fmHello, seqPayload(nil, 1))
+	s = appendFrame(s, fmHello, seqTermPayload(nil, 1, 0))
 	s = appendFrame(s, fmWindow, w1)
 	s = appendFrame(s, fmWindow, w1) // regression: same seq again
-	s = appendFrame(s, fmWindow, wal.EncodeWindowPayload(nil, wal.StringCodec{}, 2, []wal.Op[string]{{ID: "b", P: geom.Pt2(2, 2)}}))
+	s = appendFrame(s, fmWindow, windowPayload(nil, 0, wal.EncodeWindowPayload(nil, wal.StringCodec{}, 2, []wal.Op[string]{{ID: "b", P: geom.Pt2(2, 2)}})))
 	if err := f.stream(bytes.NewReader(s), nopWriter{}); err != io.EOF {
 		t.Fatalf("stream exit: %v, want EOF", err)
 	}
@@ -428,6 +436,135 @@ func TestStreamSkipsDuplicates(t *testing.T) {
 	}
 	if _, state := app.snapshot(); len(state) != 2 {
 		t.Fatalf("state after duplicate skip: %v", state)
+	}
+}
+
+// TestStreamRejectsLowerTermWindow is the fencing contract at frame
+// granularity: a WINDOW frame whose term differs from the session's
+// HELLO term severs the session before anything applies.
+func TestStreamRejectsLowerTermWindow(t *testing.T) {
+	app := newModelApplier()
+	app.term = 5 // this replica has adopted term 5
+	f := NewFollower(app, FollowerOptions[string]{Addr: "unused", Codec: wal.StringCodec{}})
+	var s []byte
+	s = append(s, Magic...)
+	s = appendFrame(s, fmHello, seqTermPayload(nil, 0, 5))
+	s = appendFrame(s, fmWindow, windowPayload(nil, 3, // a stale timeline's window
+		wal.EncodeWindowPayload(nil, wal.StringCodec{}, 1, []wal.Op[string]{{ID: "a", P: geom.Pt2(1, 1)}})))
+	err := f.stream(bytes.NewReader(s), nopWriter{})
+	if err == nil {
+		t.Fatal("lower-term window consumed without error")
+	}
+	if app.applies != 0 {
+		t.Fatalf("lower-term window applied (%d applies)", app.applies)
+	}
+}
+
+// TestStreamRejectsStaleLeaderHello: a session whose HELLO carries a
+// term below the replica's adopted term is refused outright.
+func TestStreamRejectsStaleLeaderHello(t *testing.T) {
+	app := newModelApplier()
+	app.term = 5
+	f := NewFollower(app, FollowerOptions[string]{Addr: "unused", Codec: wal.StringCodec{}})
+	var s []byte
+	s = append(s, Magic...)
+	s = appendFrame(s, fmHello, seqTermPayload(nil, 9, 4))
+	s = appendFrame(s, fmWindow, windowPayload(nil, 4,
+		wal.EncodeWindowPayload(nil, wal.StringCodec{}, 1, []wal.Op[string]{{ID: "a", P: geom.Pt2(1, 1)}})))
+	err := f.stream(bytes.NewReader(s), nopWriter{})
+	if err == nil {
+		t.Fatal("stale-term HELLO accepted")
+	}
+	if app.applies != 0 || f.connected.Load() {
+		t.Fatalf("stale leader session left state: %d applies, connected %t", app.applies, f.connected.Load())
+	}
+}
+
+// TestLeaderDeposedByHigherTermFollow: a FOLLOW handshake carrying a
+// higher term than the leader's refuses the session and fires
+// OnDeposed — the signal the service uses to fence itself.
+func TestLeaderDeposedByHigherTermFollow(t *testing.T) {
+	lm := newLeaderModel(0, 0)
+	deposed := make(chan uint64, 1)
+	l := NewLeader(LeaderOptions[string]{
+		Codec:     wal.StringCodec{},
+		Hub:       lm.hub,
+		Snapshot:  lm.snapshot,
+		Term:      func() uint64 { return 1 },
+		OnDeposed: func(term uint64) { deposed <- term },
+		Logf:      t.Logf,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Serve(ln)
+	t.Cleanup(l.Close)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hs := append([]byte(nil), Magic...)
+	hs = appendFrame(hs, fmFollow, followPayload(nil, 0, 2, "newer"))
+	if _, err := conn.Write(hs); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case term := <-deposed:
+		if term != 2 {
+			t.Fatalf("OnDeposed(%d), want 2", term)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDeposed never fired")
+	}
+	// The refused session gets no HELLO: the conn reaches EOF without a
+	// leader magic.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if n, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("deposed leader wrote %d bytes (err %v), want bare EOF", n, err)
+	}
+}
+
+// TestCrossTermResumeForcesBootstrap: a follower whose seq is resumable
+// but whose term is older must be re-bootstrapped — cross-term
+// incremental resume would mix timelines.
+func TestCrossTermResumeForcesBootstrap(t *testing.T) {
+	lm := newLeaderModel(0, 0)
+	deposed := make(chan uint64, 1)
+	l := NewLeader(LeaderOptions[string]{
+		Codec:        wal.StringCodec{},
+		Hub:          lm.hub,
+		Snapshot:     lm.snapshot,
+		Term:         func() uint64 { return 3 },
+		OnDeposed:    func(term uint64) { deposed <- term },
+		PingInterval: 20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Serve(ln)
+	t.Cleanup(l.Close)
+
+	for i := 0; i < 5; i++ {
+		lm.commit([]wal.Op[string]{{ID: fmt.Sprintf("obj-%d", i), P: geom.Pt2(int64(i), 0)}})
+	}
+	app := newModelApplier()
+	app.seq = 3 // resumable seq, but from term 1's timeline
+	app.term = 1
+	startTestFollower(t, ln.Addr().String(), "old-term", app)
+	waitFor(t, "cross-term bootstrap", func() bool { _, boots := app.counts(); return boots == 1 })
+	checkConverged(t, lm, app)
+	if got := app.Term(); got != 3 {
+		t.Fatalf("follower adopted term %d, want 3", got)
+	}
+	select {
+	case term := <-deposed:
+		t.Fatalf("older-term follower deposed the leader (term %d)", term)
+	default:
 	}
 }
 

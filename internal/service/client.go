@@ -96,6 +96,7 @@ func (c *Client) Do(req Request) (Response, error) {
 		// cleared here, while present array fields decode into the
 		// recycled backing arrays.
 		c.resp.OK, c.resp.Code, c.resp.Err = false, "", ""
+		c.resp.Leader = ""
 		c.resp.Found, c.resp.Applied, c.resp.Stats = false, 0, nil
 		c.resp.P = c.resp.P[:0]
 		c.resp.Hits = c.resp.Hits[:0]
@@ -184,4 +185,28 @@ func (c *Client) Flush() (int, error) {
 		return 0, err
 	}
 	return resp.Applied, nil
+}
+
+// Promote flips a follower server into the replication leader (see
+// docs/replication.md, "Failover"). addr optionally overrides the
+// listen address the server was started with ("" uses its -repl flag).
+// On return the server accepts writes.
+func (c *Client) Promote(addr string) error {
+	_, err := c.do(Request{Op: OpPromote, Addr: addr})
+	return err
+}
+
+// Demote fences a leader server: it refuses writes with CodeFenced
+// until re-pointed with Follow. addr, when non-empty, is recorded as
+// the leader hint returned alongside fenced errors.
+func (c *Client) Demote(addr string) error {
+	_, err := c.do(Request{Op: OpDemote, Addr: addr})
+	return err
+}
+
+// Follow re-points a follower (or fenced ex-leader) server at the
+// leader's replication listener at addr.
+func (c *Client) Follow(addr string) error {
+	_, err := c.do(Request{Op: OpFollow, Addr: addr})
+	return err
 }

@@ -30,6 +30,7 @@ type result struct {
 	ok         bool
 	code       string
 	err        string
+	leader     string // leader hint on readonly/fenced errors
 	found      bool
 	p          geom.Point
 	hasP       bool
@@ -57,7 +58,7 @@ func errResultf(code, format string, args ...any) result {
 // response converts a result to the public wire struct (the legacy
 // json.Marshal path and the tests use it; the hot path never does).
 func (r *result) response(dims int) Response {
-	resp := Response{OK: r.ok, Code: r.code, Err: r.err, Found: r.found, Stats: r.stats}
+	resp := Response{OK: r.ok, Code: r.code, Err: r.err, Leader: r.leader, Found: r.found, Stats: r.stats}
 	if r.hasSlow {
 		resp.Slow = r.slow
 	}
@@ -92,6 +93,10 @@ func appendResult(buf []byte, r *result, dims int) []byte {
 	if r.err != "" {
 		buf = append(buf, `,"err":`...)
 		buf = appendJSONString(buf, r.err)
+	}
+	if r.leader != "" {
+		buf = append(buf, `,"leader":`...)
+		buf = appendJSONString(buf, r.leader)
 	}
 	if r.found {
 		buf = append(buf, `,"found":true`...)
@@ -157,6 +162,10 @@ func appendRequest(buf []byte, req *Request) []byte {
 	if req.ID != "" {
 		buf = append(buf, `,"id":`...)
 		buf = appendJSONString(buf, req.ID)
+	}
+	if req.Addr != "" {
+		buf = append(buf, `,"addr":`...)
+		buf = appendJSONString(buf, req.Addr)
 	}
 	if len(req.P) > 0 {
 		buf = append(buf, `,"p":`...)

@@ -32,6 +32,8 @@ func encodeCases() []result {
 		}},
 		{ok: true, hasApplied: true, applied: 0},
 		{ok: true, hasApplied: true, applied: 123},
+		{ok: false, code: CodeReadonly, err: "SET: read-only replica", leader: "10.0.0.7:7601"},
+		{ok: false, code: CodeFenced, err: "SET: writes are fenced", leader: ""},
 	}
 }
 
@@ -88,6 +90,9 @@ func TestAppendRequestMatchesJSON(t *testing.T) {
 		{Op: OpWithin, Lo: []int64{0, 0}, Hi: []int64{9, 9}},
 		{Op: OpStats},
 		{Op: OpFlush},
+		{Op: OpPromote},
+		{Op: OpPromote, Addr: "127.0.0.1:7601"},
+		{Op: OpFollow, Addr: `host"with\quotes:1`},
 	}
 	for i, req := range cases {
 		got := appendRequest(nil, &req)

@@ -16,10 +16,10 @@ import (
 
 // numOps is the number of protocol commands (metrics are a fixed array
 // indexed by opIndex, so recording never allocates or locks).
-const numOps = 8
+const numOps = 11
 
 // opOrder is the canonical command order for stats rendering.
-var opOrder = [numOps]string{OpSet, OpDel, OpGet, OpNearby, OpWithin, OpStats, OpFlush, OpSlowlog}
+var opOrder = [numOps]string{OpSet, OpDel, OpGet, OpNearby, OpWithin, OpStats, OpFlush, OpSlowlog, OpPromote, OpDemote, OpFollow}
 
 // opIndex maps a canonical op name to its metrics slot (-1 if unknown).
 func opIndex(op string) int {
@@ -109,4 +109,21 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 			"Commands slower than the -slowlog threshold.",
 			s.slow.Total)
 	}
+	// Failover series are registered by the Server, not by the
+	// Leader/Follower incarnations: PROMOTE and FOLLOW replace those at
+	// runtime, and a registry panics on duplicate registration.
+	reg.GaugeFunc("psi_repl_role",
+		"Replication role: 0 none, 1 leader, 2 follower, 3 fenced.",
+		func() float64 { return float64(s.role.Load()) })
+	reg.GaugeFunc("psi_repl_term",
+		"Leader term this server has adopted (journaled in its WAL snapshot).",
+		func() float64 {
+			if s.wal == nil {
+				return 0
+			}
+			return float64(s.wal.Term())
+		})
+	reg.CounterFunc("psi_repl_role_changes_total",
+		"Role transitions this process (promotions, demotions, deposals, re-points).",
+		s.roleChanges.Load)
 }

@@ -1,6 +1,7 @@
 // Package service implements psid, the network serving layer over
 // psi.Collection: a concurrent geospatial server that exposes the full
-// moving-object API — SET/DEL/GET/NEARBY/WITHIN/STATS/FLUSH/SLOWLOG —
+// moving-object API — SET/DEL/GET/NEARBY/WITHIN/STATS/FLUSH/SLOWLOG,
+// plus the PROMOTE/DEMOTE/FOLLOW failover admin commands —
 // over a newline-delimited JSON command protocol on TCP, plus HTTP
 // probe endpoints for dashboards: /healthz, /stats, /metrics
 // (Prometheus text exposition), /debug/flushtrace and /debug/slowlog
@@ -50,6 +51,23 @@ const (
 	// (requires the server to run with a slow-query threshold; see
 	// Options.SlowLog). Errors with bad_request when the log is disabled.
 	OpSlowlog = "SLOWLOG" // {"op":"SLOWLOG"}                     → {"ok":true,"slow":[...]}
+	// OpPromote flips a running follower into the replication leader, in
+	// place: the session against the old leader stops, the leader term is
+	// bumped and journaled, a replication listener starts (on "addr", or
+	// the -repl address the process was started with), and client writes
+	// are accepted from the next command on. docs/replication.md
+	// ("Failover") has the full contract.
+	OpPromote = "PROMOTE" // {"op":"PROMOTE","addr":":7601"}       → {"ok":true}
+	// OpDemote fences a running leader: writes are refused with "fenced"
+	// from the next command on (the replication listener stays up so
+	// still-attached followers drain). "addr", when present, is recorded
+	// as the new leader hint returned with fenced errors.
+	OpDemote = "DEMOTE" // {"op":"DEMOTE","addr":"host:port"}    → {"ok":true}
+	// OpFollow re-points a follower at a new leader address at runtime
+	// (severing the current session), or converts a fenced ex-leader into
+	// a follower of the promoted node. Errors on an active leader —
+	// DEMOTE it first.
+	OpFollow = "FOLLOW" // {"op":"FOLLOW","addr":"host:port"}    → {"ok":true}
 )
 
 // Error codes carried in Response.Code when OK is false.
@@ -73,11 +91,19 @@ const (
 	// should fail over rather than retry.
 	CodeUnavailable = "unavailable"
 	// CodeReadonly means the command mutates state but this server is a
-	// read-only replica (started with -replica-of): the replication
-	// stream from the leader is its only writer. Send SET/DEL/FLUSH to
-	// the leader; GET/NEARBY/WITHIN are served here from the replicated
-	// state. The connection stays usable.
+	// read-only replica (started with -replica-of, or re-pointed with
+	// FOLLOW): the replication stream from the leader is its only writer.
+	// Send SET/DEL/FLUSH to the leader — the response's "leader" field
+	// carries its address when known; GET/NEARBY/WITHIN are served here
+	// from the replicated state. The connection stays usable.
 	CodeReadonly = "readonly"
+	// CodeFenced means this server was the leader but has been deposed: a
+	// higher leader term exists (it saw a follower carrying one, or an
+	// operator sent DEMOTE), so accepting a write here could fork the
+	// replicated timeline. Writes are refused until an operator re-points
+	// it with FOLLOW; the "leader" field carries the new leader's address
+	// when known. Reads still serve the (frozen) local state.
+	CodeFenced = "fenced"
 )
 
 // Request is one command line. Unused fields are omitted per op; see the
@@ -85,6 +111,10 @@ const (
 type Request struct {
 	Op string `json:"op"`
 	ID string `json:"id,omitempty"`
+	// Addr is the host:port argument of PROMOTE (optional listen
+	// override), DEMOTE (optional new-leader hint) and FOLLOW (required:
+	// the leader to dial).
+	Addr string `json:"addr,omitempty"`
 	// P is a point: exactly Dims coordinates (2 or 3, fixed per server).
 	P []int64 `json:"p,omitempty"`
 	// Lo/Hi are the inclusive corners of a WITHIN box, Dims coordinates
@@ -105,12 +135,17 @@ type Hit struct {
 // {"ok":true} with "found" omitted, and a FLUSH that applied nothing
 // omits "applied".
 type Response struct {
-	OK    bool    `json:"ok"`
-	Code  string  `json:"code,omitempty"` // error code, set when !OK
-	Err   string  `json:"err,omitempty"`  // human-readable error, set when !OK
-	Found bool    `json:"found,omitempty"`
-	P     []int64 `json:"p,omitempty"`
-	Hits  []Hit   `json:"hits,omitempty"`
+	OK   bool   `json:"ok"`
+	Code string `json:"code,omitempty"` // error code, set when !OK
+	Err  string `json:"err,omitempty"`  // human-readable error, set when !OK
+	// Leader is the last-known leader address, set on readonly and fenced
+	// errors so a client can redirect its writes without a topology
+	// lookup. Empty when the server has no hint (a deposed leader that
+	// only saw a higher term, never an address).
+	Leader string  `json:"leader,omitempty"`
+	Found  bool    `json:"found,omitempty"`
+	P      []int64 `json:"p,omitempty"`
+	Hits   []Hit   `json:"hits,omitempty"`
 	// Applied is the number of index mutations (inserts + deletes) a
 	// FLUSH committed.
 	Applied int           `json:"applied,omitempty"`

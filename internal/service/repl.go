@@ -2,11 +2,13 @@ package service
 
 // Replication wiring: how a Server becomes a leader (Options.ReplListen)
 // or a read-only follower (Options.ReplicaOf) of the internal/repl
-// log-shipping protocol. Both roles require the WAL — replication ships
-// exactly the committed flush windows the WAL journals, in the same
-// encoding, and a follower's resume position after a restart IS its
-// recovered WAL sequence. docs/replication.md has the full contract;
-// cmd/psid surfaces the knobs as -repl / -replica-of / -repl-id.
+// log-shipping protocol, and how those roles change at runtime — the
+// PROMOTE/DEMOTE/FOLLOW admin commands and the term-fencing contract
+// around them. Both roles require the WAL — replication ships exactly
+// the committed flush windows the WAL journals, in the same encoding,
+// and a follower's resume position after a restart IS its recovered WAL
+// sequence. docs/replication.md has the full contract; cmd/psid
+// surfaces the knobs as -repl / -replica-of / -repl-id.
 //
 // Leader: the journal hook gains one step — after the WAL append, the
 // committed window is published to the repl.Hub (still under the flush
@@ -21,6 +23,23 @@ package service
 // (wal.Log.AppendWindowAt). Client SET/DEL/FLUSH are refused with
 // CodeReadonly; GET/NEARBY/WITHIN serve the replicated state through
 // the usual epoch-pinned snapshot path.
+//
+// Roles are a tiny state machine, driven by operators (and tested as a
+// table in repl_failover_test.go):
+//
+//	none ───────────────────────── fixed for the process's life
+//	follower ──PROMOTE──▶ leader         (term bumps, journaled)
+//	follower ──FOLLOW────▶ follower      (re-pointed at a new leader)
+//	leader ──DEMOTE──────▶ fenced        (operator-initiated)
+//	leader ──(deposed)───▶ fenced        (saw a higher term on the wire)
+//	fenced ──FOLLOW──────▶ follower      (rejoins the promoted timeline)
+//
+// Fencing: every role transition that creates a new writable timeline
+// (PROMOTE) bumps the monotonic leader term, which rides in every
+// replication handshake and window frame. A deposed leader refuses
+// writes with CodeFenced — accepting one could fork acknowledged
+// history — and followers sever streams from lower-term leaders before
+// applying anything (internal/repl has the wire-level checks).
 
 import (
 	"errors"
@@ -33,94 +52,336 @@ import (
 	"repro/internal/wal"
 )
 
-// validateRepl rejects contradictory replication configurations before
-// any resource is opened.
-func (o Options) validateRepl() error {
-	if o.ReplListen != "" && o.ReplicaOf != "" {
-		return errors.New("psid: ReplListen and ReplicaOf are mutually exclusive (a server is a leader or a follower, not both)")
+// replRole is the server's replication role, stored in Server.role.
+// The numeric values are the psi_repl_role gauge's encoding and must
+// not be reordered.
+type replRole int32
+
+const (
+	// roleNone: no replication configured; reads and writes serve
+	// locally and the role never changes.
+	roleNone replRole = iota
+	// roleLeader: accepts writes, journals them, fans committed windows
+	// out to followers.
+	roleLeader
+	// roleFollower: read-only; the replication applier is the only
+	// writer.
+	roleFollower
+	// roleFenced: an ex-leader deposed by a higher term (or DEMOTE).
+	// Reads serve the frozen state; writes are refused with CodeFenced
+	// until FOLLOW rejoins it to the promoted timeline.
+	roleFenced
+)
+
+func (r replRole) String() string {
+	switch r {
+	case roleLeader:
+		return "leader"
+	case roleFollower:
+		return "follower"
+	case roleFenced:
+		return "fenced"
 	}
+	return "none"
+}
+
+// validateRepl rejects contradictory replication configurations before
+// any resource is opened. ReplListen plus ReplicaOf is NOT one of them:
+// that combination is a hot standby — start as a follower, with the
+// listen address PROMOTE will bind.
+func (o Options) validateRepl() error {
 	if (o.ReplListen != "" || o.ReplicaOf != "") && o.WALDir == "" {
 		return errors.New("psid: replication requires a write-ahead log (set WALDir; replication ships and resumes from journaled windows)")
 	}
 	return nil
 }
 
-// readonly reports whether this server refuses client writes (it is a
-// follower; the replication stream is the only writer).
-func (s *Server) readonly() bool { return s.opts.ReplicaOf != "" }
-
-// rejectReadonly is the dispatch guard for SET/DEL/FLUSH on a follower.
-func rejectReadonly(op string) result {
-	return errResultf(CodeReadonly, "%s: this server is a read-only replica; write to the leader", op)
+// initialRole derives the boot-time role from the options (NewDurable
+// stores it before any goroutine runs).
+func (o Options) initialRole() replRole {
+	switch {
+	case o.ReplicaOf != "":
+		return roleFollower
+	case o.ReplListen != "":
+		return roleLeader
+	}
+	return roleNone
 }
 
-// journalHook builds the role-appropriate durability hook installed on
-// the Collection (see openWAL for the install-after-replay ordering).
+// roleIs reports whether the server currently holds r.
+func (s *Server) roleIs(r replRole) bool { return replRole(s.role.Load()) == r }
+
+// leaderHintAddr returns the last-known leader address ("" when there
+// is no hint — a deposed leader that only ever saw a term, never an
+// address).
+func (s *Server) leaderHintAddr() string {
+	if v := s.leaderHint.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// rejectWrite is the dispatch guard for SET/DEL/FLUSH: nil when this
+// server accepts writes, else the readonly/fenced error (carrying the
+// leader hint) to return instead.
+func (s *Server) rejectWrite(op string) *result {
+	switch replRole(s.role.Load()) {
+	case roleFollower:
+		r := errResultf(CodeReadonly, "%s: this server is a read-only replica; write to the leader", op)
+		r.leader = s.leaderHintAddr()
+		return &r
+	case roleFenced:
+		r := errResultf(CodeFenced, "%s: this server was deposed by a higher-term leader; writes are fenced (FOLLOW the new leader to rejoin)", op)
+		r.leader = s.leaderHintAddr()
+		return &r
+	}
+	return nil
+}
+
+// journalHook builds the durability hook installed on the Collection
+// (see openWAL for the install-after-replay ordering). One closure
+// serves every role — PROMOTE and FOLLOW flip the role at runtime, and
+// the hook re-reads it per flush: a follower journals under the
+// leader's sequence, a leader journals then fans out, everything else
+// just journals. The hub read is safe lockless: it is written before
+// the leader role is stored, and only read after the role is observed.
 func (s *Server) journalHook(l *wal.Log[string]) func(ops []wal.Op[string]) error {
-	switch {
-	case s.hub != nil: // leader: journal, then fan out
-		return func(ops []wal.Op[string]) error {
-			if err := l.AppendWindow(ops); err != nil {
-				s.walFail(err)
-				return err
-			}
-			// Still under the flush lock: the hub head advances in lockstep
-			// with the WAL, so a concurrent Checkpoint sees both or neither.
-			s.hub.Publish(l.LastSeq(), ops)
+	return func(ops []wal.Op[string]) error {
+		// replSkipJournal/replPendingSeq are plain fields: the hook runs
+		// synchronously inside the flush that the replication applier
+		// (the only writer while a follower) itself invoked.
+		if s.replSkipJournal {
 			return nil
 		}
-	case s.readonly(): // follower: journal under the leader's sequence
-		return func(ops []wal.Op[string]) error {
-			// replSkipJournal/replPendingSeq are plain fields: the hook runs
-			// synchronously inside the flush that the replication applier
-			// (the only writer) itself invoked.
-			if s.replSkipJournal {
-				return nil
-			}
+		if s.roleIs(roleFollower) {
 			if err := l.AppendWindowAt(s.replPendingSeq, ops); err != nil {
 				s.walFail(err)
 				return err
 			}
 			return nil
 		}
-	default:
-		return func(ops []wal.Op[string]) error {
-			if err := l.AppendWindow(ops); err != nil {
-				s.walFail(err)
-				return err
-			}
-			return nil
+		if err := l.AppendWindow(ops); err != nil {
+			s.walFail(err)
+			return err
 		}
+		if s.roleIs(roleLeader) {
+			// Still under the flush lock: the hub head advances in lockstep
+			// with the WAL, so a concurrent Checkpoint sees both or neither.
+			s.hub.Publish(l.LastSeq(), ops)
+		}
+		return nil
 	}
 }
 
-// startRepl binds the replication role during Start, after openWAL has
-// recovered state: the leader listener starts accepting followers, or
-// the follower starts dialing its leader.
+// newHub builds the leader's catch-up ring with its head at the WAL's
+// recovered sequence, so a follower already there resumes with an empty
+// tail instead of a snapshot.
+func (s *Server) newHub() *repl.Hub[string] {
+	return repl.NewHub[string](wal.StringCodec{}, s.wal.LastSeq(),
+		s.opts.ReplRetainWindows, s.opts.ReplRetainBytes)
+}
+
+// newLeader builds the leader endpoint over the current hub. reg is the
+// metric registry for the first incarnation only: a promote-created
+// leader passes nil, because the registry panics on duplicate series
+// and the boot-time incarnation (if any) already owns them.
+func (s *Server) newLeader(withObs bool) *repl.Leader[string] {
+	opts := repl.LeaderOptions[string]{
+		Codec:     wal.StringCodec{},
+		Hub:       s.hub,
+		Snapshot:  s.replSnapshot,
+		Term:      s.wal.Term,
+		OnDeposed: s.deposed,
+		Logf:      s.opts.Logf,
+	}
+	if withObs {
+		opts.Obs = s.reg
+	}
+	return repl.NewLeader(opts)
+}
+
+// newFollower builds the follower session loop against addr (same Obs
+// rule as newLeader).
+func (s *Server) newFollower(addr string, withObs bool) *repl.Follower[string] {
+	opts := repl.FollowerOptions[string]{
+		Addr:  addr,
+		ID:    s.opts.ReplID,
+		Codec: wal.StringCodec{},
+		Logf:  s.opts.Logf,
+	}
+	if withObs {
+		opts.Obs = s.reg
+	}
+	return repl.NewFollower[string](replApplier{s}, opts)
+}
+
+// startRepl binds the boot-time replication role during Start, after
+// openWAL has recovered state: the leader listener starts accepting
+// followers, or the follower starts dialing its leader.
 func (s *Server) startRepl(logf func(format string, args ...any)) error {
-	switch {
-	case s.opts.ReplListen != "":
+	switch replRole(s.role.Load()) {
+	case roleLeader:
 		ln, err := net.Listen("tcp", s.opts.ReplListen)
 		if err != nil {
 			return fmt.Errorf("psid: listen repl %s: %w", s.opts.ReplListen, err)
 		}
-		s.replLead = repl.NewLeader(repl.LeaderOptions[string]{
-			Codec:    wal.StringCodec{},
-			Hub:      s.hub,
-			Snapshot: s.replSnapshot,
-			Obs:      s.reg,
-			Logf:     logf,
-		})
+		s.replLead = s.newLeader(true)
 		s.replLead.Serve(ln)
-	case s.readonly():
-		s.replFoll = repl.NewFollower[string](replApplier{s}, repl.FollowerOptions[string]{
-			Addr:  s.opts.ReplicaOf,
-			ID:    s.opts.ReplID,
-			Codec: wal.StringCodec{},
-			Obs:   s.reg,
-			Logf:  logf,
-		})
+	case roleFollower:
+		s.replFoll = s.newFollower(s.opts.ReplicaOf, true)
 		s.replFoll.Start()
+	}
+	return nil
+}
+
+// Promote flips a running follower into the replication leader, in
+// place: stop the session against the old leader, bump and journal the
+// leader term (the WAL snapshot is the durability of the promotion),
+// seed the catch-up hub from the recovered sequence, start accepting
+// followers on addr (or Options.ReplListen when addr is empty), and
+// re-arm the Collection's leader-style flush triggers. On return the
+// server accepts writes; acknowledged windows from the follower life
+// are all present — they were applied and journaled before the old
+// session stopped.
+//
+// Errors leave the server's role untouched, with one documented
+// exception: a failed term snapshot aborts the promotion after the
+// follower session has stopped, but that failure also marks the WAL
+// failed, which is already fatal for the process (see Server.Fatal).
+func (s *Server) Promote(addr string) error {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	switch replRole(s.role.Load()) {
+	case roleLeader:
+		return errors.New("already the leader (double promote?)")
+	case roleFenced:
+		return errors.New("this server was deposed; FOLLOW the current leader instead")
+	case roleNone:
+		return errors.New("not a replica (start with -replica-of, optionally plus -repl as the standby listen address)")
+	}
+	if addr == "" {
+		addr = s.opts.ReplListen
+	}
+	if addr == "" {
+		return errors.New("no listen address (pass addr, or start with -repl)")
+	}
+	// Bind before any state changes so an unusable address aborts cleanly.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", addr, err)
+	}
+	// Stop the old session: after Stop returns no apply is in flight,
+	// and the WAL's last sequence is the new timeline's base.
+	s.replFoll.Stop()
+	s.replFoll = nil
+	// The term bump is what fences the old leader; the snapshot is what
+	// makes it survive a crash (term rides in the snapshot header).
+	s.wal.SetTerm(s.wal.Term() + 1)
+	if err := s.SnapshotWAL(); err != nil {
+		ln.Close()
+		s.walFail(err)
+		return fmt.Errorf("journaling term %d: %w", s.wal.Term(), err)
+	}
+	s.hub = s.newHub()
+	lead := s.newLeader(false)
+	lead.Serve(ln)
+	s.replLead = lead
+	// Back to leader-style flushing: client-triggered batches and the
+	// background cadence (both were parked while the applier was the
+	// only writer).
+	s.coll.SetMaxBatch(s.opts.MaxBatch)
+	s.coll.StartFlusher(s.opts.FlushInterval)
+	s.leaderHint.Store("")
+	s.role.Store(int32(roleLeader))
+	s.roleChanges.Add(1)
+	if s.opts.Logf != nil {
+		s.opts.Logf("psid: promoted to leader, term %d, repl listener %s", s.wal.Term(), ln.Addr())
+	}
+	return nil
+}
+
+// Demote fences a running leader: writes are refused with CodeFenced
+// from the next command on. The replication listener stays up so
+// still-attached followers drain what was already committed and then
+// idle; FOLLOW converts this server into a follower of the promoted
+// node. addr, when non-empty, is recorded as the leader hint returned
+// with fenced errors.
+func (s *Server) Demote(addr string) error {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if !s.roleIs(roleLeader) {
+		return errors.New("not the leader")
+	}
+	if addr != "" {
+		s.leaderHint.Store(addr)
+	}
+	s.role.Store(int32(roleFenced))
+	s.roleChanges.Add(1)
+	if s.opts.Logf != nil {
+		s.opts.Logf("psid: demoted at term %d; writes fenced", s.wal.Term())
+	}
+	return nil
+}
+
+// deposed is the repl.Leader's OnDeposed callback: a follower's
+// handshake carried a higher term, so another node has been promoted
+// and accepting writes here could fork acknowledged history. It runs on
+// a replication connection goroutine, so it must not block, take
+// replMu, or call back into the Leader (Close waits on that very
+// goroutine) — it only CASes the role, which the dispatch path reads on
+// the next write.
+func (s *Server) deposed(term uint64) {
+	if s.role.CompareAndSwap(int32(roleLeader), int32(roleFenced)) {
+		s.roleChanges.Add(1)
+		if s.opts.Logf != nil {
+			s.opts.Logf("psid: deposed by leader term %d (local term %d); writes fenced", term, s.wal.Term())
+		}
+	}
+}
+
+// Follow re-points this server's replication at addr. On a follower it
+// severs the current session and redials (the handshake resumes, or
+// bootstraps across a term boundary). On a fenced ex-leader it shuts
+// the leader machinery and joins the promoted timeline as a follower —
+// the first session's snapshot bootstrap is what discards any
+// unreplicated tail the old timeline had and adopts the new term. On an
+// active leader it errors: DEMOTE first, so stepping a leader down is
+// always an explicit, logged decision.
+func (s *Server) Follow(addr string) error {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	switch replRole(s.role.Load()) {
+	case roleFollower:
+		s.replFoll.SetAddr(addr)
+		s.leaderHint.Store(addr)
+		if s.opts.Logf != nil {
+			s.opts.Logf("psid: re-pointed at leader %s", addr)
+		}
+		return nil
+	case roleLeader:
+		return errors.New("this server is the leader; DEMOTE it first")
+	case roleNone:
+		return errors.New("not a replica (start with -replica-of)")
+	}
+	// fenced → follower.
+	if s.replLead != nil {
+		s.replLead.Close()
+		s.replLead = nil
+	}
+	// Park the leader-style flush triggers again: from here the
+	// replication applier is the only writer.
+	s.coll.StopFlusher()
+	s.coll.SetMaxBatch(1 << 30)
+	f := s.newFollower(addr, false)
+	s.replFoll = f
+	s.leaderHint.Store(addr)
+	// Role first: the applier's flushes must see roleFollower in the
+	// journal hook before the first window can arrive.
+	s.role.Store(int32(roleFollower))
+	s.roleChanges.Add(1)
+	f.Start()
+	if s.opts.Logf != nil {
+		s.opts.Logf("psid: rejoining as follower of %s (local term %d)", addr, s.wal.Term())
 	}
 	return nil
 }
@@ -130,21 +391,27 @@ func (s *Server) startRepl(logf func(format string, args ...any)) error {
 // append under a leader sequence) is in flight when the WAL folds its
 // final snapshot.
 func (s *Server) stopRepl() {
-	if s.replFoll != nil {
-		s.replFoll.Stop()
+	s.replMu.Lock()
+	f, l := s.replFoll, s.replLead
+	s.replMu.Unlock()
+	if f != nil {
+		f.Stop()
 	}
-	if s.replLead != nil {
-		s.replLead.Close()
+	if l != nil {
+		l.Close()
 	}
 }
 
 // ReplAddr returns the bound replication listener address (nil unless
-// this server is a leader that has Started).
+// this server is — or, fenced, was — a leader).
 func (s *Server) ReplAddr() net.Addr {
-	if s.replLead == nil {
+	s.replMu.Lock()
+	l := s.replLead
+	s.replMu.Unlock()
+	if l == nil {
 		return nil
 	}
-	return s.replLead.Addr()
+	return l.Addr()
 }
 
 // replSnapshot is the leader's bootstrap capture: the full committed
@@ -175,6 +442,12 @@ type replApplier struct{ s *Server }
 // journaled locally (which recovery restores after a crash, making the
 // resume handshake exact across restarts).
 func (a replApplier) AppliedSeq() uint64 { return a.s.wal.LastSeq() }
+
+// Term is the highest leader term this replica has adopted — recovered
+// from the WAL snapshot, advanced only by Bootstrap (or a local
+// Promote). The Follower sends it in every handshake so stale leaders
+// are refused.
+func (a replApplier) Term() uint64 { return a.s.wal.Term() }
 
 // ApplyWindow commits one leader window: enqueue the netted ops, flush
 // (journal under seq + apply + publish epoch), and verify the journal
@@ -213,10 +486,14 @@ func (a replApplier) ApplyWindow(seq uint64, ops []wal.Op[string]) error {
 
 // Bootstrap replaces the full local state with the leader's snapshot:
 // remove everything the snapshot lacks, set everything it has, commit
-// as one un-journaled flush, then persist the new baseline as a WAL
-// snapshot at the leader's sequence — which may regress below the local
-// one (a rebuilt or wiped leader), all the way to zero.
-func (a replApplier) Bootstrap(seq uint64, entries []wal.Op[string]) error {
+// as one un-journaled flush, then persist the new baseline — and the
+// leader term it belongs to — as a WAL snapshot at the leader's
+// sequence, which may regress below the local one (a rebuilt or wiped
+// leader), all the way to zero. Adopting the term here, atomically with
+// the state it governs, is the follower's only term transition: after
+// this snapshot lands, a restart recovers both together and stale
+// pre-promotion leaders are refused from the first handshake.
+func (a replApplier) Bootstrap(seq, term uint64, entries []wal.Op[string]) error {
 	s := a.s
 	if s.walFailed.Load() {
 		return errors.New("local wal failed; refusing to bootstrap")
@@ -244,6 +521,7 @@ func (a replApplier) Bootstrap(seq uint64, entries []wal.Op[string]) error {
 	s.replSkipJournal = true
 	s.coll.Flush()
 	s.replSkipJournal = false
+	s.wal.SetTerm(term)
 	err := s.wal.WriteSnapshotAt(seq, len(keep), func(yield func(string, geom.Point) bool) {
 		for id, p := range keep {
 			if !yield(id, p) {
@@ -258,25 +536,45 @@ func (a replApplier) Bootstrap(seq uint64, entries []wal.Op[string]) error {
 	return nil
 }
 
-// ReplPayload is the replication block of /stats: the role plus the
-// role-specific counters.
+// ReplPayload is the replication block of /stats: the role, the adopted
+// leader term, and the role-specific counters.
 type ReplPayload struct {
-	// Role is "leader" or "follower".
-	Role     string               `json:"role"`
-	Leader   *repl.LeaderStats    `json:"leader,omitempty"`
-	Follower *repl.FollowerStatus `json:"follower,omitempty"`
+	// Role is "leader", "follower", or "fenced" (an ex-leader deposed by
+	// a higher term, refusing writes).
+	Role string `json:"role"`
+	// Term is the leader term this server has adopted (bumped by its own
+	// promotion, or carried by the bootstrap that joined it to a
+	// promoted timeline).
+	Term uint64 `json:"term"`
+	// RoleChanges counts role transitions this process: promotions,
+	// demotions, deposals, fenced→follower rejoins.
+	RoleChanges uint64               `json:"role_changes"`
+	Leader      *repl.LeaderStats    `json:"leader,omitempty"`
+	Follower    *repl.FollowerStatus `json:"follower,omitempty"`
 }
 
 // replStats snapshots the replication block (nil when the server
 // replicates nothing).
 func (s *Server) replStats() *ReplPayload {
-	switch {
-	case s.replLead != nil:
-		st := s.replLead.Stats()
-		return &ReplPayload{Role: "leader", Leader: &st}
-	case s.replFoll != nil:
-		st := s.replFoll.Status()
-		return &ReplPayload{Role: "follower", Follower: &st}
+	role := replRole(s.role.Load())
+	if role == roleNone {
+		return nil
 	}
-	return nil
+	s.replMu.Lock()
+	lead, foll := s.replLead, s.replFoll
+	s.replMu.Unlock()
+	p := &ReplPayload{
+		Role:        role.String(),
+		Term:        s.wal.Term(),
+		RoleChanges: s.roleChanges.Load(),
+	}
+	switch {
+	case foll != nil:
+		st := foll.Status()
+		p.Follower = &st
+	case lead != nil:
+		st := lead.Stats()
+		p.Leader = &st
+	}
+	return p
 }

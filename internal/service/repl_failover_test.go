@@ -1,0 +1,249 @@
+package service
+
+// Failover state-machine tests: PROMOTE/DEMOTE/FOLLOW transitions on
+// in-process Servers, including every invalid transition, double
+// promotion, promotion of a disconnected follower, and a full
+// leader-loss handover with term fencing. The cross-process chaos
+// version (kill -9 mid-churn) is TestChaosPromote in cmd/psid.
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// startStandby runs a follower of leader that also carries a standby
+// listen address for PROMOTE to bind.
+func startStandby(t *testing.T, dir string, leader *Server, id string) *Server {
+	t.Helper()
+	return startDurable(t, dir, Options{
+		ReplicaOf:  leader.ReplAddr().String(),
+		ReplListen: "127.0.0.1:0",
+		ReplID:     id,
+	})
+}
+
+// roleOf snapshots the server's current role.
+func roleOf(s *Server) replRole { return replRole(s.role.Load()) }
+
+func TestFailoverInvalidTransitions(t *testing.T) {
+	leader := startLeader(t, t.TempDir(), Options{})
+	follower := startFollowerOf(t, t.TempDir(), leader, "f")
+	waitConverged(t, leader, follower)
+	plain := startDurable(t, t.TempDir(), Options{})
+
+	cases := []struct {
+		name string
+		call func() error
+		want string // error substring; the role must not change
+	}{
+		{"promote a leader", func() error { return leader.Promote("") }, "already the leader"},
+		{"follow on a leader", func() error { return leader.Follow("127.0.0.1:1") }, "DEMOTE it first"},
+		{"demote a follower", func() error { return follower.Demote("") }, "not the leader"},
+		{"promote without a listen address", func() error { return follower.Promote("") }, "no listen address"},
+		{"promote a non-replica", func() error { return plain.Promote("127.0.0.1:0") }, "not a replica"},
+		{"demote a non-replica", func() error { return plain.Demote("") }, "not the leader"},
+		{"follow on a non-replica", func() error { return plain.Follow("127.0.0.1:1") }, "not a replica"},
+		{"promote on an unbindable address", func() error { return follower.Promote("256.0.0.1:bad") }, "listen"},
+	}
+	for _, tc := range cases {
+		beforeL, beforeF, beforeP := roleOf(leader), roleOf(follower), roleOf(plain)
+		err := tc.call()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+		if roleOf(leader) != beforeL || roleOf(follower) != beforeF || roleOf(plain) != beforeP {
+			t.Fatalf("%s: a refused transition changed a role", tc.name)
+		}
+	}
+	if n := leader.roleChanges.Load() + follower.roleChanges.Load() + plain.roleChanges.Load(); n != 0 {
+		t.Fatalf("refused transitions bumped role_changes to %d", n)
+	}
+}
+
+func TestFailoverDoublePromote(t *testing.T) {
+	leader := startLeader(t, t.TempDir(), Options{})
+	follower := startStandby(t, t.TempDir(), leader, "spare")
+	waitConverged(t, leader, follower)
+
+	if err := follower.Promote(""); err != nil {
+		t.Fatalf("first promote: %v", err)
+	}
+	if got := roleOf(follower); got != roleLeader {
+		t.Fatalf("after promote: role %v, want leader", got)
+	}
+	if term := follower.wal.Term(); term != 1 {
+		t.Fatalf("after promote: term %d, want 1", term)
+	}
+	if err := follower.Promote(""); err == nil || !strings.Contains(err.Error(), "already the leader") {
+		t.Fatalf("double promote: err = %v, want refusal", err)
+	}
+	if term := follower.wal.Term(); term != 1 {
+		t.Fatalf("double promote bumped the term to %d", term)
+	}
+	if n := follower.roleChanges.Load(); n != 1 {
+		t.Fatalf("role_changes = %d after one promotion, want 1", n)
+	}
+}
+
+// TestFailoverPromoteDisconnected promotes a follower whose leader is
+// long gone — the normal disaster shape: the promotion must not depend
+// on any live session, only on the locally journaled state.
+func TestFailoverPromoteDisconnected(t *testing.T) {
+	leader := startLeader(t, t.TempDir(), Options{})
+	lc := dialT(t, leader)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := lc.Set(id, []int64{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	follower := startFollowerOf(t, t.TempDir(), leader, "orphan")
+	waitConverged(t, leader, follower)
+	shutdownT(t, leader)
+
+	if err := follower.Promote("127.0.0.1:0"); err != nil {
+		t.Fatalf("promoting a disconnected follower: %v", err)
+	}
+	fc := dialT(t, follower)
+	if err := fc.Set("post", []int64{9, 9}); err != nil {
+		t.Fatalf("write to promoted leader: %v", err)
+	}
+	for _, id := range []string{"a", "b", "c", "post"} {
+		if _, found, err := fc.Get(id); err != nil || !found {
+			t.Fatalf("GET %s on promoted leader: found=%t err=%v", id, found, err)
+		}
+	}
+	st := follower.Stats().Repl
+	if st.Role != "leader" || st.Term != 1 || st.RoleChanges != 1 {
+		t.Fatalf("promoted stats = %+v, want leader/term 1/1 change", st)
+	}
+}
+
+// TestFailoverHandover is the full in-process failover: the leader is
+// lost, a follower is promoted, the survivor is re-pointed, the stale
+// leader is fenced on contact with the new timeline, and finally
+// rejoins it as a follower.
+func TestFailoverHandover(t *testing.T) {
+	leader := startLeader(t, t.TempDir(), Options{})
+	lc := dialT(t, leader)
+	for _, id := range []string{"a", "b"} {
+		if err := lc.Set(id, []int64{3, 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f1 := startStandby(t, t.TempDir(), leader, "f1")
+	f2 := startFollowerOf(t, t.TempDir(), leader, "f2")
+	waitConverged(t, leader, f1)
+	waitConverged(t, leader, f2)
+
+	// Handover: promote f1, re-point f2 at it.
+	if err := f1.Promote(""); err != nil {
+		t.Fatal(err)
+	}
+	f1c := dialT(t, f1)
+	if err := f1c.Set("n1", []int64{7, 7}); err != nil {
+		t.Fatalf("write to promoted leader: %v", err)
+	}
+	if err := f2.Follow(f1.ReplAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, f1, f2)
+	if st := f2.Stats().Repl; st.Term != 1 || st.Role != "follower" {
+		t.Fatalf("re-pointed follower stats = %+v, want term 1 follower", st)
+	}
+	// The cross-term re-point bootstraps (timelines must not mix), and
+	// the readonly refusal now points at the new leader.
+	if st := f2.Stats().Repl.Follower; st.Bootstraps != 1 {
+		t.Fatalf("f2 bootstraps = %d, want 1 (term boundary forces it)", st.Bootstraps)
+	}
+	if resp, err := dialT(t, f2).Do(Request{Op: OpSet, ID: "x", P: []int64{1, 1}}); err != nil {
+		t.Fatal(err)
+	} else if resp.Code != CodeReadonly || resp.Leader != f1.ReplAddr().String() {
+		t.Fatalf("readonly refusal = %+v, want leader hint %s", resp, f1.ReplAddr())
+	}
+
+	// The stale leader survived. The moment a higher-term follower dials
+	// it, it must fence itself and refuse writes with CodeFenced.
+	if err := f2.Follow(leader.ReplAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	waitFenced(t, leader)
+	resp, err := lc.Do(Request{Op: OpSet, ID: "split", P: []int64{6, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Code != CodeFenced {
+		t.Fatalf("write on a deposed leader = %+v, want %s", resp, CodeFenced)
+	}
+	if st := leader.Stats().Repl; st.Role != "fenced" {
+		t.Fatalf("deposed leader role = %s, want fenced", st.Role)
+	}
+	// Repair the detour and fold the old leader into the new timeline.
+	if err := f2.Follow(f1.ReplAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Follow(f1.ReplAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, f1, leader)
+	waitConverged(t, f1, f2)
+	olc := dialT(t, leader)
+	if _, found, err := olc.Get("n1"); err != nil || !found {
+		t.Fatalf("post-promotion write missing on the rejoined ex-leader: found=%t err=%v", found, err)
+	}
+	if _, found, _ := olc.Get("split"); found {
+		t.Fatal("fenced write leaked into the rejoined ex-leader")
+	}
+	if resp, err := olc.Do(Request{Op: OpSet, ID: "y", P: []int64{1, 1}}); err != nil {
+		t.Fatal(err)
+	} else if resp.Code != CodeReadonly || resp.Leader != f1.ReplAddr().String() {
+		t.Fatalf("rejoined ex-leader refusal = %+v, want readonly with leader hint", resp)
+	}
+	if st := leader.Stats().Repl; st.Term != 1 || st.RoleChanges != 2 {
+		t.Fatalf("rejoined ex-leader stats = %+v, want term 1 after 2 changes (deposed, rejoined)", st)
+	}
+}
+
+// TestFailoverDemote pins the operator-initiated path: DEMOTE fences
+// without any wire contact, records the hint, and FOLLOW rejoins.
+func TestFailoverDemote(t *testing.T) {
+	leader := startLeader(t, t.TempDir(), Options{})
+	lc := dialT(t, leader)
+	if err := lc.Set("a", []int64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Demote("10.0.0.9:7601"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := lc.Do(Request{Op: OpSet, ID: "b", P: []int64{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Code != CodeFenced || resp.Leader != "10.0.0.9:7601" {
+		t.Fatalf("write on a demoted leader = %+v, want fenced with the hinted leader", resp)
+	}
+	// Reads still serve the frozen state.
+	if _, found, err := lc.Get("a"); err != nil || !found {
+		t.Fatalf("read on a demoted leader: found=%t err=%v", found, err)
+	}
+	if err := leader.Demote(""); err == nil {
+		t.Fatal("double demote was accepted")
+	}
+	if err := leader.Promote(""); err == nil || !strings.Contains(err.Error(), "deposed") {
+		t.Fatalf("promote on a fenced server: err = %v, want refusal", err)
+	}
+}
+
+// waitFenced polls until s has fenced itself (the deposed callback runs
+// on a replication connection goroutine, so it is asynchronous to the
+// FOLLOW that triggers it).
+func waitFenced(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.roleIs(roleFenced) {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never fenced itself (role %v)", roleOf(s))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -65,11 +65,19 @@ func TestReplValidation(t *testing.T) {
 	if _, err := NewDurable(newTestIndex(), Options{ReplicaOf: "127.0.0.1:1"}); err == nil {
 		t.Fatal("follower without a WAL was accepted")
 	}
-	if _, err := NewDurable(newTestIndex(), Options{
+	// ReplListen plus ReplicaOf is a hot standby, not a contradiction:
+	// the server starts follower-side and ReplListen is the address
+	// PROMOTE binds.
+	s, err := NewDurable(newTestIndex(), Options{
 		WALDir: t.TempDir(), ReplListen: "127.0.0.1:0", ReplicaOf: "127.0.0.1:1",
-	}); err == nil {
-		t.Fatal("leader+follower on one server was accepted")
+	})
+	if err != nil {
+		t.Fatalf("standby (ReplListen plus ReplicaOf) rejected: %v", err)
 	}
+	if got := replRole(s.role.Load()); got != roleFollower {
+		t.Fatalf("standby starts as %v, want follower", got)
+	}
+	shutdownT(t, s)
 }
 
 func TestReplReadonlyFollower(t *testing.T) {

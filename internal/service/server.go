@@ -114,7 +114,10 @@ type Options struct {
 	// Start binds a second TCP listener on this address and streams every
 	// committed WAL window to connected followers (docs/replication.md).
 	// Requires WALDir — replication ships exactly the journaled windows.
-	// Mutually exclusive with ReplicaOf.
+	// Combined with ReplicaOf the server starts as a follower and
+	// ReplListen is the standby address PROMOTE binds (a hot spare:
+	// -replica-of for the current leader, -repl for the address it will
+	// serve followers on after promotion).
 	ReplListen string
 	// ReplRetainWindows / ReplRetainBytes bound the leader's in-memory
 	// catch-up ring: a follower whose resume point has been evicted
@@ -133,6 +136,14 @@ type Options struct {
 	// the leader keys its per-follower /stats and metric series by it.
 	// Empty falls back to the connection's remote address.
 	ReplID string
+	// MaxLagWindows, when positive, turns /healthz into a follower
+	// readiness gate: a follower lagging more than this many committed
+	// windows behind its leader (or disconnected from it) reports 503
+	// with the lag in the body, so a load balancer can route reads away
+	// from stale replicas. Zero (the default) keeps /healthz always-200
+	// for a serving follower — staleness stays visible in lag_windows but
+	// is the balancer's policy call. cmd/psid surfaces this as -max-lag.
+	MaxLagWindows int
 	// Logf, when set, receives replication lifecycle lines (follower
 	// connects, bootstraps, session errors). cmd/psid wires log.Printf.
 	Logf func(format string, args ...any)
@@ -204,10 +215,21 @@ type Server struct {
 	walOnce     sync.Once // WAL teardown (Shutdown may be called twice)
 
 	// Replication state (internal/service/repl.go), nil/zero unless
-	// ReplListen or ReplicaOf is set.
+	// ReplListen or ReplicaOf is set. role/roleChanges are atomics read
+	// on the dispatch and journal paths; the pointer fields are guarded
+	// by replMu because PROMOTE and FOLLOW replace them at runtime (hub
+	// is the exception: the journal hook reads it locklessly, gated on
+	// role == leader, which is stored only after hub is in place).
+	replMu   sync.Mutex             // serializes PROMOTE/DEMOTE/FOLLOW role transitions
 	hub      *repl.Hub[string]      // leader: committed-window fan-out ring
 	replLead *repl.Leader[string]   // leader: follower listener
 	replFoll *repl.Follower[string] // follower: session loop against the leader
+	// role is the replication role (replRole); roleChanges counts its
+	// transitions; leaderHint holds the last-known leader address (string)
+	// returned with readonly/fenced errors.
+	role        atomic.Int32
+	roleChanges atomic.Uint64
+	leaderHint  atomic.Value
 	// replPendingSeq/replSkipJournal parameterize the follower's journal
 	// hook for the flush in flight; plain fields, written only by the
 	// follower session goroutine whose own Flush call runs the hook.
@@ -567,8 +589,8 @@ func (s *Server) dispatch(line []byte, cs *connState, cost *obs.QueryCost) (int,
 	}
 	switch op {
 	case OpSet:
-		if s.readonly() {
-			return idx, rejectReadonly(op)
+		if r := s.rejectWrite(op); r != nil {
+			return idx, *r
 		}
 		if req.ID == "" {
 			return idx, errResult(CodeBadRequest, "SET: missing id")
@@ -583,8 +605,8 @@ func (s *Server) dispatch(line []byte, cs *connState, cost *obs.QueryCost) (int,
 		}
 		return idx, result{ok: true}
 	case OpDel:
-		if s.readonly() {
-			return idx, rejectReadonly(op)
+		if r := s.rejectWrite(op); r != nil {
+			return idx, *r
 		}
 		if req.ID == "" {
 			return idx, errResult(CodeBadRequest, "DEL: missing id")
@@ -648,8 +670,8 @@ func (s *Server) dispatch(line []byte, cs *connState, cost *obs.QueryCost) (int,
 		// A follower's flushes belong to the replication applier alone:
 		// a client-triggered flush would journal a window under a stale
 		// leader sequence.
-		if s.readonly() {
-			return idx, rejectReadonly(op)
+		if r := s.rejectWrite(op); r != nil {
+			return idx, *r
 		}
 		return idx, result{ok: true, applied: s.coll.Flush(), hasApplied: true}
 	case OpSlowlog:
@@ -657,6 +679,24 @@ func (s *Server) dispatch(line []byte, cs *connState, cost *obs.QueryCost) (int,
 			return idx, errResult(CodeBadRequest, "slow-query log disabled (start the server with a -slowlog threshold)")
 		}
 		return idx, result{ok: true, hasSlow: true, slow: s.slow.Snapshot()}
+	case OpPromote:
+		if err := s.Promote(req.Addr); err != nil {
+			return idx, errResultf(CodeBadRequest, "PROMOTE: %v", err)
+		}
+		return idx, result{ok: true}
+	case OpDemote:
+		if err := s.Demote(req.Addr); err != nil {
+			return idx, errResultf(CodeBadRequest, "DEMOTE: %v", err)
+		}
+		return idx, result{ok: true}
+	case OpFollow:
+		if req.Addr == "" {
+			return idx, errResult(CodeBadRequest, "FOLLOW: missing addr")
+		}
+		if err := s.Follow(req.Addr); err != nil {
+			return idx, errResultf(CodeBadRequest, "FOLLOW: %v", err)
+		}
+		return idx, result{ok: true}
 	}
 	return -1, errResultf(CodeBadRequest, "unknown op %q", req.Op) // unreachable
 }
@@ -801,20 +841,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	body := map[string]any{"ok": true, "uptime_s": time.Since(s.start).Seconds()}
 	// Replication position rides on health so an orchestrator (and the
-	// CI smoke) can gate on lag with one probe. A disconnected follower
-	// stays green: it serves reads from its last-applied state and
-	// reconnects on its own — staleness is visible in lag_windows, and
-	// whether to route around it is the balancer's policy call.
-	switch {
-	case s.replLead != nil:
+	// CI smoke) can gate on lag with one probe. By default a disconnected
+	// or lagging follower stays green: it serves reads from its
+	// last-applied state and reconnects on its own — staleness is visible
+	// in lag_windows, and whether to route around it is the balancer's
+	// policy call. Options.MaxLagWindows opts into making that call here:
+	// past the threshold (or while disconnected) the probe goes 503 so
+	// stale reads are routed away.
+	status := http.StatusOK
+	s.replMu.Lock()
+	foll := s.replFoll
+	s.replMu.Unlock()
+	switch replRole(s.role.Load()) {
+	case roleLeader:
 		body["role"] = "leader"
 		body["repl_seq"] = s.hub.LastSeq()
-	case s.replFoll != nil:
-		st := s.replFoll.Status()
+		body["term"] = s.wal.Term()
+	case roleFollower:
+		st := foll.Status()
 		body["role"] = "follower"
 		body["repl_connected"] = st.Connected
 		body["applied_seq"] = st.AppliedSeq
 		body["lag_windows"] = st.LagWindows
+		body["term"] = s.wal.Term()
+		if max := s.opts.MaxLagWindows; max > 0 && (!st.Connected || st.LagWindows > uint64(max)) {
+			body["ok"] = false
+			body["state"] = "lagging"
+			body["lag"] = st.LagWindows
+			status = http.StatusServiceUnavailable
+		}
+	case roleFenced:
+		body["role"] = "fenced"
+		body["term"] = s.wal.Term()
+	}
+	if status != http.StatusOK {
+		w.WriteHeader(status)
 	}
 	w.Write(marshalLine(body))
 }

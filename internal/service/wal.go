@@ -23,7 +23,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/obs"
-	"repro/internal/repl"
 	"repro/internal/wal"
 )
 
@@ -66,7 +65,8 @@ func NewDurable(idx core.Index, opts Options) (*Server, error) {
 		// A follower's only writer is the replication applier, which
 		// flushes each leader window itself: no background flusher, and a
 		// batch trigger no real window can reach — any other flush would
-		// split a window across two local sequences.
+		// split a window across two local sequences. (PROMOTE re-arms
+		// both from Options; see Server.Promote.)
 		copts.FlushInterval = 0
 		copts.MaxBatch = 1 << 30
 	}
@@ -77,6 +77,10 @@ func NewDurable(idx core.Index, opts Options) (*Server, error) {
 		reg:   opts.Obs,
 		conns: make(map[net.Conn]struct{}),
 		fatal: make(chan error, 1),
+	}
+	s.role.Store(int32(opts.initialRole()))
+	if opts.ReplicaOf != "" {
+		s.leaderHint.Store(opts.ReplicaOf)
 	}
 	if opts.SlowLog > 0 {
 		s.slow = obs.NewSlowLog(opts.SlowLogSize)
@@ -117,11 +121,12 @@ func (s *Server) openWAL() error {
 		Records:        rec.Records,
 		TruncatedBytes: rec.TruncatedBytes,
 	}
-	if opts.ReplListen != "" {
+	if s.roleIs(roleLeader) {
 		// The hub's head starts at the recovered sequence, so a follower
 		// already there resumes with an empty tail instead of a snapshot.
-		s.hub = repl.NewHub[string](wal.StringCodec{}, l.LastSeq(),
-			opts.ReplRetainWindows, opts.ReplRetainBytes)
+		// A standby (-repl plus -replica-of) starts follower-side; its
+		// hub is built at promotion instead.
+		s.hub = s.newHub()
 	}
 	s.coll.SetJournal(s.journalHook(l))
 	s.durableAcks = opts.WALFsync == wal.FsyncAlways

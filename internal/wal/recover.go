@@ -27,6 +27,11 @@ type Recovery[ID comparable] struct {
 	// (zero when none existed).
 	SnapshotSeq     uint64
 	SnapshotObjects int
+	// Term is the leader term the snapshot journaled (zero when none
+	// existed or the snapshot predates terms). Replication fencing
+	// persists the term here so a restarted node rejoins with the term
+	// it last held.
+	Term uint64
 	// Records is the number of valid log records read (including any
 	// at or below SnapshotSeq, which are skipped as already folded).
 	Records int
@@ -49,12 +54,24 @@ func readSnapshot[ID comparable](path string, codec Codec[ID], rec *Recovery[ID]
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if len(b) < magicLen+4 || string(b[:magicLen]) != snapMagic {
+	if len(b) < magicLen+4 {
+		return fmt.Errorf("wal: %s: bad snapshot header", path)
+	}
+	magic := string(b[:magicLen])
+	if magic != snapMagic && magic != snapMagicV1 {
 		return fmt.Errorf("wal: %s: bad snapshot header", path)
 	}
 	body, trailer := b[magicLen:len(b)-4], b[len(b)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
 		return fmt.Errorf("wal: %s: snapshot checksum mismatch", path)
+	}
+	if magic == snapMagic { // v2 journals the leader term before the seq
+		term, n := binary.Uvarint(body)
+		if n <= 0 {
+			return fmt.Errorf("wal: %s: truncated snapshot term", path)
+		}
+		body = body[n:]
+		rec.Term = term
 	}
 	seq, n := binary.Uvarint(body)
 	if n <= 0 {
@@ -283,8 +300,9 @@ func createLogFile(path string) (*os.File, error) {
 	return f, nil
 }
 
-// writeSnapshotFile streams one snapshot to path atomically.
-func writeSnapshotFile[ID comparable](path string, codec Codec[ID], seq uint64, n int, entries iter.Seq2[ID, geom.Point]) error {
+// writeSnapshotFile streams one snapshot to path atomically, always in
+// the v2 format (term before seq).
+func writeSnapshotFile[ID comparable](path string, codec Codec[ID], term, seq uint64, n int, entries iter.Seq2[ID, geom.Point]) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -301,6 +319,7 @@ func writeSnapshotFile[ID comparable](path string, codec Codec[ID], seq uint64, 
 		return err
 	}
 	var buf []byte
+	buf = binary.AppendUvarint(buf, term)
 	buf = binary.AppendUvarint(buf, seq)
 	buf = binary.AppendUvarint(buf, uint64(n))
 	if _, err := mw.Write(buf); err != nil {

@@ -161,6 +161,7 @@ type Log[ID comparable] struct {
 
 	seq      atomic.Uint64 // last appended window seq
 	snapSeq  atomic.Uint64 // window seq covered by the durable snapshot
+	term     atomic.Uint64 // leader term journaled with the next snapshot
 	logBytes atomic.Int64
 
 	appends   atomic.Uint64
@@ -213,6 +214,7 @@ func Open[ID comparable](dir string, codec Codec[ID], opts Options) (*Log[ID], *
 	l := &Log[ID]{dir: dir, codec: codec, opts: opts, f: f, stop: make(chan struct{})}
 	l.seq.Store(rec.Seq)
 	l.snapSeq.Store(rec.SnapshotSeq)
+	l.term.Store(rec.Term)
 	l.logBytes.Store(size)
 	if opts.Obs != nil {
 		l.registerMetrics(opts.Obs)
@@ -229,6 +231,16 @@ func Open[ID comparable](dir string, codec Codec[ID], opts Options) (*Log[ID], *
 // leader in its FOLLOW handshake. Zero means the log has never held a
 // window: a follower there bootstraps from the beginning without error.
 func (l *Log[ID]) LastSeq() uint64 { return l.seq.Load() }
+
+// Term returns the leader term this log carries: the value recovered
+// from the snapshot at Open, as updated by SetTerm since.
+func (l *Log[ID]) Term() uint64 { return l.term.Load() }
+
+// SetTerm records a new leader term. The term is journaled with the
+// next snapshot (v2 format), so callers that need the term durable —
+// promotion must not acknowledge before its term can survive a restart
+// — follow SetTerm with a snapshot write.
+func (l *Log[ID]) SetTerm(t uint64) { l.term.Store(t) }
 
 // AppendWindow appends one committed flush window — the Collection's
 // netted ops, at most one per ID — as a single framed record, and (under
@@ -409,7 +421,7 @@ func (l *Log[ID]) snapshotLocked(seq uint64, n int, entries iter.Seq2[ID, geom.P
 	if l.err != nil {
 		return l.err
 	}
-	if err := writeSnapshotFile(filepath.Join(l.dir, snapName), l.codec, seq, n, entries); err != nil {
+	if err := writeSnapshotFile(filepath.Join(l.dir, snapName), l.codec, l.term.Load(), seq, n, entries); err != nil {
 		l.fail(err)
 		return l.err
 	}
@@ -467,6 +479,7 @@ func (l *Log[ID]) Close() error {
 type Stats struct {
 	Seq           uint64 // last appended window seq
 	SnapshotSeq   uint64 // window seq the durable snapshot covers
+	Term          uint64 // leader term (journaled with snapshots)
 	LogBytes      int64  // current wal.log size
 	Appends       uint64 // windows appended this process
 	AppendedBytes uint64 // record bytes appended this process
@@ -481,6 +494,7 @@ func (l *Log[ID]) Stats() Stats {
 	return Stats{
 		Seq:           l.seq.Load(),
 		SnapshotSeq:   l.snapSeq.Load(),
+		Term:          l.term.Load(),
 		LogBytes:      l.logBytes.Load(),
 		Appends:       l.appends.Load(),
 		AppendedBytes: l.bytes.Load(),
